@@ -1,0 +1,246 @@
+// Benchmarks regenerating every table and figure of the HOPE paper's
+// evaluation, one Benchmark function per artifact (see DESIGN.md for the
+// experiment index). Figure runners execute once per configuration and
+// report their series through b.ReportMetric; raw encode throughput is
+// additionally measured with conventional b.N loops.
+//
+// These run at CI scale; `go run ./cmd/hopebench -fig <n>` reproduces the
+// same experiments at paper-style scale with full dictionary sizes.
+package hope_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	hope "repro"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// memo caches experiment results so timer calibration does not re-run
+// multi-second experiment bodies.
+var memo sync.Map
+
+func once[T any](b *testing.B, key string, f func() (T, error)) T {
+	b.Helper()
+	if v, ok := memo.Load(key); ok {
+		if err, bad := v.(error); bad {
+			b.Fatal(err)
+		}
+		return v.(T)
+	}
+	v, err := f()
+	if err != nil {
+		memo.Store(key, err)
+		b.Fatal(err)
+	}
+	memo.Store(key, v)
+	return v
+}
+
+func spin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+// tag sanitizes a label for use in a benchmark metric unit (no spaces).
+func tag(s string) string { return strings.ReplaceAll(s, " ", "") }
+
+func benchCfg(ds datagen.Kind) bench.Config {
+	cfg := bench.QuickConfig(ds)
+	cfg.NumKeys = 5000
+	cfg.NumOps = 5000
+	return cfg
+}
+
+// BenchmarkEncode measures raw per-key encode latency for every scheme on
+// email keys — the substrate of Figure 8's second row.
+func BenchmarkEncode(b *testing.B) {
+	keys := datagen.Generate(datagen.Email, 20000, 1)
+	samples := hope.SampleKeys(keys, 0.01, 42)
+	for _, scheme := range hope.Schemes {
+		b.Run(scheme.String(), func(b *testing.B) {
+			enc := once(b, "enc/"+scheme.String(), func() (*hope.Encoder, error) {
+				return hope.Build(scheme, samples, hope.Options{DictLimit: 1 << 12})
+			})
+			chars := 0
+			var buf []byte
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := keys[i%len(keys)]
+				out, _ := enc.EncodeBits(buf, k)
+				buf = out[:0]
+				chars += len(k)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(chars), "ns/char")
+		})
+	}
+}
+
+// BenchmarkFig8 reports the Figure 8 series: compression rate, encode
+// latency and dictionary memory per scheme and dictionary size.
+func BenchmarkFig8(b *testing.B) {
+	for _, ds := range datagen.Kinds {
+		b.Run(ds.String(), func(b *testing.B) {
+			cfg := benchCfg(ds)
+			rows := once(b, "fig8/"+ds.String(), func() ([]bench.Fig8Row, error) {
+				return bench.RunFig8(cfg, bench.Fig8Sizes(true))
+			})
+			for _, r := range rows {
+				mtag := fmt.Sprintf("%v@%d", r.Scheme, r.Entries)
+				b.ReportMetric(r.CPR, "CPR:"+tag(mtag))
+			}
+			spin(b)
+		})
+	}
+}
+
+// BenchmarkFig9 reports the dictionary build-time breakdown.
+func BenchmarkFig9(b *testing.B) {
+	cfg := benchCfg(datagen.Email)
+	rows := once(b, "fig9", func() ([]bench.Fig9Row, error) { return bench.RunFig9(cfg) })
+	for _, r := range rows {
+		b.ReportMetric(r.Stats.Total().Seconds(), "s:"+tag(r.Label))
+	}
+	spin(b)
+}
+
+// BenchmarkFig10 reports the SuRF YCSB series (point/range latency,
+// height, memory) for the paper's seven configurations.
+func BenchmarkFig10(b *testing.B) {
+	for _, ds := range datagen.Kinds {
+		b.Run(ds.String(), func(b *testing.B) {
+			cfg := benchCfg(ds)
+			rows := once(b, "fig10/"+ds.String(), func() ([]bench.Fig10Row, error) {
+				return bench.RunFig10(cfg)
+			})
+			for _, r := range rows {
+				b.ReportMetric(r.PointNs, "ns/point:"+tag(r.Config))
+				b.ReportMetric(r.TrieHeight, "height:"+tag(r.Config))
+			}
+			spin(b)
+		})
+	}
+}
+
+// BenchmarkFig11 reports SuRF false-positive rates, Base vs Real8.
+func BenchmarkFig11(b *testing.B) {
+	cfg := benchCfg(datagen.Email)
+	rows := once(b, "fig11", func() ([]bench.Fig11Row, error) { return bench.RunFig11(cfg) })
+	for _, r := range rows {
+		b.ReportMetric(r.FPRBase*100, "fpr%:"+tag(r.Config))
+		b.ReportMetric(r.FPRReal8*100, "fpr8%:"+tag(r.Config))
+	}
+	spin(b)
+}
+
+// BenchmarkFig12 reports point latency and memory for the four key-value
+// trees under the seven configurations.
+func BenchmarkFig12(b *testing.B) {
+	for _, ds := range datagen.Kinds {
+		b.Run(ds.String(), func(b *testing.B) {
+			cfg := benchCfg(ds)
+			rows := once(b, "fig12/"+ds.String(), func() ([]bench.Fig12Row, error) {
+				return bench.RunFig12(cfg, bench.IndexNames)
+			})
+			for _, r := range rows {
+				b.ReportMetric(r.PointNs, tag(fmt.Sprintf("ns:%s/%s", r.Index, r.Config)))
+			}
+			spin(b)
+		})
+	}
+}
+
+// BenchmarkFig13 reports compression rate vs sample fraction.
+func BenchmarkFig13(b *testing.B) {
+	cfg := benchCfg(datagen.Email)
+	rows := once(b, "fig13", func() ([]bench.Fig13Row, error) {
+		return bench.RunFig13(cfg, []float64{0.001, 0.01, 0.1, 1.0})
+	})
+	for _, r := range rows {
+		b.ReportMetric(r.CPR, fmt.Sprintf("CPR:%v@%g", r.Scheme, r.Frac))
+	}
+	spin(b)
+}
+
+// BenchmarkFig14 reports batch-encoding latency at batch sizes 1, 2, 32.
+func BenchmarkFig14(b *testing.B) {
+	cfg := benchCfg(datagen.Email)
+	rows := once(b, "fig14", func() ([]bench.Fig14Row, error) {
+		return bench.RunFig14(cfg, []int{1, 2, 32})
+	})
+	for _, r := range rows {
+		b.ReportMetric(r.LatNsChar, fmt.Sprintf("ns/char:%v@%d", r.Scheme, r.BatchSize))
+	}
+	spin(b)
+}
+
+// BenchmarkFig15 reports compression under key-distribution changes.
+func BenchmarkFig15(b *testing.B) {
+	cfg := benchCfg(datagen.Email)
+	rows := once(b, "fig15", func() ([]bench.Fig15Row, error) { return bench.RunFig15(cfg) })
+	for _, r := range rows {
+		b.ReportMetric(r.CPR, fmt.Sprintf("CPR:%v/D%s-E%s", r.Scheme, r.Dict, r.Eval))
+	}
+	spin(b)
+}
+
+// BenchmarkFig16 reports range and insert latency for the four trees.
+func BenchmarkFig16(b *testing.B) {
+	cfg := benchCfg(datagen.Email)
+	rows := once(b, "fig16", func() ([]bench.Fig16Row, error) {
+		return bench.RunFig16(cfg, bench.IndexNames)
+	})
+	for _, r := range rows {
+		b.ReportMetric(r.RangeNs, tag(fmt.Sprintf("ns/range:%s/%s", r.Index, r.Config)))
+		b.ReportMetric(r.InsertNs, tag(fmt.Sprintf("ns/insert:%s/%s", r.Index, r.Config)))
+	}
+	spin(b)
+}
+
+// BenchmarkAblationWeighting reports the effect of symbol-length-weighted
+// probabilities on VIVC compression.
+func BenchmarkAblationWeighting(b *testing.B) {
+	cfg := benchCfg(datagen.Email)
+	rows := once(b, "ablW", func() ([]bench.AblationWeightingRow, error) {
+		return bench.RunAblationWeighting(cfg)
+	})
+	for _, r := range rows {
+		b.ReportMetric(r.CPRWeighted, "CPRw:"+r.Scheme.String())
+		b.ReportMetric(r.CPRUnweighted, "CPRu:"+r.Scheme.String())
+	}
+	spin(b)
+}
+
+// BenchmarkAblationDictStructure reports the Table 1 dictionary structures
+// against plain binary search.
+func BenchmarkAblationDictStructure(b *testing.B) {
+	cfg := benchCfg(datagen.Email)
+	rows := once(b, "ablD", func() ([]bench.AblationDictRow, error) {
+		return bench.RunAblationDictStructure(cfg)
+	})
+	for _, r := range rows {
+		b.ReportMetric(r.SpecializedNs, "ns/spec:"+r.Scheme.String())
+		b.ReportMetric(r.BinarySearchNs, "ns/bs:"+r.Scheme.String())
+	}
+	spin(b)
+}
+
+// BenchmarkAblationCoder reports Garsia-Wachs vs O(n²) Hu-Tucker code
+// assignment cost at equal (optimal) compression.
+func BenchmarkAblationCoder(b *testing.B) {
+	cfg := benchCfg(datagen.Email)
+	rows := once(b, "ablC", func() ([]bench.AblationCoderRow, error) {
+		return bench.RunAblationCoder(cfg)
+	})
+	for _, r := range rows {
+		b.ReportMetric(r.GWAssignSec*1e3, "ms/GW:"+r.Scheme.String())
+		b.ReportMetric(r.HTAssignSec*1e3, "ms/HT:"+r.Scheme.String())
+	}
+	spin(b)
+}
+
+var _ = core.Schemes // the façade aliases core's scheme type; keep the link explicit

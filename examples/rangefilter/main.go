@@ -1,0 +1,118 @@
+// rangefilter applies HOPE to SuRF, the paper's range-filter scenario: an
+// LSM-style system keeps a tiny in-memory filter per run and asks "could
+// this key (or range) exist in the run?" before touching storage. HOPE
+// shrinks the filter, shortens the trie, and lowers the false positive
+// rate at equal suffix bits (paper Figures 10 and 11).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sort"
+
+	hope "repro"
+	"repro/internal/datagen"
+	"repro/internal/surf"
+)
+
+const numKeys = 40000
+
+func main() {
+	keys := datagen.Generate(datagen.URL, numKeys, 3)
+	samples := hope.SampleKeys(keys, 0.01, 42)
+
+	// Probe keys guaranteed absent.
+	present := map[string]bool{}
+	for _, k := range keys {
+		present[string(k)] = true
+	}
+	var absent [][]byte
+	for _, k := range datagen.Generate(datagen.URL, 20000, 999) {
+		if !present[string(k)] {
+			absent = append(absent, k)
+		}
+	}
+
+	fmt.Printf("%-22s %12s %12s %10s %12s\n", "configuration", "filter bytes", "bits/key", "height", "FPR (Real8)")
+	for _, cfg := range []struct {
+		name   string
+		scheme hope.Scheme
+		plain  bool
+	}{
+		{name: "SuRF uncompressed", plain: true},
+		{name: "SuRF + Single-Char", scheme: hope.SingleChar},
+		{name: "SuRF + Double-Char", scheme: hope.DoubleChar},
+		{name: "SuRF + 4-Grams", scheme: hope.FourGrams},
+	} {
+		var enc *hope.Encoder
+		if !cfg.plain {
+			var err error
+			enc, err = hope.Build(cfg.scheme, samples, hope.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		encode := func(ks [][]byte) [][]byte {
+			if enc == nil {
+				return ks
+			}
+			out := make([][]byte, len(ks))
+			for i, k := range ks {
+				out[i] = enc.Encode(k)
+			}
+			return out
+		}
+		loaded := sortedUnique(encode(keys))
+		f := surf.Build(loaded, surf.Real, 8)
+
+		// Sanity: no false negatives, point or range.
+		for _, k := range encode(keys[:2000]) {
+			if !f.MayContain(k) {
+				log.Fatalf("%s: false negative", cfg.name)
+			}
+		}
+		fpr := f.FalsePositiveRate(encode(absent))
+		fmt.Printf("%-22s %12d %12.1f %10.1f %11.2f%%\n",
+			cfg.name, f.MemoryUsage(),
+			float64(f.MemoryUsage()*8)/float64(len(loaded)),
+			f.AvgHeight(), fpr*100)
+	}
+
+	// Range filtering with pair-encoded bounds (paper Section 4.2).
+	enc, err := hope.Build(hope.DoubleChar, samples, hope.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	encoded := make([][]byte, len(keys))
+	for i, k := range keys {
+		encoded[i] = enc.Encode(k)
+	}
+	f := surf.Build(sortedUnique(encoded), surf.Real, 8)
+	hit := 0
+	for _, k := range keys[:5000] {
+		hi := append([]byte(nil), k...)
+		hi[len(hi)-1]++
+		lo2, hi2 := enc.EncodePair(k, hi)
+		if f.MayContainRange(lo2, hi2) {
+			hit++
+		}
+	}
+	fmt.Printf("\nclosed-range queries over present keys answered true: %d/5000 (must be 5000)\n", hit)
+	if hit != 5000 {
+		log.Fatal("range false negative!")
+	}
+}
+
+func sortedUnique(keys [][]byte) [][]byte {
+	out := append([][]byte{}, keys...)
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i], out[j]) < 0 })
+	w := 0
+	for i, k := range out {
+		if i == 0 || !bytes.Equal(out[w-1], k) {
+			out[w] = k
+			w++
+		}
+	}
+	return out[:w]
+}

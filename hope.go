@@ -1,0 +1,112 @@
+// Package hope is the public API of this repository: a from-scratch Go
+// implementation of HOPE, the High-speed Order-Preserving Encoder for
+// in-memory search trees (Zhang et al., "Order-Preserving Key Compression
+// for In-Memory Search Trees", SIGMOD 2020).
+//
+// HOPE compresses string keys through a small entropy dictionary while
+// preserving their lexicographic order, so the compressed keys can be
+// stored in any ordered search tree (B+tree, trie, radix tree, filter) and
+// still answer point and range queries correctly. Typical use:
+//
+//	samples := hope.SampleKeys(keys, 0.01, 42)       // 1% sample
+//	enc, err := hope.Build(hope.DoubleChar, samples, hope.Options{})
+//	ck := enc.Encode(key)                            // order-preserving
+//
+// Six compression schemes are available, trading compression rate against
+// encoding speed (paper Section 3.3): SingleChar, DoubleChar, ALM,
+// ThreeGrams, FourGrams and ALMImproved.
+//
+// The repository also contains the five search trees the paper evaluates
+// (SuRF, ART, HOT, B+tree, Prefix B+tree) under internal/, a YCSB-style
+// workload driver, and a benchmark harness regenerating every figure of
+// the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package hope
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Scheme identifies a HOPE compression scheme.
+type Scheme = core.Scheme
+
+// The six published schemes (paper Table 1).
+const (
+	// SingleChar exploits zeroth-order byte entropy; fastest encoder.
+	SingleChar = core.SingleChar
+	// DoubleChar exploits first-order entropy; the paper's best overall
+	// latency/compression trade-off.
+	DoubleChar = core.DoubleChar
+	// ALM is Antoshenkov's variable-interval scheme with fixed codes.
+	ALM = core.ALM
+	// ThreeGrams compresses frequent 3-byte patterns.
+	ThreeGrams = core.ThreeGrams
+	// FourGrams compresses frequent 4-byte patterns.
+	FourGrams = core.FourGrams
+	// ALMImproved adds suffix-only statistics and Hu-Tucker codes to ALM;
+	// highest compression, slowest encoder.
+	ALMImproved = core.ALMImproved
+)
+
+// Schemes lists all supported schemes in the paper's order.
+var Schemes = core.Schemes
+
+// Options tunes the build phase; the zero value gives the paper defaults
+// (64K dictionary limit, length-weighted probabilities, Garsia-Wachs code
+// assignment).
+type Options = core.Options
+
+// Encoder compresses keys order-preservingly. Not safe for concurrent use;
+// build one per goroutine (builds are cheap relative to tree loads) or
+// guard with a mutex.
+type Encoder = core.Encoder
+
+// BuildStats is the build-phase time breakdown (paper Figure 9).
+type BuildStats = core.BuildStats
+
+// Decoder reconstructs original keys from encoded bits; search-tree
+// queries never need it, but compression is lossless.
+type Decoder = core.Decoder
+
+// Build runs HOPE's build phase on a list of sampled keys and returns an
+// encoder. A 1% sample of the indexed keys saturates the compression rate
+// for every scheme (paper Appendix A).
+func Build(scheme Scheme, samples [][]byte, opt Options) (*Encoder, error) {
+	return core.Build(scheme, samples, opt)
+}
+
+// NewDecoder builds the optional decoder for an encoder's dictionary.
+func NewDecoder(e *Encoder) (*Decoder, error) { return core.NewDecoder(e) }
+
+// Sampler reservoir-samples keys arriving at an initially empty tree, the
+// paper's Section 5 integration path: accumulate samples during inserts,
+// build the dictionary once enough arrived, then rebuild the tree with
+// compressed keys.
+type Sampler = core.Sampler
+
+// NewSampler returns a reservoir holding at most capacity keys.
+func NewSampler(capacity int, seed int64) *Sampler { return core.NewSampler(capacity, seed) }
+
+// SampleKeys returns a deterministic random sample of about frac*len(keys)
+// keys (at least one when keys is non-empty), the input HOPE's build phase
+// expects.
+func SampleKeys(keys [][]byte, frac float64, seed int64) [][]byte {
+	if len(keys) == 0 {
+		return nil
+	}
+	n := int(frac * float64(len(keys)))
+	if n < 1 {
+		n = 1
+	}
+	if n > len(keys) {
+		n = len(keys)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(keys))[:n]
+	out := make([][]byte, n)
+	for i, j := range idx {
+		out[i] = keys[j]
+	}
+	return out
+}

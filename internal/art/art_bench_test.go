@@ -1,0 +1,42 @@
+package art
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func benchKeys() [][]byte { return datagen.Generate(datagen.Email, 100000, 1) }
+
+func BenchmarkInsert(b *testing.B) {
+	keys := benchKeys()
+	tr := New(IndexMode)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys[i%len(keys)], uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	keys := benchKeys()
+	tr := New(IndexMode)
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkFloor(b *testing.B) {
+	keys := benchKeys()
+	tr := New(DictMode)
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Floor(keys[i%len(keys)])
+	}
+}

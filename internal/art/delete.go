@@ -1,0 +1,175 @@
+package art
+
+import "bytes"
+
+// Delete removes a key, reports whether it was present, and shrinks or
+// collapses nodes on the way out: node layouts downgrade when sparse, and
+// an inner node left with a single child (and no prefix key) is merged
+// into that child's compressed path.
+func (t *Tree) Delete(key []byte) bool {
+	ok := t.delete(&t.root, key, 0)
+	if ok {
+		t.size--
+	}
+	return ok
+}
+
+func (t *Tree) delete(ref *node, key []byte, depth int) bool {
+	n := *ref
+	if n == nil {
+		return false
+	}
+	if l, ok := n.(*leaf); ok {
+		if !bytes.Equal(l.key, key) {
+			return false
+		}
+		*ref = nil
+		return true
+	}
+	h := hdr(n)
+	if h.prefixLen > 0 {
+		mp := t.prefixMismatch(n, key, depth)
+		if mp < h.prefixLen {
+			return false
+		}
+		depth += h.prefixLen
+	}
+	if depth == len(key) {
+		if h.valueLeaf == nil || !bytes.Equal(h.valueLeaf.key, key) {
+			return false
+		}
+		h.valueLeaf = nil
+		t.collapse(ref, n, depth)
+		return true
+	}
+	cr := childRef(n, key[depth])
+	if cr == nil {
+		return false
+	}
+	if !t.delete(cr, key, depth+1) {
+		return false
+	}
+	if *cr == nil {
+		t.removeChild(ref, n, key[depth])
+		t.collapse(ref, n, depth)
+	}
+	return true
+}
+
+// collapse merges an inner node into its surroundings when it no longer
+// justifies existing: zero children with a prefix key becomes that leaf;
+// one child and no prefix key is folded into the child's path.
+func (t *Tree) collapse(ref *node, n node, depth int) {
+	h := hdr(n)
+	if h.numChildren == 0 {
+		if h.valueLeaf != nil {
+			*ref = h.valueLeaf
+		}
+		// A node with no children and no value leaf only occurs
+		// transiently (caller removes it from its parent).
+		if h.valueLeaf == nil {
+			*ref = nil
+		}
+		return
+	}
+	if h.numChildren == 1 && h.valueLeaf == nil {
+		var edge byte
+		var only node
+		eachChild(n, func(b byte, ch node) bool {
+			edge, only = b, ch
+			return false
+		})
+		if ch, ok := only.(*leaf); ok {
+			*ref = ch
+			return
+		}
+		// Fold this node's prefix + edge byte into the child's prefix.
+		chh := hdr(only)
+		merged := make([]byte, 0, h.prefixLen+1+chh.prefixLen)
+		merged = append(merged, actualPrefix(n, depth-h.prefixLen)...)
+		merged = append(merged, edge)
+		merged = append(merged, actualPrefix(only, depth+1)...)
+		t.setPrefix(chh, merged)
+		*ref = only
+	}
+}
+
+// removeChild deletes the edge for byte c, downgrading the node layout
+// when it becomes sparse.
+func (t *Tree) removeChild(ref *node, n node, c byte) {
+	switch v := n.(type) {
+	case *node4:
+		for i := 0; i < v.numChildren; i++ {
+			if v.keys[i] == c {
+				copy(v.keys[i:], v.keys[i+1:v.numChildren])
+				copy(v.child[i:], v.child[i+1:v.numChildren])
+				v.child[v.numChildren-1] = nil
+				v.numChildren--
+				return
+			}
+		}
+	case *node16:
+		for i := 0; i < v.numChildren; i++ {
+			if v.keys[i] == c {
+				copy(v.keys[i:], v.keys[i+1:v.numChildren])
+				copy(v.child[i:], v.child[i+1:v.numChildren])
+				v.child[v.numChildren-1] = nil
+				v.numChildren--
+				break
+			}
+		}
+		if v.numChildren <= 3 {
+			g := &node4{header: v.header}
+			copy(g.keys[:], v.keys[:v.numChildren])
+			copy(g.child[:], v.child[:v.numChildren])
+			*ref = g
+		}
+	case *node48:
+		if s := v.index[c]; s != 0 {
+			slot := int(s - 1)
+			v.index[c] = 0
+			// Move the last slot into the vacated one.
+			last := v.numChildren - 1
+			if slot != last {
+				v.child[slot] = v.child[last]
+				for b := 0; b < 256; b++ {
+					if int(v.index[b]) == last+1 {
+						v.index[b] = byte(slot + 1)
+						break
+					}
+				}
+			}
+			v.child[last] = nil
+			v.numChildren--
+		}
+		if v.numChildren <= 12 {
+			g := &node16{header: v.header}
+			i := 0
+			for b := 0; b < 256; b++ {
+				if s := v.index[b]; s != 0 {
+					g.keys[i] = byte(b)
+					g.child[i] = v.child[s-1]
+					i++
+				}
+			}
+			*ref = g
+		}
+	case *node256:
+		// The caller already cleared the slot via the child reference;
+		// just account for the departed edge.
+		v.child[c] = nil
+		v.numChildren--
+		if v.numChildren <= 36 {
+			g := &node48{header: v.header}
+			i := 0
+			for b := 0; b < 256; b++ {
+				if v.child[b] != nil {
+					g.index[b] = byte(i + 1)
+					g.child[i] = v.child[b]
+					i++
+				}
+			}
+			*ref = g
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package art
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New(IndexMode)
+	keys := []string{"apple", "app", "application", "banana", "band", "b"}
+	for i, k := range keys {
+		tr.Insert([]byte(k), uint64(i))
+	}
+	if !tr.Delete([]byte("app")) {
+		t.Fatal("delete existing failed")
+	}
+	if tr.Delete([]byte("app")) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Delete([]byte("appl")) {
+		t.Fatal("deleted absent key")
+	}
+	if _, ok := tr.Get([]byte("app")); ok {
+		t.Fatal("deleted key still present")
+	}
+	for _, k := range []string{"apple", "application", "banana", "band", "b"} {
+		if _, ok := tr.Get([]byte(k)); !ok {
+			t.Fatalf("collateral damage: %q gone", k)
+		}
+	}
+	if tr.Len() != len(keys)-1 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+}
+
+func TestDeleteAllLeavesEmptyTree(t *testing.T) {
+	for _, mode := range []Mode{IndexMode, DictMode} {
+		rng := rand.New(rand.NewSource(1))
+		tr := New(mode)
+		var keys [][]byte
+		seen := map[string]bool{}
+		for len(keys) < 2000 {
+			k := randKey(rng, 10, 8)
+			if !seen[string(k)] {
+				seen[string(k)] = true
+				keys = append(keys, k)
+				tr.Insert(k, 1)
+			}
+		}
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		for i, k := range keys {
+			if !tr.Delete(k) {
+				t.Fatalf("mode %v: delete %q failed at %d", mode, k, i)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("mode %v: %d keys left", mode, tr.Len())
+		}
+		s := tr.ComputeStats()
+		if s.Leaves != 0 || s.TotalInnerNodes != 0 {
+			t.Fatalf("mode %v: structure left after emptying: %+v", mode, s)
+		}
+	}
+}
+
+func TestDeleteShrinksNodeLayouts(t *testing.T) {
+	tr := New(IndexMode)
+	for b := 0; b < 256; b++ {
+		tr.Insert([]byte{'p', byte(b)}, uint64(b))
+	}
+	if s := tr.ComputeStats(); s.Node256s != 1 {
+		t.Fatalf("setup: %+v", s)
+	}
+	for b := 0; b < 253; b++ {
+		if !tr.Delete([]byte{'p', byte(b)}) {
+			t.Fatalf("delete %d", b)
+		}
+	}
+	s := tr.ComputeStats()
+	if s.Node256s != 0 || s.Node48s != 0 || s.Node16s != 0 || s.Node4s != 1 {
+		t.Fatalf("layouts did not shrink: %+v", s)
+	}
+	for b := 253; b < 256; b++ {
+		if v, ok := tr.Get([]byte{'p', byte(b)}); !ok || v != uint64(b) {
+			t.Fatalf("lost survivor %d", b)
+		}
+	}
+}
+
+func TestDeleteMergesPaths(t *testing.T) {
+	tr := New(DictMode)
+	tr.Insert([]byte("shared-prefix-a"), 1)
+	tr.Insert([]byte("shared-prefix-b"), 2)
+	tr.Delete([]byte("shared-prefix-b"))
+	// The surviving key must still be reachable, including by Floor.
+	if v, ok := tr.Get([]byte("shared-prefix-a")); !ok || v != 1 {
+		t.Fatal("survivor lost after path merge")
+	}
+	if k, _, ok := tr.Floor([]byte("shared-prefix-zzz")); !ok || string(k) != "shared-prefix-a" {
+		t.Fatalf("floor after merge: %q %v", k, ok)
+	}
+	s := tr.ComputeStats()
+	if s.TotalInnerNodes != 0 {
+		t.Fatalf("single-leaf tree still has inner nodes: %+v", s)
+	}
+}
+
+func TestDeleteWithValueLeaf(t *testing.T) {
+	tr := New(IndexMode)
+	tr.Insert([]byte("ab"), 1) // becomes a prefix key
+	tr.Insert([]byte("abc"), 2)
+	tr.Insert([]byte("abd"), 3)
+	if !tr.Delete([]byte("ab")) {
+		t.Fatal("delete prefix key")
+	}
+	for _, k := range []string{"abc", "abd"} {
+		if _, ok := tr.Get([]byte(k)); !ok {
+			t.Fatalf("%q lost", k)
+		}
+	}
+	// Deleting children down to one must fold the prefix key-less node.
+	if !tr.Delete([]byte("abd")) {
+		t.Fatal("delete abd")
+	}
+	if _, ok := tr.Get([]byte("abc")); !ok {
+		t.Fatal("abc lost")
+	}
+}
+
+// Property: a random interleaving of inserts and deletes matches a map.
+func TestInsertDeleteQuickProperty(t *testing.T) {
+	type op struct {
+		Key []byte
+		Del bool
+		Val uint64
+	}
+	rng := rand.New(rand.NewSource(99))
+	f := func(ops []op) bool {
+		tr := New(IndexMode)
+		ref := map[string]uint64{}
+		for _, o := range ops {
+			k := o.Key
+			if len(k) > 12 {
+				k = k[:12]
+			}
+			if o.Del {
+				want := false
+				if _, present := ref[string(k)]; present {
+					want = true
+					delete(ref, string(k))
+				}
+				if tr.Delete(k) != want {
+					return false
+				}
+			} else {
+				tr.Insert(k, o.Val)
+				ref[string(k)] = o.Val
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get([]byte(k))
+			if !ok || got != v {
+				return false
+			}
+		}
+		// Scan yields exactly the reference keys in order.
+		var prev []byte
+		n := 0
+		ok := true
+		tr.Scan(nil, func(k []byte, _ uint64) bool {
+			if _, present := ref[string(k)]; !present {
+				ok = false
+				return false
+			}
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				ok = false
+				return false
+			}
+			prev = append(prev[:0], k...)
+			n++
+			return true
+		})
+		return ok && n == len(ref)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

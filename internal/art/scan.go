@@ -1,0 +1,122 @@
+package art
+
+import "bytes"
+
+// Scan visits keys >= start in ascending order until fn returns false or
+// the tree is exhausted. It is the range-query entry point used by the
+// YCSB workload E experiments. In IndexMode, descent decisions on capped
+// prefixes load actual bytes from a leaf so the scan never misses keys;
+// emitted leaves are still compared against start so OCPS cannot surface
+// keys below the range.
+func (t *Tree) Scan(start []byte, fn func(key []byte, val uint64) bool) {
+	if t.root == nil {
+		return
+	}
+	scanRec(t.root, start, 0, fn)
+}
+
+// scanRec returns false when iteration should stop.
+func scanRec(n node, start []byte, depth int, fn func([]byte, uint64) bool) bool {
+	if l, ok := n.(*leaf); ok {
+		if bytes.Compare(l.key, start) >= 0 {
+			return fn(l.key, l.val)
+		}
+		return true
+	}
+	h := hdr(n)
+	if h.prefixLen > 0 {
+		p := actualPrefix(n, depth)
+		rem := start[depth:]
+		m := len(p)
+		if len(rem) < m {
+			m = len(rem)
+		}
+		for i := 0; i < m; i++ {
+			if p[i] != rem[i] {
+				if p[i] > rem[i] {
+					return emitAll(n, fn) // whole subtree above start
+				}
+				return true // whole subtree below start
+			}
+		}
+		if len(rem) <= len(p) {
+			// start exhausted within (or exactly at) the compressed path:
+			// every key in the subtree is >= start except possibly the
+			// node's prefix key, which equals the path.
+			return emitAll(n, fn)
+		}
+		depth += h.prefixLen
+	}
+	if depth >= len(start) {
+		return emitAll(n, fn)
+	}
+	c := start[depth]
+	// The node's prefix key (path itself) is shorter than start: skip it.
+	cont := true
+	eachChild(n, func(b byte, ch node) bool {
+		switch {
+		case b < c:
+			return true // below start, skip
+		case b == c:
+			cont = scanRec(ch, start, depth+1, fn)
+		default:
+			cont = emitAll(ch, fn)
+		}
+		return cont
+	})
+	return cont
+}
+
+// emitAll visits every leaf of the subtree in ascending order.
+func emitAll(n node, fn func([]byte, uint64) bool) bool {
+	if l, ok := n.(*leaf); ok {
+		return fn(l.key, l.val)
+	}
+	h := hdr(n)
+	if h.valueLeaf != nil {
+		if !fn(h.valueLeaf.key, h.valueLeaf.val) {
+			return false
+		}
+	}
+	cont := true
+	eachChild(n, func(_ byte, ch node) bool {
+		cont = emitAll(ch, fn)
+		return cont
+	})
+	return cont
+}
+
+// eachChild visits children in ascending key-byte order until fn returns
+// false.
+func eachChild(n node, fn func(byte, node) bool) {
+	switch v := n.(type) {
+	case *node4:
+		for i := 0; i < v.numChildren; i++ {
+			if !fn(v.keys[i], v.child[i]) {
+				return
+			}
+		}
+	case *node16:
+		for i := 0; i < v.numChildren; i++ {
+			if !fn(v.keys[i], v.child[i]) {
+				return
+			}
+		}
+	case *node48:
+		for b := 0; b < 256; b++ {
+			if s := v.index[b]; s != 0 {
+				if !fn(byte(b), v.child[s-1]) {
+					return
+				}
+			}
+		}
+	case *node256:
+		for b := 0; b < 256; b++ {
+			if v.child[b] != nil {
+				if !fn(byte(b), v.child[b]) {
+					return
+				}
+			}
+		}
+	}
+}

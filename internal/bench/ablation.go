@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hutucker"
+)
+
+// AblationWeightingRow compares the paper's symbol-length weighting of
+// interval probabilities (Section 4.2) against unweighted probabilities
+// for the variable-interval schemes — a design choice DESIGN.md calls out.
+type AblationWeightingRow struct {
+	Scheme        core.Scheme
+	CPRWeighted   float64
+	CPRUnweighted float64
+}
+
+// RunAblationWeighting measures both configurations on one dataset.
+func RunAblationWeighting(cfg Config) ([]AblationWeightingRow, error) {
+	keys := cfg.Keys()
+	samples := cfg.Sample(keys)
+	limit := 1 << 14
+	if cfg.Quick {
+		limit = 1 << 11
+	}
+	var rows []AblationWeightingRow
+	for _, scheme := range []core.Scheme{core.ThreeGrams, core.FourGrams, core.ALMImproved} {
+		w, err := core.Build(scheme, samples, core.Options{DictLimit: limit})
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.Build(scheme, samples, core.Options{DictLimit: limit, UnweightedProbabilities: true})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationWeightingRow{
+			Scheme:        scheme,
+			CPRWeighted:   w.CompressionRate(keys),
+			CPRUnweighted: u.CompressionRate(keys),
+		})
+	}
+	return rows, nil
+}
+
+// AblationDictRow compares the specialized dictionary structures against
+// plain binary search — the paper cites the bitmap-trie as 2.3x faster
+// than binary-searching the entries.
+type AblationDictRow struct {
+	Scheme           core.Scheme
+	SpecializedNs    float64 // ns per char with the Table 1 structure
+	BinarySearchNs   float64
+	SpecializedMemKB float64
+	BinarySearchKB   float64
+}
+
+// RunAblationDictStructure measures encode latency under both dictionary
+// structures.
+func RunAblationDictStructure(cfg Config) ([]AblationDictRow, error) {
+	keys := cfg.Keys()
+	samples := cfg.Sample(keys)
+	limit := 1 << 14
+	if cfg.Quick {
+		limit = 1 << 11
+	}
+	var rows []AblationDictRow
+	for _, scheme := range []core.Scheme{core.SingleChar, core.DoubleChar, core.ThreeGrams, core.FourGrams} {
+		spec, err := core.Build(scheme, samples, core.Options{DictLimit: limit})
+		if err != nil {
+			return nil, err
+		}
+		bs, err := core.Build(scheme, samples, core.Options{DictLimit: limit, ForceBinarySearchDict: true})
+		if err != nil {
+			return nil, err
+		}
+		_, specTime := encodeAll(spec, keys)
+		_, bsTime := encodeAll(bs, keys)
+		rows = append(rows, AblationDictRow{
+			Scheme:           scheme,
+			SpecializedNs:    nsPerChar(specTime, totalBytes(keys)),
+			BinarySearchNs:   nsPerChar(bsTime, totalBytes(keys)),
+			SpecializedMemKB: float64(spec.MemoryUsage()) / 1024,
+			BinarySearchKB:   float64(bs.MemoryUsage()) / 1024,
+		})
+	}
+	return rows, nil
+}
+
+// AblationRangeRow compares Hu-Tucker codes against range encoding, the
+// alternative Code Assigner the paper cites as needing more bits
+// (Section 4.2).
+type AblationRangeRow struct {
+	Scheme   core.Scheme
+	CPRHT    float64
+	CPRRange float64
+}
+
+// RunAblationRangeEncoding measures the compression cost of range
+// encoding's dyadic-boundary snapping.
+func RunAblationRangeEncoding(cfg Config) ([]AblationRangeRow, error) {
+	keys := cfg.Keys()
+	samples := cfg.Sample(keys)
+	limit := 1 << 14
+	if cfg.Quick {
+		limit = 1 << 11
+	}
+	var rows []AblationRangeRow
+	for _, scheme := range []core.Scheme{core.SingleChar, core.DoubleChar, core.ThreeGrams} {
+		ht, err := core.Build(scheme, samples, core.Options{DictLimit: limit})
+		if err != nil {
+			return nil, err
+		}
+		rc, err := core.Build(scheme, samples, core.Options{DictLimit: limit, UseRangeEncoding: true})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRangeRow{
+			Scheme:   scheme,
+			CPRHT:    ht.CompressionRate(keys),
+			CPRRange: rc.CompressionRate(keys),
+		})
+	}
+	return rows, nil
+}
+
+// AblationCoderRow compares the two optimal alphabetic coding algorithms:
+// identical compression (both optimal) at very different build costs.
+type AblationCoderRow struct {
+	Scheme       core.Scheme
+	Entries      int
+	GWAssignSec  float64
+	HTAssignSec  float64
+	CPRGW, CPRHT float64
+}
+
+// RunAblationCoder measures Garsia-Wachs vs the paper's O(n²) Hu-Tucker.
+func RunAblationCoder(cfg Config) ([]AblationCoderRow, error) {
+	keys := cfg.Keys()
+	samples := cfg.Sample(keys)
+	limit := 1 << 12
+	if cfg.Quick {
+		limit = 1 << 10
+	}
+	var rows []AblationCoderRow
+	for _, scheme := range []core.Scheme{core.SingleChar, core.ThreeGrams} {
+		t0 := time.Now()
+		gw, err := core.Build(scheme, samples, core.Options{DictLimit: limit,
+			CodeAlgorithm: hutucker.GarsiaWachs})
+		if err != nil {
+			return nil, err
+		}
+		_ = time.Since(t0)
+		ht, err := core.Build(scheme, samples, core.Options{DictLimit: limit,
+			CodeAlgorithm: hutucker.HuTucker})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationCoderRow{
+			Scheme:      scheme,
+			Entries:     gw.NumEntries(),
+			GWAssignSec: gw.Stats().CodeAssign.Seconds(),
+			HTAssignSec: ht.Stats().CodeAssign.Seconds(),
+			CPRGW:       gw.CompressionRate(keys),
+			CPRHT:       ht.CompressionRate(keys),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/surf"
+	"repro/internal/ttree"
+)
+
+// TestFigure7KeyStorageSpectrum verifies the paper's Figure 7 ordering:
+// HOPE's memory benefit tracks how much key material a structure stores.
+// B+tree (full keys) saves the most; Prefix B+tree (truncated keys) less;
+// SuRF (succinct partial keys) clearly; ART and HOT (partial keys +
+// pointers) little; the T-Tree (no keys) exactly nothing.
+func TestFigure7KeyStorageSpectrum(t *testing.T) {
+	keys := datagen.Generate(datagen.Email, 20000, 42)
+	enc, err := core.Build(core.DoubleChar, keys[:400], core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded, _ := encodeAll(enc, keys)
+
+	saving := func(name string) float64 {
+		t.Helper()
+		plain, comp := NewIndex(name), NewIndex(name)
+		for i := range keys {
+			plain.Insert(keys[i], uint64(i))
+			comp.Insert(encoded[i], uint64(i))
+		}
+		return 1 - float64(comp.MemoryUsage())/float64(plain.MemoryUsage())
+	}
+	btSave := saving("B+tree")
+	pbSave := saving("Prefix B+tree")
+	artSave := saving("ART")
+	hotSave := saving("HOT")
+
+	// SuRF: succinct partial keys.
+	sPlain := surf.Build(sortedUnique(keys), surf.Real, 8)
+	sComp := surf.Build(sortedUnique(encoded), surf.Real, 8)
+	surfSave := 1 - float64(sComp.MemoryUsage())/float64(sPlain.MemoryUsage())
+
+	// T-Tree: record IDs only; compression changes nothing.
+	ids := make([]uint64, len(keys))
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	ttPlain := ttree.BulkLoad(ttree.SliceStore(keys), ids)
+	ttComp := ttree.BulkLoad(ttree.SliceStore(encoded), ids)
+	ttSave := 1 - float64(ttComp.MemoryUsage())/float64(ttPlain.MemoryUsage())
+
+	t.Logf("Figure 7 savings: B+tree %.1f%%, Prefix B+tree %.1f%%, SuRF %.1f%%, ART %.1f%%, HOT %.1f%%, T-Tree %.1f%%",
+		btSave*100, pbSave*100, surfSave*100, artSave*100, hotSave*100, ttSave*100)
+
+	if !(btSave > pbSave) {
+		t.Errorf("B+tree saving %.3f not above Prefix B+tree %.3f", btSave, pbSave)
+	}
+	if !(pbSave > artSave) {
+		t.Errorf("Prefix B+tree saving %.3f not above ART %.3f", pbSave, artSave)
+	}
+	if surfSave < 0.05 {
+		t.Errorf("SuRF saving %.3f too small", surfSave)
+	}
+	if artSave < -0.02 || hotSave < -0.02 {
+		t.Errorf("partial-key tries should not grow: ART %.3f, HOT %.3f", artSave, hotSave)
+	}
+	if ttSave != 0 {
+		t.Errorf("T-Tree saving %.3f, must be exactly 0", ttSave)
+	}
+	if btSave < 0.10 {
+		t.Errorf("B+tree saving %.3f below the paper's band", btSave)
+	}
+}

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table writes rows of cells as an aligned text table with a header.
+func Table(w io.Writer, title string, header []string, rows [][]string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	fmt.Fprintln(tw, strings.Join(dashes(header), "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+}
+
+func dashes(header []string) []string {
+	out := make([]string, len(header))
+	for i, h := range header {
+		out[i] = strings.Repeat("-", len(h))
+	}
+	return out
+}
+
+// F formats a float compactly.
+func F(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F3 formats a float with three decimals (rates, seconds).
+func F3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"repro/internal/art"
+	"repro/internal/btree"
+	"repro/internal/hot"
+	"repro/internal/prefixbtree"
+)
+
+// Index abstracts the four key-value search trees of the paper's
+// Figure 12/16 experiments.
+type Index interface {
+	Name() string
+	Insert(key []byte, val uint64)
+	Get(key []byte) (uint64, bool)
+	// Scan visits up to limit keys >= start and returns how many it saw.
+	Scan(start []byte, limit int) int
+	MemoryUsage() int
+}
+
+// IndexNames lists the evaluated trees in the paper's order.
+var IndexNames = []string{"ART", "HOT", "B+tree", "Prefix B+tree"}
+
+// NewIndex constructs an evaluated tree by name.
+func NewIndex(name string) Index {
+	switch name {
+	case "ART":
+		return &artIndex{t: art.New(art.IndexMode)}
+	case "HOT":
+		return &hotIndex{t: hot.New()}
+	case "B+tree":
+		return &btreeIndex{t: btree.New()}
+	case "Prefix B+tree":
+		return &prefixIndex{t: prefixbtree.New()}
+	}
+	panic("bench: unknown index " + name)
+}
+
+type artIndex struct{ t *art.Tree }
+
+func (x *artIndex) Name() string                { return "ART" }
+func (x *artIndex) Insert(k []byte, v uint64)   { x.t.Insert(k, v) }
+func (x *artIndex) Get(k []byte) (uint64, bool) { return x.t.Get(k) }
+func (x *artIndex) MemoryUsage() int            { return x.t.MemoryUsage() }
+func (x *artIndex) Scan(start []byte, limit int) int {
+	n := 0
+	x.t.Scan(start, func([]byte, uint64) bool {
+		n++
+		return n < limit
+	})
+	return n
+}
+
+type hotIndex struct{ t *hot.Tree }
+
+func (x *hotIndex) Name() string                { return "HOT" }
+func (x *hotIndex) Insert(k []byte, v uint64)   { x.t.Insert(k, v) }
+func (x *hotIndex) Get(k []byte) (uint64, bool) { return x.t.Get(k) }
+func (x *hotIndex) MemoryUsage() int            { return x.t.MemoryUsage() }
+func (x *hotIndex) Scan(start []byte, limit int) int {
+	n := 0
+	x.t.Scan(start, func([]byte, uint64) bool {
+		n++
+		return n < limit
+	})
+	return n
+}
+
+type btreeIndex struct{ t *btree.Tree }
+
+func (x *btreeIndex) Name() string                { return "B+tree" }
+func (x *btreeIndex) Insert(k []byte, v uint64)   { x.t.Insert(k, v) }
+func (x *btreeIndex) Get(k []byte) (uint64, bool) { return x.t.Get(k) }
+func (x *btreeIndex) MemoryUsage() int            { return x.t.MemoryUsage() }
+func (x *btreeIndex) Scan(start []byte, limit int) int {
+	n := 0
+	x.t.Scan(start, func([]byte, uint64) bool {
+		n++
+		return n < limit
+	})
+	return n
+}
+
+type prefixIndex struct{ t *prefixbtree.Tree }
+
+func (x *prefixIndex) Name() string                { return "Prefix B+tree" }
+func (x *prefixIndex) Insert(k []byte, v uint64)   { x.t.Insert(k, v) }
+func (x *prefixIndex) Get(k []byte) (uint64, bool) { return x.t.Get(k) }
+func (x *prefixIndex) MemoryUsage() int            { return x.t.MemoryUsage() }
+func (x *prefixIndex) Scan(start []byte, limit int) int {
+	n := 0
+	x.t.Scan(start, func([]byte, uint64) bool {
+		n++
+		return n < limit
+	})
+	return n
+}

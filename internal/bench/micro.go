@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// Fig8Row is one point of the paper's Figure 8: a scheme at a dictionary
+// size, with its compression rate, per-character encode latency and
+// dictionary memory.
+type Fig8Row struct {
+	Scheme    core.Scheme
+	Requested int // requested dictionary entries (0 = fixed-size scheme)
+	Entries   int // actual entries
+	CPR       float64
+	LatNsChar float64
+	DictMemKB float64
+	BuildTime time.Duration
+}
+
+// Fig8Sizes returns the figure's x-axis (2^8..2^18), truncated in quick
+// mode.
+func Fig8Sizes(quick bool) []int {
+	max := 1 << 16 // full paper sweep reaches 2^18; 2^16 keeps runs minutes-scale
+	if quick {
+		max = 1 << 12
+	}
+	var sizes []int
+	for s := 1 << 10; s <= max; s <<= 2 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// RunFig8 reproduces Figure 8 for one dataset: every scheme, swept over
+// dictionary sizes (fixed-size schemes contribute one point each).
+func RunFig8(cfg Config, sizes []int) ([]Fig8Row, error) {
+	keys := cfg.Keys()
+	samples := cfg.Sample(keys)
+	var rows []Fig8Row
+	run := func(scheme core.Scheme, limit int) error {
+		t0 := time.Now()
+		enc, err := core.Build(scheme, samples, core.Options{DictLimit: limit})
+		if err != nil {
+			return fmt.Errorf("%v at %d: %w", scheme, limit, err)
+		}
+		build := time.Since(t0)
+		_, encTime := encodeAll(enc, keys)
+		rows = append(rows, Fig8Row{
+			Scheme:    scheme,
+			Requested: limit,
+			Entries:   enc.NumEntries(),
+			CPR:       enc.CompressionRate(keys),
+			LatNsChar: nsPerChar(encTime, totalBytes(keys)),
+			DictMemKB: float64(enc.MemoryUsage()) / 1024,
+			BuildTime: build,
+		})
+		return nil
+	}
+	for _, scheme := range []core.Scheme{core.SingleChar, core.DoubleChar} {
+		if err := run(scheme, 0); err != nil {
+			return nil, err
+		}
+	}
+	for _, scheme := range []core.Scheme{core.ALM, core.ThreeGrams, core.FourGrams, core.ALMImproved} {
+		for _, size := range sizes {
+			if err := run(scheme, size); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig9Row is one bar of Figure 9: the build-time breakdown of a scheme.
+type Fig9Row struct {
+	Label string
+	Stats core.BuildStats
+}
+
+// RunFig9 reproduces Figure 9 (dictionary build time breakdown, email
+// dataset, fixed-size schemes plus the tunable schemes at two sizes).
+func RunFig9(cfg Config) ([]Fig9Row, error) {
+	keys := cfg.Keys()
+	samples := cfg.Sample(keys)
+	small, big := 1<<12, 1<<16
+	if cfg.Quick {
+		small, big = 1<<10, 1<<12
+	}
+	type job struct {
+		label  string
+		scheme core.Scheme
+		limit  int
+	}
+	jobs := []job{
+		{"Single-Char", core.SingleChar, 0},
+		{"Double-Char", core.DoubleChar, 0},
+	}
+	for _, s := range []core.Scheme{core.ThreeGrams, core.FourGrams, core.ALM, core.ALMImproved} {
+		jobs = append(jobs, job{fmt.Sprintf("%v (%s)", s, sizeName(small)), s, small})
+	}
+	for _, s := range []core.Scheme{core.ThreeGrams, core.FourGrams, core.ALM, core.ALMImproved} {
+		jobs = append(jobs, job{fmt.Sprintf("%v (%s)", s, sizeName(big)), s, big})
+	}
+	var rows []Fig9Row
+	for _, j := range jobs {
+		enc, err := core.Build(j.scheme, samples, core.Options{DictLimit: j.limit})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9Row{Label: j.label, Stats: enc.Stats()})
+	}
+	return rows, nil
+}
+
+// Fig13Row is one point of Appendix A: compression rate vs sample size.
+type Fig13Row struct {
+	Scheme  core.Scheme
+	Frac    float64
+	Samples int
+	CPR     float64
+}
+
+// RunFig13 reproduces the sample-size sensitivity study.
+func RunFig13(cfg Config, fracs []float64) ([]Fig13Row, error) {
+	keys := cfg.Keys()
+	limit := 1 << 16
+	if cfg.Quick {
+		limit = 1 << 11
+	}
+	var rows []Fig13Row
+	for _, scheme := range core.Schemes {
+		for _, frac := range fracs {
+			n := int(frac * float64(len(keys)))
+			if n < 16 {
+				n = 16
+			}
+			if n > len(keys) {
+				n = len(keys)
+			}
+			// ALM's all-substring counting is super-linear: cap its sample
+			// as the paper did (its 100% points are absent from Fig 13).
+			if (scheme == core.ALM || scheme == core.ALMImproved) && n > 50000 {
+				continue
+			}
+			enc, err := core.Build(scheme, keys[:n], core.Options{DictLimit: limit})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig13Row{Scheme: scheme, Frac: frac, Samples: n,
+				CPR: enc.CompressionRate(keys)})
+		}
+	}
+	return rows, nil
+}
+
+// Fig14Row is one bar of Appendix B: per-character encode latency at a
+// batch size.
+type Fig14Row struct {
+	Scheme    core.Scheme
+	BatchSize int
+	LatNsChar float64
+}
+
+// RunFig14 reproduces the batch-encoding study on a pre-sorted sample.
+func RunFig14(cfg Config, batchSizes []int) ([]Fig14Row, error) {
+	keys := sortedUnique(cfg.Keys())
+	samples := cfg.Sample(cfg.Keys())
+	limit := 1 << 16
+	if cfg.Quick {
+		limit = 1 << 11
+	}
+	var rows []Fig14Row
+	for _, scheme := range []core.Scheme{core.SingleChar, core.DoubleChar, core.ThreeGrams, core.FourGrams} {
+		enc, err := core.Build(scheme, samples, core.Options{DictLimit: limit})
+		if err != nil {
+			return nil, err
+		}
+		for _, bs := range batchSizes {
+			t0 := time.Now()
+			for i := 0; i < len(keys); i += bs {
+				end := i + bs
+				if end > len(keys) {
+					end = len(keys)
+				}
+				enc.EncodeBatch(keys[i:end])
+			}
+			rows = append(rows, Fig14Row{Scheme: scheme, BatchSize: bs,
+				LatNsChar: nsPerChar(time.Since(t0), totalBytes(keys))})
+		}
+	}
+	return rows, nil
+}
+
+// Fig15Row is one bar of Appendix C: a dictionary built on one key
+// distribution compressing another.
+type Fig15Row struct {
+	Scheme core.Scheme
+	Dict   string // "A" or "B"
+	Eval   string // "A" or "B"
+	CPR    float64
+}
+
+// RunFig15 reproduces the key-distribution-change study: emails split into
+// gmail/yahoo (A) and the rest (B).
+func RunFig15(cfg Config) ([]Fig15Row, error) {
+	keys := datagen.Generate(datagen.Email, cfg.NumKeys, cfg.Seed)
+	a, b := datagen.SplitEmailByProvider(keys)
+	limit := 1 << 16
+	if cfg.Quick {
+		limit = 1 << 11
+	}
+	halves := map[string][][]byte{"A": a, "B": b}
+	var rows []Fig15Row
+	for _, scheme := range core.Schemes {
+		encs := map[string]*core.Encoder{}
+		for name, half := range halves {
+			enc, err := core.Build(scheme, cfg.Sample(half), core.Options{DictLimit: limit})
+			if err != nil {
+				return nil, err
+			}
+			encs[name] = enc
+		}
+		for _, dict := range []string{"A", "B"} {
+			for _, eval := range []string{"A", "B"} {
+				rows = append(rows, Fig15Row{Scheme: scheme, Dict: dict, Eval: eval,
+					CPR: encs[dict].CompressionRate(halves[eval])})
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/surf"
+	"repro/internal/ycsb"
+)
+
+// Fig10Row is one SuRF configuration of Figure 10.
+type Fig10Row struct {
+	Config     string
+	PointNs    float64 // avg point (filter) query latency
+	RangeNs    float64 // avg closed-range query latency
+	BuildSec   float64 // encoder build + key encode + filter build
+	TrieHeight float64
+	MemoryMB   float64 // filter + dictionary
+	// ModelPredictedReduction is the Section 5 analytical latency
+	// reduction estimate 1 - 1/cpr - (l*t_enc)/(h*t_trie), filled for
+	// compressed configurations.
+	ModelPredictedReduction float64
+}
+
+// RunFig10 reproduces the SuRF YCSB evaluation for one dataset.
+func RunFig10(cfg Config) ([]Fig10Row, error) {
+	keys := cfg.Keys()
+	samples := cfg.Sample(keys)
+	wl := ycsb.GenerateC(cfg.NumOps, len(keys), cfg.Seed+1)
+
+	var rows []Fig10Row
+	var baseHeight, basePointNs float64
+	for _, tc := range StandardConfigs(cfg.Quick) {
+		enc, encBuild, err := tc.BuildEncoder(samples)
+		if err != nil {
+			return nil, err
+		}
+		encoded, encTime := encodeAll(enc, keys)
+		sorted := sortedUnique(encoded)
+		t0 := time.Now()
+		f := surf.Build(sorted, surf.Real, 8)
+		buildTime := time.Since(t0) + encTime + encBuild
+
+		// Point queries: encode the probe, then filter lookup.
+		var buf []byte
+		t0 = time.Now()
+		for _, op := range wl.Ops {
+			k := keys[op.Key]
+			if enc != nil {
+				b, _ := enc.EncodeBits(buf, k)
+				buf = b[:0]
+				k = b
+			}
+			f.MayContain(k)
+		}
+		pointNs := float64(time.Since(t0).Nanoseconds()) / float64(len(wl.Ops))
+
+		// Closed-range queries: [key, key+1-on-last-byte], pair-encoded.
+		t0 = time.Now()
+		for _, op := range wl.Ops {
+			k := keys[op.Key]
+			hi := append([]byte(nil), k...)
+			hi[len(hi)-1]++
+			lo2, hi2 := k, hi
+			if enc != nil {
+				lo2, hi2 = enc.EncodePair(k, hi)
+			}
+			f.MayContainRange(lo2, hi2)
+		}
+		rangeNs := float64(time.Since(t0).Nanoseconds()) / float64(len(wl.Ops))
+
+		mem := f.MemoryUsage()
+		if enc != nil {
+			mem += enc.MemoryUsage()
+		}
+		row := Fig10Row{
+			Config:     tc.Name,
+			PointNs:    pointNs,
+			RangeNs:    rangeNs,
+			BuildSec:   buildTime.Seconds(),
+			TrieHeight: f.AvgHeight(),
+			MemoryMB:   float64(mem) / (1 << 20),
+		}
+		if tc.Plain {
+			baseHeight, basePointNs = row.TrieHeight, row.PointNs
+		} else if baseHeight > 0 {
+			// Section 5 model: 1 - 1/cpr - (l * t_encode)/(h * t_trie).
+			cpr := enc.CompressionRate(keys)
+			l := avgLen(keys)
+			tEnc := nsPerChar(encTime, totalBytes(keys))
+			tTrie := basePointNs / baseHeight
+			row.ModelPredictedReduction = 1 - 1/cpr - (l*tEnc)/(baseHeight*tTrie)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func avgLen(keys [][]byte) float64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	return float64(totalBytes(keys)) / float64(len(keys))
+}
+
+// Fig11Row is one bar pair of Figure 11: SuRF false-positive rates.
+type Fig11Row struct {
+	Config   string
+	FPRBase  float64 // suffix-less SuRF
+	FPRReal8 float64 // 8-bit real suffixes
+}
+
+// RunFig11 reproduces the false-positive-rate study on email keys.
+func RunFig11(cfg Config) ([]Fig11Row, error) {
+	keys := cfg.Keys()
+	samples := cfg.Sample(keys)
+	// Absent probes: a disjoint generation.
+	probesRaw := cfg.absentKeys(keys)
+	var rows []Fig11Row
+	for _, tc := range StandardConfigs(cfg.Quick) {
+		enc, _, err := tc.BuildEncoder(samples)
+		if err != nil {
+			return nil, err
+		}
+		encoded, _ := encodeAll(enc, keys)
+		sorted := sortedUnique(encoded)
+		probes, _ := encodeAll(enc, probesRaw)
+		base := surf.Build(sorted, surf.Base, 0)
+		real8 := surf.Build(sorted, surf.Real, 8)
+		rows = append(rows, Fig11Row{
+			Config:   tc.Name,
+			FPRBase:  base.FalsePositiveRate(probes),
+			FPRReal8: real8.FalsePositiveRate(probes),
+		})
+	}
+	return rows, nil
+}
+
+// absentKeys generates probe keys guaranteed absent from keys.
+func (c Config) absentKeys(keys [][]byte) [][]byte {
+	present := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		present[string(k)] = true
+	}
+	gen := Config{Dataset: c.Dataset, NumKeys: c.NumOps, Seed: c.Seed + 7919}
+	var out [][]byte
+	for _, k := range gen.Keys() {
+		if !present[string(k)] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Fig12Row is one (index, configuration) cell of Figure 12. MemoryMB is
+// tree plus dictionary, the paper's reported metric ("HOPE size
+// included"); TreeMB and DictMB expose the split, which matters at small
+// key counts where a fixed-size dictionary is not yet amortized.
+type Fig12Row struct {
+	Index    string
+	Config   string
+	PointNs  float64
+	MemoryMB float64
+	TreeMB   float64
+	DictMB   float64
+	LoadSec  float64
+}
+
+// RunFig12 reproduces the YCSB-C point-query evaluation on the four
+// key-value trees.
+func RunFig12(cfg Config, indexes []string) ([]Fig12Row, error) {
+	keys := cfg.Keys()
+	samples := cfg.Sample(keys)
+	wl := ycsb.GenerateC(cfg.NumOps, len(keys), cfg.Seed+1)
+	var rows []Fig12Row
+	for _, tc := range StandardConfigs(cfg.Quick) {
+		enc, _, err := tc.BuildEncoder(samples)
+		if err != nil {
+			return nil, err
+		}
+		encoded, _ := encodeAll(enc, keys)
+		for _, name := range indexes {
+			idx := NewIndex(name)
+			t0 := time.Now()
+			for i, k := range encoded {
+				idx.Insert(k, uint64(i))
+			}
+			loadSec := time.Since(t0).Seconds()
+			var buf []byte
+			t0 = time.Now()
+			for _, op := range wl.Ops {
+				k := keys[op.Key]
+				if enc != nil {
+					b, _ := enc.EncodeBits(buf, k)
+					buf = b[:0]
+					k = b
+				}
+				idx.Get(k)
+			}
+			pointNs := float64(time.Since(t0).Nanoseconds()) / float64(len(wl.Ops))
+			treeMem := idx.MemoryUsage()
+			dictMem := 0
+			if enc != nil {
+				dictMem = enc.MemoryUsage()
+			}
+			rows = append(rows, Fig12Row{
+				Index: name, Config: tc.Name,
+				PointNs:  pointNs,
+				MemoryMB: float64(treeMem+dictMem) / (1 << 20),
+				TreeMB:   float64(treeMem) / (1 << 20),
+				DictMB:   float64(dictMem) / (1 << 20),
+				LoadSec:  loadSec,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig16Row is one (index, configuration) cell of the Appendix D range and
+// insert evaluation.
+type Fig16Row struct {
+	Index    string
+	Config   string
+	RangeNs  float64
+	InsertNs float64
+}
+
+// RunFig16 reproduces the YCSB-E evaluation: 95% range scans, 5% inserts.
+func RunFig16(cfg Config, indexes []string) ([]Fig16Row, error) {
+	all := Config{Dataset: cfg.Dataset, NumKeys: cfg.NumKeys + cfg.NumOps/10,
+		Seed: cfg.Seed, SampleFrac: cfg.SampleFrac, Quick: cfg.Quick}.Keys()
+	keys := all[:cfg.NumKeys]
+	samples := cfg.Sample(keys)
+	wl := ycsb.GenerateE(cfg.NumOps, len(keys), cfg.Seed+2)
+	var rows []Fig16Row
+	for _, tc := range StandardConfigs(cfg.Quick) {
+		enc, _, err := tc.BuildEncoder(samples)
+		if err != nil {
+			return nil, err
+		}
+		encoded, _ := encodeAll(enc, keys)
+		for _, name := range indexes {
+			idx := NewIndex(name)
+			for i, k := range encoded {
+				idx.Insert(k, uint64(i))
+			}
+			var buf []byte
+			var rangeTime, insertTime time.Duration
+			var rangeOps, insertOps int
+			for _, op := range wl.Ops {
+				k := all[op.Key]
+				t0 := time.Now()
+				if enc != nil {
+					b, _ := enc.EncodeBits(buf, k)
+					buf = b[:0]
+					k = b
+				}
+				switch op.Kind {
+				case ycsb.Scan:
+					idx.Scan(k, op.ScanLen)
+					rangeTime += time.Since(t0)
+					rangeOps++
+				case ycsb.Insert:
+					idx.Insert(k, uint64(op.Key))
+					insertTime += time.Since(t0)
+					insertOps++
+				}
+			}
+			row := Fig16Row{Index: name, Config: tc.Name}
+			if rangeOps > 0 {
+				row.RangeNs = float64(rangeTime.Nanoseconds()) / float64(rangeOps)
+			}
+			if insertOps > 0 {
+				row.InsertNs = float64(insertTime.Nanoseconds()) / float64(insertOps)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Table1Row documents a scheme's module configuration (paper Table 1).
+type Table1Row struct {
+	Scheme, Category, SymbolSelector, CodeAssigner, Dictionary string
+}
+
+// Table1 returns the static module-configuration table.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"Single-Char", "FIVC", "Single-Char", "Hu-Tucker", "array"},
+		{"Double-Char", "FIVC", "Double-Char", "Hu-Tucker", "array"},
+		{"ALM", "VIFC", "ALM", "fixed-length", "ART-based"},
+		{"3-Grams", "VIVC", "3-Grams", "Hu-Tucker", "bitmap-trie"},
+		{"4-Grams", "VIVC", "4-Grams", "Hu-Tucker", "bitmap-trie"},
+		{"ALM-Improved", "VIVC", "ALM-Improved", "Hu-Tucker", "ART-based"},
+	}
+}

@@ -1,0 +1,272 @@
+package bitops
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// naiveBits builds the expected byte output of a code sequence one bit at
+// a time, to validate the 64-bit-buffered Appender.
+type naiveBits struct {
+	bits []byte // one byte per bit, 0 or 1
+}
+
+func (n *naiveBits) append(code uint64, ln uint) {
+	for i := int(ln) - 1; i >= 0; i-- {
+		n.bits = append(n.bits, byte((code>>uint(i))&1))
+	}
+}
+
+func (n *naiveBits) bytes() []byte {
+	out := make([]byte, (len(n.bits)+7)/8)
+	for i, b := range n.bits {
+		if b != 0 {
+			out[i/8] |= 1 << (7 - uint(i)%8)
+		}
+	}
+	return out
+}
+
+func TestAppenderMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		a := NewAppender(nil)
+		var ref naiveBits
+		nCodes := rng.Intn(50)
+		for i := 0; i < nCodes; i++ {
+			ln := uint(1 + rng.Intn(64))
+			code := rng.Uint64()
+			a.Append(code, ln)
+			ref.append(code, ln)
+		}
+		got, bitLen := a.Finish()
+		if bitLen != len(ref.bits) {
+			t.Fatalf("trial %d: bitLen = %d, want %d", trial, bitLen, len(ref.bits))
+		}
+		if !bytes.Equal(got, ref.bytes()) {
+			t.Fatalf("trial %d: bytes mismatch\n got %x\nwant %x", trial, got, ref.bytes())
+		}
+	}
+}
+
+func TestAppenderZeroLength(t *testing.T) {
+	a := NewAppender(nil)
+	a.Append(0xFFFF, 0)
+	buf, n := a.Finish()
+	if n != 0 || len(buf) != 0 {
+		t.Fatalf("empty append produced %d bits, %d bytes", n, len(buf))
+	}
+}
+
+func TestAppenderFull64(t *testing.T) {
+	a := NewAppender(nil)
+	a.Append(^uint64(0), 64)
+	a.Append(1, 1)
+	buf, n := a.Finish()
+	if n != 65 {
+		t.Fatalf("bits = %d, want 65", n)
+	}
+	want := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x80}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("got %x, want %x", buf, want)
+	}
+}
+
+func TestAppenderMaskHighBits(t *testing.T) {
+	// Bits above the requested width must be ignored.
+	a := NewAppender(nil)
+	a.Append(^uint64(0), 3) // only 0b111
+	buf, n := a.Finish()
+	if n != 3 || len(buf) != 1 || buf[0] != 0xE0 {
+		t.Fatalf("got %x (%d bits)", buf, n)
+	}
+}
+
+func TestAppenderReset(t *testing.T) {
+	a := NewAppender(nil)
+	a.Append(0xAB, 8)
+	buf, _ := a.Finish()
+	if len(buf) != 1 {
+		t.Fatal("setup failed")
+	}
+	a.Reset(nil)
+	a.Append(0x3, 2)
+	buf, n := a.Finish()
+	if n != 2 || buf[0] != 0xC0 {
+		t.Fatalf("after reset got %x (%d bits)", buf, n)
+	}
+}
+
+func TestAppenderMarkRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		a := NewAppender(nil)
+		var ref naiveBits
+		for i := rng.Intn(20); i > 0; i-- {
+			ln := uint(1 + rng.Intn(64))
+			c := rng.Uint64()
+			a.Append(c, ln)
+			ref.append(c, ln)
+		}
+		m := a.Mark()
+		// Append garbage, then rewind.
+		for i := rng.Intn(20); i > 0; i-- {
+			a.Append(rng.Uint64(), uint(1+rng.Intn(64)))
+		}
+		a.Restore(m)
+		// Continue with recorded codes.
+		for i := rng.Intn(20); i > 0; i-- {
+			ln := uint(1 + rng.Intn(64))
+			c := rng.Uint64()
+			a.Append(c, ln)
+			ref.append(c, ln)
+		}
+		got, bitLen := a.Finish()
+		if bitLen != len(ref.bits) || !bytes.Equal(got, ref.bytes()) {
+			t.Fatalf("trial %d: mark/restore mismatch", trial)
+		}
+	}
+}
+
+// Lexicographic order of emitted buffers must match bit-sequence order.
+func TestAppenderOrderPreservation(t *testing.T) {
+	emit := func(codes []uint64, lens []uint) ([]byte, int) {
+		a := NewAppender(nil)
+		for i := range codes {
+			a.Append(codes[i], lens[i])
+		}
+		return a.Finish()
+	}
+	// 0b10 (len 2) vs 0b101 (len 3): former is a strict prefix.
+	b1, n1 := emit([]uint64{0b10}, []uint{2})
+	b2, n2 := emit([]uint64{0b101}, []uint{3})
+	if c := bytes.Compare(b1, b2); c > 0 {
+		t.Fatal("prefix sequence must not compare greater")
+	}
+	_ = n1
+	_ = n2
+	// 0b01 vs 0b10: latter greater.
+	b1, _ = emit([]uint64{0b01}, []uint{2})
+	b2, _ = emit([]uint64{0b10}, []uint{2})
+	if bytes.Compare(b1, b2) >= 0 {
+		t.Fatal("bit order not reflected in byte order")
+	}
+}
+
+func TestBitVectorRankSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 63, 64, 65, 511, 512, 513, 4096, 10000} {
+		var b Builder
+		ref := make([]bool, n)
+		for i := 0; i < n; i++ {
+			ref[i] = rng.Intn(3) == 0
+			b.PushBit(ref[i])
+		}
+		v := b.Build()
+		if v.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, v.Len())
+		}
+		ones := 0
+		for i := 0; i < n; i++ {
+			if v.Get(i) != ref[i] {
+				t.Fatalf("n=%d: Get(%d) wrong", n, i)
+			}
+			if ref[i] {
+				ones++
+			}
+			if got := v.Rank1(i); got != ones {
+				t.Fatalf("n=%d: Rank1(%d)=%d, want %d", n, i, got, ones)
+			}
+			if got := v.Rank0(i); got != i+1-ones {
+				t.Fatalf("n=%d: Rank0(%d)=%d", n, i, got)
+			}
+		}
+		if v.Ones() != ones {
+			t.Fatalf("n=%d: Ones=%d, want %d", n, v.Ones(), ones)
+		}
+		// Select1 inverts Rank1.
+		k := 0
+		for i := 0; i < n; i++ {
+			if ref[i] {
+				k++
+				pos, ok := v.Select1(k)
+				if !ok || pos != i {
+					t.Fatalf("n=%d: Select1(%d)=(%d,%v), want %d", n, k, pos, ok, i)
+				}
+			}
+		}
+		if _, ok := v.Select1(ones + 1); ok {
+			t.Fatalf("n=%d: Select1 beyond ones should fail", n)
+		}
+		if _, ok := v.Select1(0); ok {
+			t.Fatal("Select1(0) should fail")
+		}
+	}
+}
+
+func TestBitVectorAllOnesAllZeros(t *testing.T) {
+	var b Builder
+	for i := 0; i < 1000; i++ {
+		b.PushBit(true)
+	}
+	v := b.Build()
+	if v.Rank1(999) != 1000 {
+		t.Fatal("all-ones rank")
+	}
+	if pos, ok := v.Select1(1000); !ok || pos != 999 {
+		t.Fatal("all-ones select")
+	}
+	var z Builder
+	for i := 0; i < 1000; i++ {
+		z.PushBit(false)
+	}
+	vz := z.Build()
+	if vz.Rank1(999) != 0 {
+		t.Fatal("all-zeros rank")
+	}
+	if _, ok := vz.Select1(1); ok {
+		t.Fatal("all-zeros select")
+	}
+}
+
+func TestBitmap256Helpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		var bm [4]uint64
+		ref := make([]bool, 256)
+		for i := 0; i < 40; i++ {
+			p := rng.Intn(256)
+			Set256(&bm, p)
+			ref[p] = true
+		}
+		cnt := 0
+		lastSet := -1
+		for i := 0; i < 256; i++ {
+			if Bit256(&bm, i) != ref[i] {
+				t.Fatalf("Bit256(%d) wrong", i)
+			}
+			// PrevSet256 checks strictly-below semantics.
+			if got := PrevSet256(&bm, i); got != lastSet {
+				t.Fatalf("PrevSet256(%d)=%d, want %d", i, got, lastSet)
+			}
+			if ref[i] {
+				cnt++
+				lastSet = i
+			}
+			if got := Rank256(&bm, i); got != cnt {
+				t.Fatalf("Rank256(%d)=%d, want %d", i, got, cnt)
+			}
+		}
+		if PopCount256(&bm) != cnt {
+			t.Fatal("PopCount256 wrong")
+		}
+		if MaxSet256(&bm) != lastSet {
+			t.Fatalf("MaxSet256=%d, want %d", MaxSet256(&bm), lastSet)
+		}
+	}
+	var empty [4]uint64
+	if MaxSet256(&empty) != -1 || PrevSet256(&empty, 255) != -1 {
+		t.Fatal("empty bitmap helpers")
+	}
+}

@@ -1,0 +1,179 @@
+package bitops
+
+import "math/bits"
+
+// Builder accumulates bits for a BitVector.
+type Builder struct {
+	words []uint64
+	n     int
+}
+
+// PushBit appends a single bit.
+func (b *Builder) PushBit(bit bool) {
+	w := b.n >> 6
+	if w == len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	if bit {
+		b.words[w] |= 1 << (uint(b.n) & 63)
+	}
+	b.n++
+}
+
+// Len returns the number of bits pushed so far.
+func (b *Builder) Len() int { return b.n }
+
+// Build freezes the bits into a BitVector with rank/select indexes.
+func (b *Builder) Build() *BitVector {
+	return newBitVector(b.words, b.n)
+}
+
+// BitVector is an immutable bit sequence with O(1) Rank1 and near-O(1)
+// Select1. The rank index stores a cumulative popcount every 8 words
+// (512 bits), giving a 6.25% space overhead; select binary-searches the
+// rank blocks and scans at most 8 words.
+type BitVector struct {
+	words  []uint64
+	n      int
+	blocks []uint32 // cumulative ones before each 8-word block
+	ones   int
+}
+
+const wordsPerBlock = 8
+
+func newBitVector(words []uint64, n int) *BitVector {
+	nBlocks := (len(words) + wordsPerBlock - 1) / wordsPerBlock
+	bv := &BitVector{words: words, n: n, blocks: make([]uint32, nBlocks+1)}
+	var c uint32
+	for i, w := range words {
+		if i%wordsPerBlock == 0 {
+			bv.blocks[i/wordsPerBlock] = c
+		}
+		c += uint32(bits.OnesCount64(w))
+	}
+	bv.blocks[nBlocks] = c
+	bv.ones = int(c)
+	return bv
+}
+
+// Len returns the number of bits in the vector.
+func (v *BitVector) Len() int { return v.n }
+
+// Ones returns the total number of set bits.
+func (v *BitVector) Ones() int { return v.ones }
+
+// Get returns bit i.
+func (v *BitVector) Get(i int) bool {
+	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Rank1 returns the number of set bits in positions [0, i], i.e. the
+// 1-based rank of position i. i must be in [0, Len).
+func (v *BitVector) Rank1(i int) int {
+	w := i >> 6
+	r := int(v.blocks[w/wordsPerBlock])
+	for j := (w / wordsPerBlock) * wordsPerBlock; j < w; j++ {
+		r += bits.OnesCount64(v.words[j])
+	}
+	mask := ^uint64(0) >> (63 - (uint(i) & 63))
+	return r + bits.OnesCount64(v.words[w]&mask)
+}
+
+// Rank0 returns the number of zero bits in positions [0, i].
+func (v *BitVector) Rank0(i int) int { return i + 1 - v.Rank1(i) }
+
+// Select1 returns the position of the k-th set bit (1-based). It reports
+// ok=false if the vector has fewer than k set bits.
+func (v *BitVector) Select1(k int) (pos int, ok bool) {
+	if k <= 0 || k > v.ones {
+		return 0, false
+	}
+	// Binary search the block index: last block with cumulative < k.
+	lo, hi := 0, len(v.blocks)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(v.blocks[mid]) < k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	rem := k - int(v.blocks[lo])
+	for w := lo * wordsPerBlock; w < len(v.words); w++ {
+		c := bits.OnesCount64(v.words[w])
+		if rem <= c {
+			return w*64 + selectInWord(v.words[w], rem), true
+		}
+		rem -= c
+	}
+	return 0, false
+}
+
+// selectInWord returns the position (0-63) of the k-th (1-based) set bit.
+func selectInWord(w uint64, k int) int {
+	for i := 1; i < k; i++ {
+		w &= w - 1 // clear lowest set bit
+	}
+	return bits.TrailingZeros64(w)
+}
+
+// MemoryUsage returns the footprint in bytes, including the rank index.
+func (v *BitVector) MemoryUsage() int {
+	return len(v.words)*8 + len(v.blocks)*4
+}
+
+// Rank256 counts the set bits at positions <= i within a 256-bit bitmap,
+// the popcount-based child-indexing primitive of the bitmap-trie
+// dictionary (paper Figure 6). i must be in [0, 255].
+func Rank256(bm *[4]uint64, i int) int {
+	w := i >> 6
+	r := 0
+	for j := 0; j < w; j++ {
+		r += bits.OnesCount64(bm[j])
+	}
+	mask := ^uint64(0) >> (63 - (uint(i) & 63))
+	return r + bits.OnesCount64(bm[w]&mask)
+}
+
+// PopCount256 returns the number of set bits in a 256-bit bitmap.
+func PopCount256(bm *[4]uint64) int {
+	return bits.OnesCount64(bm[0]) + bits.OnesCount64(bm[1]) +
+		bits.OnesCount64(bm[2]) + bits.OnesCount64(bm[3])
+}
+
+// Bit256 reports whether bit i of a 256-bit bitmap is set.
+func Bit256(bm *[4]uint64, i int) bool {
+	return bm[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set256 sets bit i of a 256-bit bitmap.
+func Set256(bm *[4]uint64, i int) {
+	bm[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// PrevSet256 returns the largest set bit position strictly below i, or -1.
+func PrevSet256(bm *[4]uint64, i int) int {
+	w := i >> 6
+	off := uint(i) & 63
+	if off > 0 {
+		if masked := bm[w] & ((1 << off) - 1); masked != 0 {
+			return w*64 + 63 - bits.LeadingZeros64(masked)
+		}
+	}
+	for w--; w >= 0; w-- {
+		if bm[w] != 0 {
+			return w*64 + 63 - bits.LeadingZeros64(bm[w])
+		}
+	}
+	return -1
+}
+
+// MaxSet256 returns the largest set bit position, or -1 for an empty bitmap.
+func MaxSet256(bm *[4]uint64) int {
+	for w := 3; w >= 0; w-- {
+		if bm[w] != 0 {
+			return w*64 + 63 - bits.LeadingZeros64(bm[w])
+		}
+	}
+	return -1
+}

@@ -1,0 +1,321 @@
+// Package btree implements an in-memory B+tree with TLX-compatible
+// geometry (the paper's fourth evaluated tree): 16 key slots per node
+// (256-byte nodes at 8-byte key and value pointers), variable-length
+// string keys stored outside the nodes by reference, and chained leaves
+// for range scans.
+package btree
+
+import "bytes"
+
+// Fanout is the number of key slots per node (TLX default geometry).
+const Fanout = 16
+
+// Tree is a B+tree mapping byte-string keys to uint64 values.
+type Tree struct {
+	root   node
+	size   int
+	height int
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{root: &leafNode{}, height: 1} }
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of node levels.
+func (t *Tree) Height() int { return t.height }
+
+type node interface{ isNode() }
+
+type leafNode struct {
+	keys [Fanout][]byte
+	vals [Fanout]uint64
+	n    int
+	next *leafNode
+}
+
+type innerNode struct {
+	// child[i] holds keys < keys[i]; child[n] holds keys >= keys[n-1].
+	keys  [Fanout][]byte
+	child [Fanout + 1]node
+	n     int
+}
+
+func (*leafNode) isNode()  {}
+func (*innerNode) isNode() {}
+
+// upperBound returns the first index with key < keys[i], i.e. the child to
+// descend into.
+func (in *innerNode) upperBound(key []byte) int {
+	lo, hi := 0, in.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(key, in.keys[mid]) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// lowerBound returns the first slot with keys[i] >= key.
+func (l *leafNode) lowerBound(key []byte) int {
+	lo, hi := 0, l.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(l.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *innerNode:
+			n = v.child[v.upperBound(key)]
+		case *leafNode:
+			i := v.lowerBound(key)
+			if i < v.n && bytes.Equal(v.keys[i], key) {
+				return v.vals[i], true
+			}
+			return 0, false
+		}
+	}
+}
+
+// Insert adds or updates a key. Key bytes are copied (the tree owns its
+// out-of-node key storage, as TLX does).
+func (t *Tree) Insert(key []byte, val uint64) {
+	k := make([]byte, len(key))
+	copy(k, key)
+	sep, right := t.insert(t.root, k, val)
+	if right != nil {
+		r := &innerNode{n: 1}
+		r.keys[0] = sep
+		r.child[0] = t.root
+		r.child[1] = right
+		t.root = r
+		t.height++
+	}
+}
+
+// insert descends and returns a (separator, new right sibling) pair when
+// the child split.
+func (t *Tree) insert(n node, key []byte, val uint64) ([]byte, node) {
+	switch v := n.(type) {
+	case *innerNode:
+		idx := v.upperBound(key)
+		sep, right := t.insert(v.child[idx], key, val)
+		if right == nil {
+			return nil, nil
+		}
+		if v.n < Fanout {
+			copy(v.keys[idx+1:v.n+1], v.keys[idx:v.n])
+			copy(v.child[idx+2:v.n+2], v.child[idx+1:v.n+1])
+			v.keys[idx] = sep
+			v.child[idx+1] = right
+			v.n++
+			return nil, nil
+		}
+		return v.splitInsert(idx, sep, right)
+	case *leafNode:
+		i := v.lowerBound(key)
+		if i < v.n && bytes.Equal(v.keys[i], key) {
+			v.vals[i] = val
+			return nil, nil
+		}
+		if v.n < Fanout {
+			copy(v.keys[i+1:v.n+1], v.keys[i:v.n])
+			copy(v.vals[i+1:v.n+1], v.vals[i:v.n])
+			v.keys[i] = key
+			v.vals[i] = val
+			v.n++
+			t.size++
+			return nil, nil
+		}
+		// Split the leaf, then insert into the proper half.
+		mid := Fanout / 2
+		right := &leafNode{n: Fanout - mid, next: v.next}
+		copy(right.keys[:], v.keys[mid:])
+		copy(right.vals[:], v.vals[mid:])
+		for j := mid; j < Fanout; j++ {
+			v.keys[j] = nil
+		}
+		v.n = mid
+		v.next = right
+		if bytes.Compare(key, right.keys[0]) < 0 {
+			i = v.lowerBound(key)
+			copy(v.keys[i+1:v.n+1], v.keys[i:v.n])
+			copy(v.vals[i+1:v.n+1], v.vals[i:v.n])
+			v.keys[i] = key
+			v.vals[i] = val
+			v.n++
+		} else {
+			i = right.lowerBound(key)
+			copy(right.keys[i+1:right.n+1], right.keys[i:right.n])
+			copy(right.vals[i+1:right.n+1], right.vals[i:right.n])
+			right.keys[i] = key
+			right.vals[i] = val
+			right.n++
+		}
+		t.size++
+		// Separator references the right leaf's first key (no copy).
+		return right.keys[0], right
+	}
+	return nil, nil
+}
+
+// splitInsert splits a full inner node while inserting (sep, right) at idx.
+func (v *innerNode) splitInsert(idx int, sep []byte, right node) ([]byte, node) {
+	var keys [Fanout + 1][]byte
+	var child [Fanout + 2]node
+	copy(keys[:idx], v.keys[:idx])
+	keys[idx] = sep
+	copy(keys[idx+1:], v.keys[idx:v.n])
+	copy(child[:idx+1], v.child[:idx+1])
+	child[idx+1] = right
+	copy(child[idx+2:], v.child[idx+1:v.n+1])
+
+	total := Fanout + 1 // separators after insertion
+	mid := total / 2    // separator promoted to the parent
+	up := keys[mid]
+	v.n = mid
+	copy(v.keys[:], keys[:mid])
+	copy(v.child[:], child[:mid+1])
+	for j := mid; j < Fanout; j++ {
+		v.keys[j] = nil
+		v.child[j+1] = nil
+	}
+	r := &innerNode{n: total - mid - 1}
+	copy(r.keys[:], keys[mid+1:total])
+	copy(r.child[:], child[mid+1:total+1])
+	return up, r
+}
+
+// Scan visits keys >= start in order until fn returns false.
+func (t *Tree) Scan(start []byte, fn func(key []byte, val uint64) bool) {
+	n := t.root
+	for {
+		in, ok := n.(*innerNode)
+		if !ok {
+			break
+		}
+		n = in.child[in.upperBound(start)]
+	}
+	l := n.(*leafNode)
+	i := l.lowerBound(start)
+	for l != nil {
+		for ; i < l.n; i++ {
+			if !fn(l.keys[i], l.vals[i]) {
+				return
+			}
+		}
+		l = l.next
+		i = 0
+	}
+}
+
+// BulkLoad builds the tree from sorted unique keys, filling leaves to
+// capacity; values are the key indexes unless vals is non-nil.
+func BulkLoad(keys [][]byte, vals []uint64) *Tree {
+	t := New()
+	if len(keys) == 0 {
+		return t
+	}
+	var leaves []node
+	var firstKeys [][]byte
+	var prev *leafNode
+	for i := 0; i < len(keys); i += Fanout {
+		l := &leafNode{}
+		for j := i; j < len(keys) && j-i < Fanout; j++ {
+			k := make([]byte, len(keys[j]))
+			copy(k, keys[j])
+			l.keys[j-i] = k
+			if vals != nil {
+				l.vals[j-i] = vals[j]
+			} else {
+				l.vals[j-i] = uint64(j)
+			}
+			l.n++
+		}
+		if prev != nil {
+			prev.next = l
+		}
+		prev = l
+		leaves = append(leaves, l)
+		firstKeys = append(firstKeys, l.keys[0])
+	}
+	t.size = len(keys)
+	level := leaves
+	seps := firstKeys
+	t.height = 1
+	for len(level) > 1 {
+		var up []node
+		var upSeps [][]byte
+		for i := 0; i < len(level); i += Fanout + 1 {
+			in := &innerNode{}
+			end := i + Fanout + 1
+			if end > len(level) {
+				end = len(level)
+			}
+			for j := i; j < end; j++ {
+				in.child[j-i] = level[j]
+				if j > i {
+					in.keys[j-i-1] = seps[j]
+					in.n++
+				}
+			}
+			up = append(up, in)
+			upSeps = append(upSeps, seps[i])
+		}
+		level = up
+		seps = upSeps
+		t.height++
+	}
+	t.root = level[0]
+	return t
+}
+
+// Stats summarizes the tree structure and modeled memory.
+type Stats struct {
+	Leaves, Inners int
+	KeyBytes       int
+	MemoryBytes    int
+}
+
+// ComputeStats traverses the tree. Modeled footprint: 256-byte nodes
+// (16 slots x (8-byte key pointer + 8-byte value/child pointer)) plus
+// 16 bytes of header, plus the out-of-node key bytes stored once at the
+// leaf level (inner separators are references).
+func (t *Tree) ComputeStats() Stats {
+	var s Stats
+	walk(t.root, &s)
+	s.MemoryBytes = (s.Leaves+s.Inners)*(16+Fanout*16) + s.KeyBytes
+	return s
+}
+
+func walk(n node, s *Stats) {
+	switch v := n.(type) {
+	case *leafNode:
+		s.Leaves++
+		for i := 0; i < v.n; i++ {
+			s.KeyBytes += len(v.keys[i])
+		}
+	case *innerNode:
+		s.Inners++
+		for i := 0; i <= v.n; i++ {
+			walk(v.child[i], s)
+		}
+	}
+}
+
+// MemoryUsage returns the modeled footprint in bytes.
+func (t *Tree) MemoryUsage() int { return t.ComputeStats().MemoryBytes }

@@ -1,0 +1,44 @@
+package btree
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	keys := datagen.Generate(datagen.Email, 100000, 1)
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys[i%len(keys)], uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	keys := datagen.Generate(datagen.Email, 100000, 1)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkScan100(b *testing.B) {
+	keys := datagen.Generate(datagen.Email, 100000, 1)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.Scan(keys[i%len(keys)], func([]byte, uint64) bool {
+			n++
+			return n < 100
+		})
+	}
+}

@@ -1,0 +1,241 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randKeys(rng *rand.Rand, n, maxLen int) [][]byte {
+	seen := map[string]bool{}
+	var out [][]byte
+	for len(out) < n {
+		k := make([]byte, 1+rng.Intn(maxLen))
+		for i := range k {
+			k[i] = byte('a' + rng.Intn(8))
+		}
+		if !seen[string(k)] {
+			seen[string(k)] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestInsertGetRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := randKeys(rng, 5000, 12)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len=%d, want %d", tr.Len(), len(keys))
+	}
+	for i, k := range keys {
+		v, ok := tr.Get(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get(%q)=(%d,%v), want %d", k, v, ok, i)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		k := randKeys(rng, 1, 14)[0]
+		_, ok := tr.Get(k)
+		found := false
+		for _, kk := range keys {
+			if bytes.Equal(k, kk) {
+				found = true
+				break
+			}
+		}
+		if ok != found {
+			t.Fatalf("Get(%q) presence %v, want %v", k, ok, found)
+		}
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("k"), 1)
+	tr.Insert([]byte("k"), 2)
+	if tr.Len() != 1 {
+		t.Fatal("duplicate insert changed size")
+	}
+	if v, _ := tr.Get([]byte("k")); v != 2 {
+		t.Fatal("update lost")
+	}
+}
+
+func TestInsertDoesNotAliasCallerKey(t *testing.T) {
+	tr := New()
+	k := []byte("mutate")
+	tr.Insert(k, 7)
+	k[0] = 'X'
+	if _, ok := tr.Get([]byte("mutate")); !ok {
+		t.Fatal("tree aliased caller storage")
+	}
+}
+
+func TestScanOrderedAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys := randKeys(rng, 4000, 10)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	sorted := make([]string, len(keys))
+	for i, k := range keys {
+		sorted[i] = string(k)
+	}
+	sort.Strings(sorted)
+	for trial := 0; trial < 300; trial++ {
+		start := randKeys(rng, 1, 12)[0]
+		limit := 1 + rng.Intn(30)
+		i := sort.SearchStrings(sorted, string(start))
+		var want []string
+		for j := i; j < len(sorted) && len(want) < limit; j++ {
+			want = append(want, sorted[j])
+		}
+		var got []string
+		tr.Scan(start, func(k []byte, v uint64) bool {
+			got = append(got, string(k))
+			return len(got) < limit
+		})
+		if len(got) != len(want) {
+			t.Fatalf("Scan(%q,%d): %d keys, want %d", start, limit, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("Scan(%q)[%d]=%q, want %q", start, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestBulkLoadEquivalentToInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := randKeys(rng, 3000, 10)
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	bl := BulkLoad(keys, nil)
+	ins := New()
+	for i, k := range keys {
+		ins.Insert(k, uint64(i))
+	}
+	if bl.Len() != ins.Len() {
+		t.Fatal("sizes differ")
+	}
+	for i, k := range keys {
+		v, ok := bl.Get(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("bulk Get(%q)=(%d,%v)", k, v, ok)
+		}
+	}
+	// Full scans agree.
+	var a, b []string
+	bl.Scan(nil, func(k []byte, _ uint64) bool { a = append(a, string(k)); return true })
+	ins.Scan(nil, func(k []byte, _ uint64) bool { b = append(b, string(k)); return true })
+	if len(a) != len(b) {
+		t.Fatal("scan lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scan differs at %d", i)
+		}
+	}
+}
+
+func TestBulkLoadVals(t *testing.T) {
+	keys := [][]byte{[]byte("a"), []byte("b")}
+	tr := BulkLoad(keys, []uint64{10, 20})
+	if v, _ := tr.Get([]byte("b")); v != 20 {
+		t.Fatal("explicit vals ignored")
+	}
+}
+
+func TestSequentialInsertHeight(t *testing.T) {
+	// Sequential inserts produce half-full leaves; height stays O(log n).
+	tr := New()
+	n := 20000
+	for i := 0; i < n; i++ {
+		tr.Insert([]byte(fmt.Sprintf("%08d", i)), uint64(i))
+	}
+	if tr.Height() > 6 {
+		t.Fatalf("height %d too large for %d keys", tr.Height(), n)
+	}
+	for _, i := range []int{0, 1, 9999, 19999} {
+		if _, ok := tr.Get([]byte(fmt.Sprintf("%08d", i))); !ok {
+			t.Fatalf("lost key %d", i)
+		}
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	keys := randKeys(rng, 2000, 10)
+	tr := New()
+	keyBytes := 0
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+		keyBytes += len(k)
+	}
+	s := tr.ComputeStats()
+	if s.KeyBytes != keyBytes {
+		t.Fatalf("key bytes %d, want %d", s.KeyBytes, keyBytes)
+	}
+	if s.Leaves < len(keys)/Fanout {
+		t.Fatalf("too few leaves: %d", s.Leaves)
+	}
+	if tr.MemoryUsage() <= keyBytes {
+		t.Fatal("memory must include structural overhead")
+	}
+	// Shorter keys -> smaller tree: the property HOPE exploits.
+	short := New()
+	for i, k := range keys {
+		short.Insert(k[:1+len(k)/2], uint64(i))
+	}
+	if short.MemoryUsage() >= tr.MemoryUsage() {
+		t.Fatal("halving key length did not reduce memory")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("phantom key")
+	}
+	count := 0
+	tr.Scan(nil, func([]byte, uint64) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("scan on empty tree")
+	}
+	if BulkLoad(nil, nil).Len() != 0 {
+		t.Fatal("empty bulk load")
+	}
+}
+
+func TestAdversarialSplitOrder(t *testing.T) {
+	// Descending and alternating insert orders stress split paths.
+	tr := New()
+	n := 5000
+	for i := n - 1; i >= 0; i-- {
+		tr.Insert([]byte(fmt.Sprintf("%06d", i)), uint64(i))
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := tr.Get([]byte(fmt.Sprintf("%06d", i))); !ok || v != uint64(i) {
+			t.Fatalf("descending insert lost %d", i)
+		}
+	}
+	tr2 := New()
+	for i := 0; i < n; i++ {
+		j := i / 2
+		if i%2 == 1 {
+			j = n - 1 - i/2
+		}
+		tr2.Insert([]byte(fmt.Sprintf("%06d", j)), uint64(j))
+	}
+	if tr2.Len() != n {
+		t.Fatalf("alternating insert size %d", tr2.Len())
+	}
+}

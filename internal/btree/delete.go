@@ -1,0 +1,164 @@
+package btree
+
+import "bytes"
+
+// minFill is the minimum slot count for non-root nodes after deletion.
+const minFill = Fanout / 2
+
+// Delete removes a key, reports whether it was present, and rebalances by
+// borrowing from or merging with siblings, collapsing the root when it
+// empties.
+func (t *Tree) Delete(key []byte) bool {
+	if !t.del(t.root, key) {
+		return false
+	}
+	t.size--
+	if in, ok := t.root.(*innerNode); ok && in.n == 0 {
+		t.root = in.child[0]
+		t.height--
+	}
+	return true
+}
+
+func (t *Tree) del(n node, key []byte) bool {
+	switch v := n.(type) {
+	case *leafNode:
+		i := v.lowerBound(key)
+		if i >= v.n || !bytes.Equal(v.keys[i], key) {
+			return false
+		}
+		copy(v.keys[i:], v.keys[i+1:v.n])
+		copy(v.vals[i:], v.vals[i+1:v.n])
+		v.keys[v.n-1] = nil
+		v.n--
+		return true
+	case *innerNode:
+		idx := v.upperBound(key)
+		if !t.del(v.child[idx], key) {
+			return false
+		}
+		t.rebalance(v, idx)
+		return true
+	}
+	return false
+}
+
+func fill(n node) int {
+	switch v := n.(type) {
+	case *leafNode:
+		return v.n
+	case *innerNode:
+		return v.n
+	}
+	return 0
+}
+
+// rebalance restores the fill invariant of p.child[idx] after a deletion
+// below it.
+func (t *Tree) rebalance(p *innerNode, idx int) {
+	if fill(p.child[idx]) >= minFill {
+		return
+	}
+	// Prefer borrowing from the richer adjacent sibling.
+	left, right := -1, -1
+	if idx > 0 {
+		left = idx - 1
+	}
+	if idx < p.n {
+		right = idx + 1
+	}
+	switch c := p.child[idx].(type) {
+	case *leafNode:
+		if left >= 0 && fill(p.child[left]) > minFill {
+			l := p.child[left].(*leafNode)
+			copy(c.keys[1:c.n+1], c.keys[:c.n])
+			copy(c.vals[1:c.n+1], c.vals[:c.n])
+			c.keys[0] = l.keys[l.n-1]
+			c.vals[0] = l.vals[l.n-1]
+			l.keys[l.n-1] = nil
+			l.n--
+			c.n++
+			p.keys[left] = c.keys[0]
+			return
+		}
+		if right >= 0 && fill(p.child[right]) > minFill {
+			r := p.child[right].(*leafNode)
+			c.keys[c.n] = r.keys[0]
+			c.vals[c.n] = r.vals[0]
+			c.n++
+			copy(r.keys[:r.n-1], r.keys[1:r.n])
+			copy(r.vals[:r.n-1], r.vals[1:r.n])
+			r.keys[r.n-1] = nil
+			r.n--
+			p.keys[idx] = r.keys[0]
+			return
+		}
+		// Merge with a sibling (both at minimum: combined fits one node).
+		if left >= 0 {
+			mergeLeaves(p.child[left].(*leafNode), c)
+			p.removeAt(left)
+		} else if right >= 0 {
+			mergeLeaves(c, p.child[right].(*leafNode))
+			p.removeAt(idx)
+		}
+	case *innerNode:
+		if left >= 0 && fill(p.child[left]) > minFill {
+			l := p.child[left].(*innerNode)
+			copy(c.keys[1:c.n+1], c.keys[:c.n])
+			copy(c.child[1:c.n+2], c.child[:c.n+1])
+			c.keys[0] = p.keys[left]
+			c.child[0] = l.child[l.n]
+			p.keys[left] = l.keys[l.n-1]
+			l.keys[l.n-1] = nil
+			l.child[l.n] = nil
+			l.n--
+			c.n++
+			return
+		}
+		if right >= 0 && fill(p.child[right]) > minFill {
+			r := p.child[right].(*innerNode)
+			c.keys[c.n] = p.keys[idx]
+			c.child[c.n+1] = r.child[0]
+			c.n++
+			p.keys[idx] = r.keys[0]
+			copy(r.keys[:r.n-1], r.keys[1:r.n])
+			copy(r.child[:r.n], r.child[1:r.n+1])
+			r.keys[r.n-1] = nil
+			r.child[r.n] = nil
+			r.n--
+			return
+		}
+		if left >= 0 {
+			mergeInners(p.child[left].(*innerNode), c, p.keys[left])
+			p.removeAt(left)
+		} else if right >= 0 {
+			mergeInners(c, p.child[right].(*innerNode), p.keys[idx])
+			p.removeAt(idx)
+		}
+	}
+}
+
+// mergeLeaves appends r into l and unlinks r from the leaf chain.
+func mergeLeaves(l, r *leafNode) {
+	copy(l.keys[l.n:], r.keys[:r.n])
+	copy(l.vals[l.n:], r.vals[:r.n])
+	l.n += r.n
+	l.next = r.next
+}
+
+// mergeInners appends r into l with the parent separator between them.
+func mergeInners(l, r *innerNode, sep []byte) {
+	l.keys[l.n] = sep
+	copy(l.keys[l.n+1:], r.keys[:r.n])
+	copy(l.child[l.n+1:], r.child[:r.n+1])
+	l.n += r.n + 1
+}
+
+// removeAt drops separator i and the child to its right.
+func (p *innerNode) removeAt(i int) {
+	copy(p.keys[i:], p.keys[i+1:p.n])
+	copy(p.child[i+1:], p.child[i+2:p.n+1])
+	p.keys[p.n-1] = nil
+	p.child[p.n] = nil
+	p.n--
+}

@@ -1,0 +1,182 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert([]byte(fmt.Sprintf("k%03d", i)), uint64(i))
+	}
+	if !tr.Delete([]byte("k050")) {
+		t.Fatal("delete failed")
+	}
+	if tr.Delete([]byte("k050")) {
+		t.Fatal("double delete")
+	}
+	if tr.Delete([]byte("nope")) {
+		t.Fatal("deleted absent")
+	}
+	if _, ok := tr.Get([]byte("k050")); ok {
+		t.Fatal("still present")
+	}
+	if tr.Len() != 99 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+}
+
+func TestDeleteAllAndRootCollapse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := randKeys(rng, 5000, 10)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	h := tr.Height()
+	if h < 3 {
+		t.Fatal("fixture too small")
+	}
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for i, k := range keys {
+		if !tr.Delete(k) {
+			t.Fatalf("delete %q failed at %d", k, i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("%d keys left", tr.Len())
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("height %d after emptying", tr.Height())
+	}
+	// Reusable.
+	tr.Insert([]byte("x"), 1)
+	if _, ok := tr.Get([]byte("x")); !ok {
+		t.Fatal("unusable after emptying")
+	}
+}
+
+func TestDeleteMaintainsFillAndOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys := randKeys(rng, 20000, 8)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	cut := len(keys) * 3 / 4
+	for _, k := range keys[:cut] {
+		if !tr.Delete(k) {
+			t.Fatalf("delete %q", k)
+		}
+	}
+	// Fill invariant on every non-root node; scan order; leaf chain intact.
+	var walk func(n node, root bool)
+	walk = func(n node, root bool) {
+		switch v := n.(type) {
+		case *leafNode:
+			if !root && v.n < minFill {
+				t.Fatalf("leaf underfilled: %d", v.n)
+			}
+		case *innerNode:
+			if !root && v.n < minFill {
+				t.Fatalf("inner underfilled: %d", v.n)
+			}
+			for i := 0; i <= v.n; i++ {
+				walk(v.child[i], false)
+			}
+		}
+	}
+	walk(tr.root, true)
+	var prev []byte
+	n := 0
+	tr.Scan(nil, func(k []byte, _ uint64) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("scan unsorted after deletes")
+		}
+		prev = append(prev[:0], k...)
+		n++
+		return true
+	})
+	if n != len(keys)-cut {
+		t.Fatalf("scan saw %d, want %d", n, len(keys)-cut)
+	}
+	for _, k := range keys[cut:] {
+		if _, ok := tr.Get(k); !ok {
+			t.Fatalf("survivor %q lost", k)
+		}
+	}
+}
+
+func TestInsertDeleteQuickProperty(t *testing.T) {
+	type op struct {
+		Key []byte
+		Del bool
+		Val uint64
+	}
+	f := func(ops []op) bool {
+		tr := New()
+		ref := map[string]uint64{}
+		for _, o := range ops {
+			k := o.Key
+			if len(k) > 8 {
+				k = k[:8]
+			}
+			if o.Del {
+				_, present := ref[string(k)]
+				delete(ref, string(k))
+				if tr.Delete(k) != present {
+					return false
+				}
+			} else {
+				tr.Insert(k, o.Val)
+				ref[string(k)] = o.Val
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok := tr.Get([]byte(k)); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 250, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAlternatingChurn(t *testing.T) {
+	// Insert/delete churn at a fixed working set size stresses
+	// borrow-then-merge sequences.
+	rng := rand.New(rand.NewSource(4))
+	tr := New()
+	live := map[string]bool{}
+	for round := 0; round < 30000; round++ {
+		k := fmt.Sprintf("%05d", rng.Intn(3000))
+		if live[k] {
+			if !tr.Delete([]byte(k)) {
+				t.Fatalf("delete live key %q", k)
+			}
+			delete(live, k)
+		} else {
+			tr.Insert([]byte(k), uint64(round))
+			live[k] = true
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("size %d, want %d", tr.Len(), len(live))
+	}
+	for k := range live {
+		if _, ok := tr.Get([]byte(k)); !ok {
+			t.Fatalf("live key %q missing", k)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: any insert sequence leaves the tree observationally equal to a
+// map, with sorted full scans and correct tree invariants.
+func TestQuickModelEquivalence(t *testing.T) {
+	type kv struct {
+		Key []byte
+		Val uint64
+	}
+	f := func(ops []kv) bool {
+		tr := New()
+		ref := map[string]uint64{}
+		for _, o := range ops {
+			k := o.Key
+			if len(k) > 10 {
+				k = k[:10]
+			}
+			tr.Insert(k, o.Val)
+			ref[string(k)] = o.Val
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok := tr.Get([]byte(k)); !ok || got != v {
+				return false
+			}
+		}
+		var prev []byte
+		n := 0
+		sorted := true
+		tr.Scan(nil, func(k []byte, v uint64) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				sorted = false
+				return false
+			}
+			if ref[string(k)] != v {
+				sorted = false
+				return false
+			}
+			prev = append(prev[:0], k...)
+			n++
+			return true
+		})
+		return sorted && n == len(ref)
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Structural invariants after heavy random insertion: node fill bounds and
+// separator ordering.
+func TestStructuralInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := New()
+	for i := 0; i < 30000; i++ {
+		k := make([]byte, 1+rng.Intn(12))
+		for j := range k {
+			k[j] = byte(rng.Intn(64))
+		}
+		tr.Insert(k, uint64(i))
+	}
+	var check func(n node, lo, hi []byte) int
+	check = func(n node, lo, hi []byte) int {
+		switch v := n.(type) {
+		case *leafNode:
+			for i := 0; i < v.n; i++ {
+				if lo != nil && bytes.Compare(v.keys[i], lo) < 0 {
+					t.Fatalf("leaf key %q below separator %q", v.keys[i], lo)
+				}
+				if hi != nil && bytes.Compare(v.keys[i], hi) >= 0 {
+					t.Fatalf("leaf key %q not below separator %q", v.keys[i], hi)
+				}
+				if i > 0 && bytes.Compare(v.keys[i-1], v.keys[i]) >= 0 {
+					t.Fatal("leaf keys unsorted")
+				}
+			}
+			return 1
+		case *innerNode:
+			if v.n < 1 {
+				t.Fatal("inner node with no separators")
+			}
+			for i := 1; i < v.n; i++ {
+				if bytes.Compare(v.keys[i-1], v.keys[i]) >= 0 {
+					t.Fatal("separators unsorted")
+				}
+			}
+			depth := 0
+			for i := 0; i <= v.n; i++ {
+				clo, chi := lo, hi
+				if i > 0 {
+					clo = v.keys[i-1]
+				}
+				if i < v.n {
+					chi = v.keys[i]
+				}
+				d := check(v.child[i], clo, chi)
+				if depth == 0 {
+					depth = d
+				} else if d != depth {
+					t.Fatal("leaves at different depths")
+				}
+			}
+			return depth + 1
+		}
+		return 0
+	}
+	if got := check(tr.root, nil, nil); got != tr.Height() {
+		t.Fatalf("measured height %d != tracked %d", got, tr.Height())
+	}
+}
+
+// Scans started at every stored key see exactly the remaining suffix count.
+func TestScanCardinality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := randKeys(rng, 1500, 8)
+	tr := New()
+	ss := make([]string, len(keys))
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+		ss[i] = string(k)
+	}
+	sort.Strings(ss)
+	for i, s := range ss {
+		n := 0
+		tr.Scan([]byte(s), func([]byte, uint64) bool { n++; return true })
+		if n != len(ss)-i {
+			t.Fatalf("scan from %q saw %d, want %d", s, n, len(ss)-i)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import "sync"
+
+// ConcurrentEncoder is a goroutine-safe wrapper around a shared dictionary.
+// Dictionary lookups are read-only, so only the per-encode bit-buffer
+// state needs isolating; a pool of appenders provides it. The paper's
+// encoder is single-threaded — this wrapper is the natural extension for a
+// DBMS running queries on many threads against one index dictionary.
+type ConcurrentEncoder struct {
+	enc  *Encoder
+	pool sync.Pool
+}
+
+// NewConcurrentEncoder wraps an encoder for concurrent use. The wrapped
+// encoder must no longer be used directly.
+func NewConcurrentEncoder(e *Encoder) *ConcurrentEncoder {
+	c := &ConcurrentEncoder{enc: e}
+	c.pool.New = func() any { return new(appender) }
+	return c
+}
+
+// Encode compresses key into a fresh buffer; safe for concurrent use.
+func (c *ConcurrentEncoder) Encode(key []byte) []byte {
+	out, _ := c.EncodeBits(nil, key)
+	return out
+}
+
+// EncodeBits compresses key into dst; safe for concurrent use.
+func (c *ConcurrentEncoder) EncodeBits(dst, key []byte) ([]byte, int) {
+	a := c.pool.Get().(*appender)
+	a.Reset(dst)
+	for pos := 0; pos < len(key); {
+		code, n := c.enc.dict.Lookup(key[pos:])
+		a.Append(code.Bits, uint(code.Len))
+		pos += n
+	}
+	buf, bits := a.Finish()
+	c.pool.Put(a)
+	return buf, bits
+}
+
+// Scheme returns the wrapped encoder's scheme.
+func (c *ConcurrentEncoder) Scheme() Scheme { return c.enc.scheme }
+
+// NumEntries returns the dictionary size.
+func (c *ConcurrentEncoder) NumEntries() int { return c.enc.NumEntries() }
+
+// MemoryUsage returns the dictionary's modeled footprint in bytes.
+func (c *ConcurrentEncoder) MemoryUsage() int { return c.enc.MemoryUsage() }

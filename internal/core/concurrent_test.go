@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentEncoderMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := sampleKeys(rng, 800)
+	serial, err := Build(ThreeGrams, samples, Options{DictLimit: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := Build(ThreeGrams, samples, Options{DictLimit: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := NewConcurrentEncoder(serial)
+	keys := sampleKeys(rng, 4000)
+	want := make([][]byte, len(keys))
+	for i, k := range keys {
+		out, _ := reference.EncodeBits(nil, k)
+		want[i] = append([]byte(nil), out...)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := worker; i < len(keys); i += 8 {
+				got := ce.Encode(keys[i])
+				if !bytes.Equal(got, want[i]) {
+					select {
+					case errs <- string(keys[i]):
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if k, bad := <-errs; bad {
+		t.Fatalf("concurrent encode diverged on %q", k)
+	}
+	if ce.Scheme() != ThreeGrams || ce.NumEntries() == 0 || ce.MemoryUsage() == 0 {
+		t.Fatal("accessors")
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import "fmt"
+
+// Decoder reconstructs original keys from encoded bit strings. Search-tree
+// queries never decode (the paper's key insight is to optimize encoding
+// only), but entropy encoding is lossless and the decoder both proves it
+// and serves tests and debugging. The structure is a binary trie over the
+// prefix-free code set.
+type Decoder struct {
+	// nodes[i] = {zero, one, sym}: child indexes (-1 none) and the entry
+	// index terminating at this node (-1 none).
+	zero, one, sym []int32
+	symbols        [][]byte
+}
+
+// NewDecoder builds a decoder for the encoder's dictionary.
+func NewDecoder(e *Encoder) (*Decoder, error) {
+	d := &Decoder{zero: []int32{-1}, one: []int32{-1}, sym: []int32{-1}}
+	d.symbols = make([][]byte, len(e.entries))
+	for i, ent := range e.entries {
+		d.symbols[i] = ent.Boundary[:ent.SymbolLen]
+		// Insert the code bits, MSB first.
+		cur := int32(0)
+		for b := int(ent.Code.Len) - 1; b >= 0; b-- {
+			bit := (ent.Code.Bits >> uint(b)) & 1
+			next := d.zero[cur]
+			if bit == 1 {
+				next = d.one[cur]
+			}
+			if next == -1 {
+				d.zero = append(d.zero, -1)
+				d.one = append(d.one, -1)
+				d.sym = append(d.sym, -1)
+				next = int32(len(d.sym) - 1)
+				if bit == 1 {
+					d.one[cur] = next
+				} else {
+					d.zero[cur] = next
+				}
+			}
+			cur = next
+		}
+		if d.sym[cur] != -1 || d.zero[cur] != -1 || d.one[cur] != -1 {
+			return nil, fmt.Errorf("core: codes are not prefix-free at entry %d", i)
+		}
+		d.sym[cur] = int32(i)
+	}
+	return d, nil
+}
+
+// Decode reconstructs the key from bitLen bits of buf (the exact length
+// returned by EncodeBits; the padding bits are ignored).
+func (d *Decoder) Decode(buf []byte, bitLen int) ([]byte, error) {
+	var out []byte
+	cur := int32(0)
+	for i := 0; i < bitLen; i++ {
+		bit := (buf[i/8] >> (7 - uint(i)%8)) & 1
+		if bit == 1 {
+			cur = d.one[cur]
+		} else {
+			cur = d.zero[cur]
+		}
+		if cur == -1 {
+			return nil, fmt.Errorf("core: invalid code sequence at bit %d", i)
+		}
+		if s := d.sym[cur]; s != -1 {
+			out = append(out, d.symbols[s]...)
+			cur = 0
+		}
+	}
+	if cur != 0 {
+		return nil, fmt.Errorf("core: truncated code sequence (%d bits)", bitLen)
+	}
+	return out, nil
+}
+
+// DecodeInterval reports the interval boundary pair an entry covers; a
+// debugging aid for inspecting dictionaries.
+func (e *Encoder) DecodeInterval(i int) (lo, hi []byte) {
+	lo = e.entries[i].Boundary
+	if i+1 < len(e.entries) {
+		hi = e.entries[i+1].Boundary
+	}
+	return lo, hi
+}
+
+// MaxSymbolLen returns the longest dictionary symbol, a bound on how many
+// bytes one encoding step can consume.
+func (e *Encoder) MaxSymbolLen() int {
+	m := 0
+	for _, ent := range e.entries {
+		if int(ent.SymbolLen) > m {
+			m = int(ent.SymbolLen)
+		}
+	}
+	return m
+}
+
+// AvgSymbolLen returns the hit-weighted average symbol length implied by
+// re-encoding keys; exposed for the latency model of paper Section 5.
+func (e *Encoder) AvgSymbolLen(keys [][]byte) float64 {
+	var steps, bytesConsumed int
+	for _, k := range keys {
+		for pos := 0; pos < len(k); {
+			_, n := e.dict.Lookup(k[pos:])
+			pos += n
+			steps++
+			bytesConsumed += n
+		}
+	}
+	if steps == 0 {
+		return 0
+	}
+	return float64(bytesConsumed) / float64(steps)
+}
+
+// CheckOrderPreserving verifies on a key sample that encoding preserves
+// order bit-exactly; used by tests and the self-check tooling. Keys must
+// be sorted and unique.
+func (e *Encoder) CheckOrderPreserving(sortedKeys [][]byte) error {
+	if len(sortedKeys) == 0 {
+		return nil
+	}
+	prev, prevBits := cloneEnc(e, sortedKeys[0])
+	for i := 1; i < len(sortedKeys); i++ {
+		cur, curBits := cloneEnc(e, sortedKeys[i])
+		if bitCompare(prev, prevBits, cur, curBits) >= 0 {
+			return fmt.Errorf("core: order violated between %q and %q", sortedKeys[i-1], sortedKeys[i])
+		}
+		prev, prevBits = cur, curBits
+	}
+	return nil
+}
+
+func cloneEnc(e *Encoder, key []byte) ([]byte, int) {
+	b, n := e.EncodeBits(nil, key)
+	return append([]byte(nil), b...), n
+}
+
+// bitCompare orders two bit strings (byte buffers with exact bit lengths).
+func bitCompare(a []byte, aBits int, b []byte, bBits int) int {
+	min := aBits
+	if bBits < min {
+		min = bBits
+	}
+	nBytes := min / 8
+	for i := 0; i < nBytes; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	for i := nBytes * 8; i < min; i++ {
+		ab := (a[i/8] >> (7 - uint(i)%8)) & 1
+		bb := (b[i/8] >> (7 - uint(i)%8)) & 1
+		if ab != bb {
+			return int(ab) - int(bb)
+		}
+	}
+	switch {
+	case aBits < bBits:
+		return -1
+	case aBits > bBits:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+
+	"repro/internal/bitops"
+)
+
+// appender aliases the bit appender so the Encoder can embed reusable
+// encode state.
+type appender = bitops.Appender
+
+// Encode compresses key and returns the code sequence padded with zero
+// bits to a byte boundary — the form the search trees store. Comparing two
+// encoded keys as byte strings preserves the order of the original keys.
+//
+// Known modelling edge (shared with the paper, see DESIGN.md): if key a is
+// a proper prefix of key b and b's extension encodes to all-zero bits, the
+// padded outputs are equal. EncodeBits exposes the exact bit length for
+// callers that need the strict order.
+func (e *Encoder) Encode(key []byte) []byte {
+	out, _ := e.EncodeBits(nil, key)
+	return out
+}
+
+// EncodeBits compresses key into dst (reusing its storage) and returns the
+// padded bytes along with the exact number of code bits.
+func (e *Encoder) EncodeBits(dst, key []byte) ([]byte, int) {
+	a := &e.app
+	a.Reset(dst)
+	for pos := 0; pos < len(key); {
+		code, n := e.dict.Lookup(key[pos:])
+		a.Append(code.Bits, uint(code.Len))
+		pos += n
+	}
+	return a.Finish()
+}
+
+// CompressionRate returns the uncompressed byte count of keys divided by
+// the compressed byte count (padded, as stored by a search tree) — the
+// paper's CPR metric.
+func (e *Encoder) CompressionRate(keys [][]byte) float64 {
+	var raw, enc int
+	buf := make([]byte, 0, 64)
+	for _, k := range keys {
+		raw += len(k)
+		out, _ := e.EncodeBits(buf, k)
+		enc += len(out)
+		buf = out[:0]
+	}
+	if enc == 0 {
+		return 0
+	}
+	return float64(raw) / float64(enc)
+}
+
+// Batchable reports whether the scheme supports shared-prefix batch
+// encoding. The ALM schemes do not: their dictionary symbols have
+// arbitrary lengths, so no prefix of a batch is guaranteed to align with
+// symbol boundaries (paper Appendix B).
+func (e *Encoder) Batchable() bool { return e.lookAhead > 0 }
+
+// EncodeBatch compresses a sorted run of keys, encoding their common
+// prefix only once (paper Section 4.2, batch encoding). The result slices
+// are freshly allocated. Falls back to individual encoding for ALM
+// schemes. A batch of two is the paper's pair-encoding used for
+// closed-range queries.
+func (e *Encoder) EncodeBatch(keys [][]byte) [][]byte {
+	out := make([][]byte, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	if !e.Batchable() || len(keys) == 1 {
+		for i, k := range keys {
+			b, _ := e.EncodeBits(nil, k)
+			out[i] = append([]byte(nil), b...)
+		}
+		return out
+	}
+	// The common prefix of a sorted run is the prefix of first and last.
+	first, last := keys[0], keys[len(keys)-1]
+	lcp := 0
+	for lcp < len(first) && lcp < len(last) && first[lcp] == last[lcp] {
+		lcp++
+	}
+	a := &e.app
+	a.Reset(nil)
+	pos := 0
+	// Encode the shared prefix while the lookup outcome is provably the
+	// same for every key in the batch: a lookup is determined by the next
+	// lookAhead bytes, so it may consult at most lcp-lookAhead+... safely
+	// while lookAhead bytes of shared context remain.
+	for pos+e.lookAhead <= lcp {
+		code, n := e.dict.Lookup(first[pos:])
+		if pos+n > lcp {
+			break
+		}
+		a.Append(code.Bits, uint(code.Len))
+		pos += n
+	}
+	mark := a.Mark()
+	for i, k := range keys {
+		a.Restore(mark)
+		for p := pos; p < len(k); {
+			code, n := e.dict.Lookup(k[p:])
+			a.Append(code.Bits, uint(code.Len))
+			p += n
+		}
+		m2 := a.Mark()
+		buf, _ := a.Finish()
+		out[i] = append([]byte(nil), buf...)
+		a.Restore(m2) // undo Finish's padding before the next key
+	}
+	return out
+}
+
+// EncodePair encodes the two boundary keys of a closed-range query with
+// the shared prefix encoded once, returning the encodings of the smaller
+// and greater boundary respectively.
+func (e *Encoder) EncodePair(lo, hi []byte) ([]byte, []byte) {
+	if bytes.Compare(lo, hi) > 0 {
+		lo, hi = hi, lo
+	}
+	r := e.EncodeBatch([][]byte{lo, hi})
+	return r[0], r[1]
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Fuzz fixtures share one encoder set; fuzzing explores arbitrary byte
+// inputs against the completeness / order / losslessness contracts.
+var fuzzFixture struct {
+	sync.Once
+	encs []*Encoder
+	decs []*Decoder
+	err  error
+}
+
+func fuzzEncoders(f *testing.F) ([]*Encoder, []*Decoder) {
+	f.Helper()
+	fuzzFixture.Do(func() {
+		rng := rand.New(rand.NewSource(1))
+		samples := sampleKeys(rng, 800)
+		for _, s := range []Scheme{SingleChar, ThreeGrams, ALMImproved} {
+			e, err := Build(s, samples, Options{DictLimit: 1024, MaxPatternLen: 16})
+			if err != nil {
+				fuzzFixture.err = err
+				return
+			}
+			d, err := NewDecoder(e)
+			if err != nil {
+				fuzzFixture.err = err
+				return
+			}
+			fuzzFixture.encs = append(fuzzFixture.encs, e)
+			fuzzFixture.decs = append(fuzzFixture.decs, d)
+		}
+	})
+	if fuzzFixture.err != nil {
+		f.Fatal(fuzzFixture.err)
+	}
+	return fuzzFixture.encs, fuzzFixture.decs
+}
+
+// FuzzEncodeRoundTrip: any byte string encodes, decodes back losslessly,
+// and the padded length matches the bit length.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	encs, decs := fuzzEncoders(f)
+	f.Add([]byte("com.gmail@alice"))
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Add([]byte("\x00\xff\x00\xff binary soup \x01\x02"))
+	f.Fuzz(func(t *testing.T, key []byte) {
+		if len(key) > 256 {
+			key = key[:256]
+		}
+		for i, e := range encs {
+			out, bits := e.EncodeBits(nil, key)
+			if len(out) != (bits+7)/8 {
+				t.Fatalf("scheme %v: padding mismatch", e.Scheme())
+			}
+			back, err := decs[i].Decode(out, bits)
+			if err != nil {
+				t.Fatalf("scheme %v: decode: %v", e.Scheme(), err)
+			}
+			if !bytes.Equal(back, key) {
+				t.Fatalf("scheme %v: roundtrip %q -> %q", e.Scheme(), key, back)
+			}
+		}
+	})
+}
+
+// FuzzOrderPreservation: for any two byte strings, encoded bit-string
+// order matches input order.
+func FuzzOrderPreservation(f *testing.F) {
+	encs, _ := fuzzEncoders(f)
+	f.Add([]byte("abc"), []byte("abd"))
+	f.Add([]byte("a"), []byte("a\x00"))
+	f.Add([]byte{}, []byte{0x00})
+	f.Add([]byte("com.gmail@a"), []byte("com.gmail@b"))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) > 128 {
+			a = a[:128]
+		}
+		if len(b) > 128 {
+			b = b[:128]
+		}
+		cmp := bytes.Compare(a, b)
+		for _, e := range encs {
+			ea, na := e.EncodeBits(nil, a)
+			ea = append([]byte(nil), ea...)
+			eb, nb := e.EncodeBits(nil, b)
+			got := bitCompare(ea, na, eb, nb)
+			if cmp == 0 && got != 0 {
+				t.Fatalf("scheme %v: equal keys encode differently", e.Scheme())
+			}
+			if cmp < 0 && got >= 0 || cmp > 0 && got <= 0 {
+				t.Fatalf("scheme %v: order(%q,%q)=%d but encoded order %d",
+					e.Scheme(), a, b, cmp, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package core
+
+import "math/rand"
+
+// Sampler implements the paper's Section 5 integration path for initially
+// empty search trees: "If the search tree is initially empty, HOPE samples
+// keys as the DBMS inserts them into the tree. It then rebuilds the search
+// tree using the compressed keys once it sees enough samples." The sampler
+// is a classic reservoir: every key ever Added has equal probability of
+// being in the sample, so early skew does not bias the dictionary.
+type Sampler struct {
+	capacity int
+	seen     int64
+	rng      *rand.Rand
+	keys     [][]byte
+}
+
+// NewSampler returns a reservoir holding at most capacity keys. A sample
+// between 10K and 100K keys saturates every scheme's compression rate
+// (paper Appendix A).
+func NewSampler(capacity int, seed int64) *Sampler {
+	if capacity <= 0 {
+		capacity = 10000
+	}
+	return &Sampler{capacity: capacity, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add offers a key to the reservoir; the bytes are copied.
+func (s *Sampler) Add(key []byte) {
+	s.seen++
+	if len(s.keys) < s.capacity {
+		s.keys = append(s.keys, append([]byte(nil), key...))
+		return
+	}
+	if j := s.rng.Int63n(s.seen); j < int64(s.capacity) {
+		s.keys[j] = append(s.keys[j][:0], key...)
+	}
+}
+
+// Seen returns how many keys have been offered.
+func (s *Sampler) Seen() int64 { return s.seen }
+
+// Len returns the current reservoir size.
+func (s *Sampler) Len() int { return len(s.keys) }
+
+// Samples returns the reservoir contents (read-only view).
+func (s *Sampler) Samples() [][]byte { return s.keys }
+
+// Build runs HOPE's build phase over the reservoir.
+func (s *Sampler) Build(scheme Scheme, opt Options) (*Encoder, error) {
+	return Build(scheme, s.keys, opt)
+}

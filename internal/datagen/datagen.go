@@ -1,0 +1,236 @@
+// Package datagen synthesizes the paper's three string-key datasets. The
+// originals (25M real email addresses, 14M Wikipedia titles, 25M crawled
+// URLs) are not redistributable and the build is offline, so deterministic
+// generators reproduce their distributional shape instead — the properties
+// HOPE actually exploits: Zipfian provider domains in host-reversed
+// emails, Zipfian English word composition in titles, and heavy shared
+// scheme/host/path prefixes in URLs. Average key lengths match the paper
+// (about 22, 21 and 104 bytes). See DESIGN.md, Substitutions.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind selects a dataset.
+type Kind int
+
+const (
+	// Email is host-reversed email addresses ("com.gmail@name27").
+	Email Kind = iota
+	// Wiki is Wikipedia-style article titles ("Battle_of_River_Plate").
+	Wiki
+	// URL is crawled-web-style URLs with long shared prefixes.
+	URL
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Email:
+		return "email"
+	case Wiki:
+		return "wiki"
+	case URL:
+		return "url"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds lists all datasets.
+var Kinds = []Kind{Email, Wiki, URL}
+
+// ParseKind resolves a dataset name.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("datagen: unknown dataset %q (want email, wiki or url)", s)
+}
+
+// Generate returns n unique keys of the given kind, deterministically from
+// the seed, in generation (i.e. effectively random) order.
+func Generate(kind Kind, n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	g := newGen(rng)
+	seen := make(map[string]bool, n)
+	out := make([][]byte, 0, n)
+	for len(out) < n {
+		var k string
+		switch kind {
+		case Email:
+			k = g.email()
+		case Wiki:
+			k = g.wiki()
+		default:
+			k = g.url()
+		}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, []byte(k))
+		}
+	}
+	return out
+}
+
+// AvgLen returns the mean key length in bytes.
+func AvgLen(keys [][]byte) float64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	total := 0
+	for _, k := range keys {
+		total += len(k)
+	}
+	return float64(total) / float64(len(keys))
+}
+
+// SplitEmailByProvider partitions email keys into the paper's Appendix C
+// halves: Email-A holds the gmail and yahoo accounts, Email-B the rest.
+func SplitEmailByProvider(keys [][]byte) (a, b [][]byte) {
+	for _, k := range keys {
+		s := string(k)
+		if hasAnyPrefix(s, "com.gmail@", "com.yahoo@") {
+			a = append(a, k)
+		} else {
+			b = append(b, k)
+		}
+	}
+	return a, b
+}
+
+func hasAnyPrefix(s string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if len(s) >= len(p) && s[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// gen draws words and names Zipf-style so a few patterns dominate, the
+// skew entropy coding exploits.
+type gen struct {
+	rng       *rand.Rand
+	wordZipf  *rand.Zipf
+	nameZipf  *rand.Zipf
+	hostZipf  *rand.Zipf
+	domZipf   *rand.Zipf
+	surnZipf  *rand.Zipf
+	topicZipf *rand.Zipf
+}
+
+func newGen(rng *rand.Rand) *gen {
+	return &gen{
+		rng:       rng,
+		wordZipf:  rand.NewZipf(rng, 1.2, 1, uint64(len(words)-1)),
+		nameZipf:  rand.NewZipf(rng, 1.1, 1, uint64(len(firstNames)-1)),
+		surnZipf:  rand.NewZipf(rng, 1.1, 1, uint64(len(surnames)-1)),
+		domZipf:   rand.NewZipf(rng, 1.3, 1, uint64(len(emailDomains)-1)),
+		hostZipf:  rand.NewZipf(rng, 1.2, 1, uint64(len(webHosts)-1)),
+		topicZipf: rand.NewZipf(rng, 1.1, 1, uint64(len(topics)-1)),
+	}
+}
+
+func (g *gen) word() string    { return words[g.wordZipf.Uint64()] }
+func (g *gen) name() string    { return firstNames[g.nameZipf.Uint64()] }
+func (g *gen) surname() string { return surnames[g.surnZipf.Uint64()] }
+
+// email produces a host-reversed address, e.g. "com.gmail@alice.walker73".
+func (g *gen) email() string {
+	dom := emailDomains[g.domZipf.Uint64()]
+	var local string
+	switch g.rng.Intn(5) {
+	case 0:
+		local = g.name() + "." + g.surname()
+	case 1:
+		local = g.name() + g.surname()
+	case 2:
+		local = g.name() + fmt.Sprintf("%d", g.rng.Intn(1000))
+	case 3:
+		local = g.surname() + "." + string(g.name()[0]) + fmt.Sprintf("%02d", g.rng.Intn(100))
+	default:
+		local = g.word() + g.word() + fmt.Sprintf("%d", g.rng.Intn(100))
+	}
+	return dom + "@" + local
+}
+
+// wiki produces an underscore-joined article title.
+func (g *gen) wiki() string {
+	n := 1 + g.rng.Intn(4)
+	title := capitalize(g.topicWord())
+	for i := 1; i < n; i++ {
+		w := g.topicWord()
+		if g.rng.Intn(3) == 0 {
+			w = capitalize(w)
+		}
+		title += "_" + w
+	}
+	switch g.rng.Intn(12) {
+	case 0:
+		title += fmt.Sprintf("_(%d)", 1700+g.rng.Intn(325))
+	case 1:
+		title += "_(disambiguation)"
+	case 2:
+		title = fmt.Sprintf("List_of_%s", title)
+	}
+	return title
+}
+
+func (g *gen) topicWord() string {
+	if g.rng.Intn(3) == 0 {
+		return topics[g.topicZipf.Uint64()]
+	}
+	return g.word()
+}
+
+// url produces a crawled-web-style URL averaging about 104 bytes, with
+// heavy host and path-prefix sharing.
+func (g *gen) url() string {
+	scheme := "http://"
+	if g.rng.Intn(4) == 0 {
+		scheme = "https://"
+	}
+	host := webHosts[g.hostZipf.Uint64()]
+	if g.rng.Intn(3) == 0 {
+		host = "www." + host
+	}
+	var path string
+	switch g.rng.Intn(4) {
+	case 0: // article archive: shared date prefixes, long hyphenated slugs
+		path = fmt.Sprintf("/%s/%d/%02d/%02d/%s-%s-%s-%s-%s.html",
+			sections[g.rng.Intn(len(sections))],
+			2001+g.rng.Intn(7), 1+g.rng.Intn(12), 1+g.rng.Intn(28),
+			g.word(), g.word(), g.word(), g.word(), g.word())
+	case 1: // wiki-style with category chains
+		path = "/wiki/index.php/Category:" + capitalize(g.word()) + "_" +
+			g.word() + "/" + capitalize(g.word()) + "_" + g.word() + "_" + g.word()
+	case 2: // forum threads: deep numeric ids
+		path = fmt.Sprintf("/forum/viewtopic.php/board/%s-%s/thread/%d/page/%d",
+			g.word(), g.word(), g.rng.Intn(1000000), 1+g.rng.Intn(40))
+	default: // product listings with query strings
+		path = fmt.Sprintf("/catalog/%s/%s-%s/item%06d?ref=%s&session=%08x%08x",
+			sections[g.rng.Intn(len(sections))], g.word(), g.word(),
+			g.rng.Intn(1000000), g.word(), g.rng.Uint32(), g.rng.Uint32())
+	}
+	// Tracking suffixes on half the URLs, as crawls exhibit; these push
+	// the average toward the paper's 104 bytes.
+	if g.rng.Intn(2) == 0 {
+		path += fmt.Sprintf("&utm_source=%s&utm_medium=%s&utm_campaign=%s-%s-%s",
+			g.word(), g.word(), g.word(), g.word(), g.word())
+	}
+	return scheme + host + path
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}

@@ -1,0 +1,182 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, kind := range Kinds {
+		a := Generate(kind, 500, 42)
+		b := Generate(kind, 500, 42)
+		if len(a) != 500 || len(b) != 500 {
+			t.Fatalf("%v: wrong count", kind)
+		}
+		for i := range a {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("%v: non-deterministic at %d", kind, i)
+			}
+		}
+		c := Generate(kind, 500, 43)
+		same := 0
+		for i := range a {
+			if bytes.Equal(a[i], c[i]) {
+				same++
+			}
+		}
+		if same == 500 {
+			t.Fatalf("%v: seed has no effect", kind)
+		}
+	}
+}
+
+func TestGenerateUnique(t *testing.T) {
+	for _, kind := range Kinds {
+		keys := Generate(kind, 2000, 7)
+		seen := map[string]bool{}
+		for _, k := range keys {
+			if seen[string(k)] {
+				t.Fatalf("%v: duplicate key %q", kind, k)
+			}
+			seen[string(k)] = true
+		}
+	}
+}
+
+// Average lengths should be in the neighborhood of the paper's datasets
+// (22, 21, 104 bytes) — generous bands, the shape matters, not the digit.
+func TestAvgLengthsMatchPaper(t *testing.T) {
+	cases := []struct {
+		kind     Kind
+		lo, hi   float64
+		paperAvg float64
+	}{
+		{Email, 16, 30, 22},
+		{Wiki, 12, 30, 21},
+		{URL, 80, 130, 104},
+	}
+	for _, c := range cases {
+		keys := Generate(c.kind, 3000, 1)
+		avg := AvgLen(keys)
+		if avg < c.lo || avg > c.hi {
+			t.Errorf("%v: avg len %.1f outside [%v, %v] (paper: %v)",
+				c.kind, avg, c.lo, c.hi, c.paperAvg)
+		}
+	}
+}
+
+func TestEmailShape(t *testing.T) {
+	keys := Generate(Email, 2000, 3)
+	gmail := 0
+	for _, k := range keys {
+		s := string(k)
+		if !strings.Contains(s, "@") {
+			t.Fatalf("email without @: %q", s)
+		}
+		// Host-reversed: starts with a TLD segment.
+		if !strings.Contains(s[:strings.Index(s, "@")], ".") {
+			t.Fatalf("host not reversed-dotted: %q", s)
+		}
+		if strings.HasPrefix(s, "com.gmail@") {
+			gmail++
+		}
+	}
+	// Zipfian providers: the top domain should dominate.
+	if gmail < len(keys)/10 {
+		t.Fatalf("gmail share too small for Zipf: %d/%d", gmail, len(keys))
+	}
+}
+
+func TestURLShape(t *testing.T) {
+	keys := Generate(URL, 2000, 4)
+	for _, k := range keys {
+		s := string(k)
+		if !strings.HasPrefix(s, "http://") && !strings.HasPrefix(s, "https://") {
+			t.Fatalf("bad scheme: %q", s)
+		}
+	}
+	// Shared prefixes: sorting must yield long average LCP between
+	// neighbors (the property Prefix B+tree and tries exploit).
+	sorted := make([][]byte, len(keys))
+	copy(sorted, keys)
+	sortBytes(sorted)
+	var lcpSum, n int
+	for i := 1; i < len(sorted); i++ {
+		lcpSum += lcpLen(sorted[i-1], sorted[i])
+		n++
+	}
+	if avg := float64(lcpSum) / float64(n); avg < 10 {
+		t.Fatalf("URL neighbor LCP %.1f too small; prefixes not shared", avg)
+	}
+}
+
+func TestWikiShape(t *testing.T) {
+	keys := Generate(Wiki, 1000, 5)
+	for _, k := range keys {
+		s := string(k)
+		if s == "" || s[0] < 'A' || s[0] > 'Z' {
+			t.Fatalf("title not capitalized: %q", s)
+		}
+		if strings.Contains(s, " ") {
+			t.Fatalf("title contains space (wiki dumps use underscores): %q", s)
+		}
+	}
+}
+
+func TestSplitEmailByProvider(t *testing.T) {
+	keys := Generate(Email, 3000, 6)
+	a, b := SplitEmailByProvider(keys)
+	if len(a)+len(b) != len(keys) {
+		t.Fatal("split lost keys")
+	}
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatalf("degenerate split: %d/%d", len(a), len(b))
+	}
+	for _, k := range a {
+		if !hasAnyPrefix(string(k), "com.gmail@", "com.yahoo@") {
+			t.Fatalf("misclassified %q", k)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range Kinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestAvgLenEmpty(t *testing.T) {
+	if AvgLen(nil) != 0 {
+		t.Fatal("empty avg")
+	}
+}
+
+func sortBytes(keys [][]byte) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && bytes.Compare(keys[j-1], keys[j]) > 0; j-- {
+			keys[j-1], keys[j] = keys[j], keys[j-1]
+		}
+	}
+}
+
+func lcpLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}

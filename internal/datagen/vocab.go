@@ -1,0 +1,107 @@
+package datagen
+
+// Embedded vocabularies for the synthetic datasets. Ordering matters: the
+// Zipf samplers draw low indexes most often, so each list is roughly
+// frequency-ordered.
+
+var emailDomains = []string{
+	"com.gmail", "com.yahoo", "com.hotmail", "com.outlook", "com.aol",
+	"com.icloud", "com.qq", "com.163", "ru.mail", "ru.yandex",
+	"com.live", "com.msn", "de.gmx", "de.web", "com.comcast",
+	"net.verizon", "com.att", "fr.orange", "fr.free", "uk.co.btinternet",
+	"com.rediffmail", "in.co.rediff", "com.protonmail", "com.zoho",
+	"edu.cmu.cs", "edu.mit", "edu.stanford", "com.ibm", "com.oracle",
+	"org.apache", "io.github", "com.fastmail",
+}
+
+var webHosts = []string{
+	"news.bbc.co.uk", "en.wikipedia.org", "www.amazon.com", "blogs.msdn.com",
+	"forums.gentoo.org", "stackoverflow.com", "www.nytimes.com",
+	"sports.espn.go.com", "archive.org", "www.flickr.com",
+	"community.livejournal.com", "www.imdb.com", "slashdot.org",
+	"www.guardian.co.uk", "edition.cnn.com", "www.reddit.com",
+	"groups.google.com", "lists.debian.org", "www.gutenberg.org",
+	"travel.yahoo.com", "maps.google.com", "www.weather.com",
+	"wiki.openstreetmap.org", "bugs.kde.org", "sourceforge.net",
+	"www.nationalgeographic.com", "catalog.loc.gov", "openlibrary.org",
+}
+
+var sections = []string{
+	"news", "sports", "business", "technology", "science", "health",
+	"politics", "entertainment", "travel", "opinion", "world", "local",
+	"culture", "education", "environment",
+}
+
+var firstNames = []string{
+	"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+	"linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "charles", "karen", "chris",
+	"nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
+	"mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+	"emily", "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy",
+	"kevin", "carol", "brian", "amanda", "george", "melissa", "edward",
+	"deborah", "ronald", "stephanie", "timothy", "rebecca", "jason",
+	"sharon", "jeffrey", "laura", "ryan", "cynthia", "jacob", "kathleen",
+	"gary", "amy", "nicholas", "shirley", "eric", "angela", "jonathan",
+	"helen", "stephen", "anna", "larry", "brenda", "justin", "pamela",
+	"scott", "nicole", "brandon", "emma", "benjamin", "samantha", "wei",
+	"ming", "hiroshi", "yuki", "ivan", "olga", "pierre", "marie", "hans",
+	"greta", "raj", "priya", "ahmed", "fatima", "carlos", "sofia",
+}
+
+var surnames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+	"lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+	"ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+	"wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+	"adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+	"carter", "roberts", "chen", "zhang", "wang", "kumar", "singh",
+	"tanaka", "suzuki", "mueller", "schmidt", "ivanov", "petrov",
+	"kowalski", "rossi", "ferrari", "silva", "santos", "kim", "park",
+}
+
+var words = []string{
+	"the", "time", "world", "life", "history", "day", "house", "war",
+	"water", "music", "city", "book", "school", "state", "family", "story",
+	"night", "game", "river", "country", "song", "film", "church", "road",
+	"king", "army", "club", "party", "island", "light", "land", "century",
+	"station", "field", "company", "league", "college", "south", "north",
+	"east", "west", "national", "american", "british", "french", "german",
+	"great", "little", "old", "new", "first", "second", "grand", "royal",
+	"saint", "lake", "mountain", "valley", "forest", "bridge", "castle",
+	"tower", "garden", "park", "street", "market", "harbor", "port",
+	"battle", "treaty", "empire", "republic", "union", "federation",
+	"district", "province", "county", "village", "town", "museum",
+	"library", "theater", "opera", "symphony", "festival", "championship",
+	"olympic", "season", "series", "episode", "album", "record", "single",
+	"band", "orchestra", "player", "coach", "team", "match", "final",
+	"science", "physics", "chemistry", "biology", "mathematics", "computer",
+	"engine", "machine", "system", "network", "data", "index", "query",
+	"storage", "memory", "compression", "encoding", "database", "server",
+	"protocol", "algorithm", "structure", "model", "theory", "language",
+	"culture", "society", "economy", "industry", "railway", "airport",
+	"football", "baseball", "basketball", "cricket", "tennis", "golf",
+	"winter", "summer", "spring", "autumn", "january", "march", "august",
+	"october", "december", "europe", "africa", "asia", "america",
+	"australia", "pacific", "atlantic", "arctic", "china", "japan",
+	"india", "france", "germany", "italy", "spain", "russia", "brazil",
+	"canada", "mexico", "egypt", "greece", "rome", "london", "paris",
+	"berlin", "tokyo", "delhi", "sydney", "moscow", "dublin", "vienna",
+	"art", "painting", "sculpture", "poetry", "novel", "author", "writer",
+	"artist", "painter", "composer", "director", "actor", "singer",
+	"president", "minister", "governor", "senator", "mayor", "judge",
+	"doctor", "professor", "teacher", "student", "engineer", "pilot",
+	"captain", "general", "colonel", "admiral", "bishop", "pope",
+	"red", "blue", "green", "white", "black", "golden", "silver",
+	"railway_station", "high_school", "air_force", "world_cup",
+}
+
+var topics = []string{
+	"battle", "history", "list", "railway", "station", "church", "river",
+	"school", "county", "district", "album", "film", "song", "footballer",
+	"election", "championship", "university", "museum", "bridge", "castle",
+	"species", "genus", "mountain", "lake", "island", "village", "town",
+	"airport", "stadium", "cathedral", "monastery", "dynasty", "kingdom",
+}

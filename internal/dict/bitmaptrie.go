@@ -1,0 +1,164 @@
+package dict
+
+import (
+	"fmt"
+
+	"repro/internal/bitops"
+	"repro/internal/hutucker"
+)
+
+// BitmapTrie is the dictionary structure for the 3-Grams and 4-Grams
+// schemes (paper Figure 6). Nodes are stored level by level in
+// breadth-first order; each node is a 256-bit bitmap recording its
+// branches plus a cumulative counter, and a child is located with a
+// popcount over the bitmap — no pointers. Interval boundaries shorter than
+// the trie depth (the gap entries created between frequent grams) are
+// represented by a terminator flag that sorts before all branches, exactly
+// like the paper's ∅ character.
+type BitmapTrie struct {
+	levels  [][]btNode
+	depth   int // maximum boundary length K (3 or 4)
+	symLens []uint8
+	codes   []hutucker.Code
+}
+
+type btNode struct {
+	bitmap    [4]uint64
+	startIdx  uint32 // entry index of the first boundary in this subtree
+	count     uint32 // number of boundaries in this subtree
+	childBase uint32 // index of this node's first child in the next level
+	term      bool   // a boundary equal to this node's path exists
+}
+
+// NewBitmapTrie builds the trie from sorted entries whose boundaries are
+// at most depth bytes long.
+func NewBitmapTrie(depth int, entries []Entry) (*BitmapTrie, error) {
+	if depth < 1 || depth > 8 {
+		return nil, fmt.Errorf("dict: unsupported bitmap-trie depth %d", depth)
+	}
+	if err := validateEntries(entries); err != nil {
+		return nil, err
+	}
+	t := &BitmapTrie{
+		depth:   depth,
+		levels:  make([][]btNode, depth),
+		symLens: make([]uint8, len(entries)),
+		codes:   make([]hutucker.Code, len(entries)),
+	}
+	for i, e := range entries {
+		if len(e.Boundary) > depth {
+			return nil, fmt.Errorf("dict: boundary %q longer than trie depth %d", e.Boundary, depth)
+		}
+		t.symLens[i] = e.SymbolLen
+		t.codes[i] = e.Code
+	}
+	type span struct{ lo, hi int }
+	cur := []span{{0, len(entries)}}
+	for d := 0; d < depth; d++ {
+		var next []span
+		nodes := make([]btNode, 0, len(cur))
+		for _, sp := range cur {
+			node := btNode{
+				startIdx:  uint32(sp.lo),
+				count:     uint32(sp.hi - sp.lo),
+				childBase: uint32(len(next)),
+			}
+			i := sp.lo
+			if len(entries[i].Boundary) == d {
+				node.term = true
+				i++
+			}
+			for i < sp.hi {
+				c := entries[i].Boundary[d]
+				j := i + 1
+				for j < sp.hi && entries[j].Boundary[d] == c {
+					j++
+				}
+				bitops.Set256(&node.bitmap, int(c))
+				if d == depth-1 {
+					if j != i+1 {
+						return nil, fmt.Errorf("dict: duplicate boundary prefix %q at max depth",
+							entries[i].Boundary)
+					}
+				} else {
+					next = append(next, span{i, j})
+				}
+				i = j
+			}
+			nodes = append(nodes, node)
+		}
+		t.levels[d] = nodes
+		cur = next
+	}
+	return t, nil
+}
+
+// Lookup walks at most depth levels, using popcounts to locate children,
+// and returns the floor entry for src.
+func (t *BitmapTrie) Lookup(src []byte) (hutucker.Code, int) {
+	node := &t.levels[0][0]
+	for d := 0; ; d++ {
+		if d == len(src) {
+			// All remaining boundaries in this subtree extend the path and
+			// therefore exceed src; the floor is the path itself (term) or
+			// the last entry before the subtree.
+			idx := int(node.startIdx) - 1
+			if node.term {
+				idx = int(node.startIdx)
+			}
+			return t.entryAt(idx)
+		}
+		c := int(src[d])
+		r := bitops.Rank256(&node.bitmap, c) // set bits at positions <= c
+		if bitops.Bit256(&node.bitmap, c) {
+			if d == t.depth-1 {
+				// Leaf branch: the boundary path·c is the floor.
+				return t.entryAt(int(node.startIdx) + boolInt(node.term) + r - 1)
+			}
+			node = &t.levels[d+1][node.childBase+uint32(r-1)]
+			continue
+		}
+		// No branch for c: the floor is the last boundary under the
+		// largest smaller branch, the terminator, or the entry preceding
+		// this subtree.
+		if d == t.depth-1 {
+			return t.entryAt(int(node.startIdx) + boolInt(node.term) + r - 1)
+		}
+		if r > 0 {
+			ch := &t.levels[d+1][node.childBase+uint32(r-1)]
+			return t.entryAt(int(ch.startIdx) + int(ch.count) - 1)
+		}
+		idx := int(node.startIdx) - 1
+		if node.term {
+			idx = int(node.startIdx)
+		}
+		return t.entryAt(idx)
+	}
+}
+
+func (t *BitmapTrie) entryAt(idx int) (hutucker.Code, int) {
+	if idx < 0 {
+		panic("dict: lookup below first boundary; dictionary must cover the axis")
+	}
+	return t.codes[idx], int(t.symLens[idx])
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// NumEntries returns the number of intervals.
+func (t *BitmapTrie) NumEntries() int { return len(t.codes) }
+
+// MemoryUsage returns the footprint: 44 bytes per node (256-bit bitmap
+// plus three counters) and 10 bytes per entry (code + length).
+func (t *BitmapTrie) MemoryUsage() int {
+	nodes := 0
+	for _, lv := range t.levels {
+		nodes += len(lv)
+	}
+	return nodes*44 + len(t.codes)*10
+}

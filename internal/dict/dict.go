@@ -1,0 +1,122 @@
+// Package dict implements the dictionary structures of HOPE (paper
+// Section 4.2, Table 1). A dictionary maps the intervals of the string
+// axis model to codes; because the intervals are connected and disjoint,
+// only each interval's left boundary is stored, and a lookup is a floor
+// search: find the entry with the greatest boundary <= the source string.
+//
+// Three structures are provided, matching the paper: a fixed-length array
+// for Single-Char and Double-Char, a bitmap-trie with popcount-based child
+// indexing for 3-Grams and 4-Grams, and an ART-based dictionary for the
+// ALM schemes. A plain binary-search dictionary doubles as the correctness
+// reference and as the ablation baseline the paper compares the
+// bitmap-trie against ("2.3x faster than binary-searching").
+package dict
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/hutucker"
+)
+
+// Entry is one dictionary mapping: the left boundary of an interval on the
+// string axis, the length of the interval's symbol (the number of source
+// bytes consumed when the entry matches), and the interval's code.
+type Entry struct {
+	Boundary  []byte
+	SymbolLen uint8
+	Code      hutucker.Code
+}
+
+// Dictionary is the floor-lookup structure consulted at every encoding
+// step. Lookup finds the interval containing src and returns its code and
+// symbol length; src must be non-empty and the dictionary must cover the
+// axis from "\x00" (all HOPE symbol selectors guarantee this), so a lookup
+// never fails.
+type Dictionary interface {
+	Lookup(src []byte) (code hutucker.Code, symLen int)
+	NumEntries() int
+	// MemoryUsage is the structure's footprint in bytes, reported for the
+	// paper's dictionary-memory experiments (Figure 8, third row).
+	MemoryUsage() int
+}
+
+// ErrNoCoverage is returned by constructors when the entry set does not
+// cover the string axis from "\x00" upward.
+var ErrNoCoverage = errors.New("dict: entries do not cover the axis from \"\\x00\"")
+
+// validateEntries checks ordering, coverage and symbol sanity.
+func validateEntries(entries []Entry) error {
+	if len(entries) == 0 {
+		return errors.New("dict: empty entry set")
+	}
+	if len(entries[0].Boundary) == 0 || entries[0].Boundary[0] != 0x00 {
+		// The region below the first boundary would be unreachable only
+		// for the empty string; any other src needs a floor entry.
+		if len(entries[0].Boundary) != 0 {
+			return ErrNoCoverage
+		}
+	}
+	for i, e := range entries {
+		if e.SymbolLen == 0 {
+			return fmt.Errorf("dict: entry %d has empty symbol", i)
+		}
+		if int(e.SymbolLen) > len(e.Boundary) {
+			return fmt.Errorf("dict: entry %d symbol longer than boundary", i)
+		}
+		if i > 0 && bytes.Compare(entries[i-1].Boundary, e.Boundary) >= 0 {
+			return fmt.Errorf("dict: boundaries not strictly increasing at %d", i)
+		}
+	}
+	return nil
+}
+
+// BinarySearch is the reference dictionary: a sorted boundary array probed
+// with binary search. It is used to cross-check the specialized structures
+// and as the baseline in the dictionary-structure ablation.
+type BinarySearch struct {
+	boundaries [][]byte
+	symLens    []uint8
+	codes      []hutucker.Code
+	memBytes   int
+}
+
+// NewBinarySearch builds the reference dictionary from sorted entries.
+func NewBinarySearch(entries []Entry) (*BinarySearch, error) {
+	if err := validateEntries(entries); err != nil {
+		return nil, err
+	}
+	d := &BinarySearch{
+		boundaries: make([][]byte, len(entries)),
+		symLens:    make([]uint8, len(entries)),
+		codes:      make([]hutucker.Code, len(entries)),
+	}
+	for i, e := range entries {
+		d.boundaries[i] = e.Boundary
+		d.symLens[i] = e.SymbolLen
+		d.codes[i] = e.Code
+		d.memBytes += len(e.Boundary) + 24 /*slice header*/ + 1 + 9
+	}
+	return d, nil
+}
+
+// Lookup returns the floor entry for src.
+func (d *BinarySearch) Lookup(src []byte) (hutucker.Code, int) {
+	// First index whose boundary is > src; floor is the one before.
+	i := sort.Search(len(d.boundaries), func(i int) bool {
+		return bytes.Compare(d.boundaries[i], src) > 0
+	})
+	if i == 0 {
+		panic("dict: lookup below first boundary; dictionary must cover the axis")
+	}
+	i--
+	return d.codes[i], int(d.symLens[i])
+}
+
+// NumEntries returns the number of intervals.
+func (d *BinarySearch) NumEntries() int { return len(d.boundaries) }
+
+// MemoryUsage returns the approximate footprint in bytes.
+func (d *BinarySearch) MemoryUsage() int { return d.memBytes }

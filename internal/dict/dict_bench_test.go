@@ -1,0 +1,59 @@
+package dict
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hutucker"
+)
+
+func benchFixture(b *testing.B, depth int) ([]Entry, [][]byte) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	boundaries := randomCoveringBoundaries(rng, 20000, depth, 32)
+	entries := make([]Entry, len(boundaries))
+	for i, bd := range boundaries {
+		entries[i] = Entry{Boundary: bd, SymbolLen: 1, Code: hutucker.Code{Bits: uint64(i), Len: 32}}
+	}
+	probes := make([][]byte, 4096)
+	for i := range probes {
+		probes[i] = randSrc(rng, depth+2, 40)
+	}
+	return entries, probes
+}
+
+func BenchmarkBitmapTrieLookup(b *testing.B) {
+	entries, probes := benchFixture(b, 3)
+	d, err := NewBitmapTrie(3, entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Lookup(probes[i%len(probes)])
+	}
+}
+
+func BenchmarkBinarySearchLookup(b *testing.B) {
+	entries, probes := benchFixture(b, 3)
+	d, err := NewBinarySearch(entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Lookup(probes[i%len(probes)])
+	}
+}
+
+func BenchmarkARTDictLookup(b *testing.B) {
+	entries, probes := benchFixture(b, 3)
+	d, err := NewARTDict(entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Lookup(probes[i%len(probes)])
+	}
+}

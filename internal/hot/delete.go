@@ -1,0 +1,109 @@
+package hot
+
+import "bytes"
+
+// Delete removes a key and reports whether it was present. The leaf's
+// binary node is removed from its compound node's mini-trie (a local
+// rebuild, mirroring insertion); a compound node left with a single entry
+// that is itself a compound node is replaced by that child to keep the
+// height optimized.
+func (t *Tree) Delete(key []byte) bool {
+	if t.root == nil {
+		return false
+	}
+	// Verify presence first: the bit walk alone cannot distinguish absent
+	// keys (partial-key trie).
+	cn := t.root
+	for {
+		e := cn.entries[cn.walkEntry(key)]
+		if e.leaf != nil {
+			if !bytes.Equal(e.leaf.key, key) {
+				return false
+			}
+			break
+		}
+		cn = e.child
+	}
+	t.size--
+	t.deleteAt(t.root, key)
+	if len(t.root.entries) == 1 && t.root.entries[0].child != nil {
+		t.root = t.root.entries[0].child
+	}
+	if t.size == 0 {
+		t.root = nil
+	}
+	return true
+}
+
+// deleteAt removes the key's leaf from the subtree rooted at cn; it
+// reports whether cn itself collapsed to a single entry so the parent can
+// splice it (keeping compound nodes non-trivial).
+func (t *Tree) deleteAt(cn *cnode, key []byte) {
+	// Locate the entry on the walk path.
+	if len(cn.bits) == 0 {
+		e := &cn.entries[0]
+		if e.child != nil {
+			t.deleteChildEntry(cn, e, key)
+		}
+		// A lone leaf entry: the caller (Delete) zeroes the tree when
+		// size reaches 0; a non-root single-leaf cnode stays valid.
+		return
+	}
+	cur := int32(0)
+	for {
+		var next int32
+		if bitAt(key, int(cn.bits[cur])) == 0 {
+			next = cn.left[cur]
+		} else {
+			next = cn.right[cur]
+		}
+		if next >= 0 {
+			cur = next
+			continue
+		}
+		e := &cn.entries[-(next + 1)]
+		if e.child != nil {
+			t.deleteChildEntry(cn, e, key)
+			return
+		}
+		// Remove this leaf's binary node: decode, drop, re-encode.
+		root := t.decodeArena(cn)
+		root = removeLeaf(root, key)
+		encodeInto(cn, root)
+		return
+	}
+}
+
+// deleteChildEntry recurses into a child compound node and splices it out
+// if it degenerates to a single entry.
+func (t *Tree) deleteChildEntry(cn *cnode, e *entry, key []byte) {
+	child := e.child
+	t.deleteAt(child, key)
+	if len(child.entries) == 1 {
+		// Splice the trivial compound node out of the tree.
+		*e = child.entries[0]
+	}
+}
+
+// removeLeaf drops the leaf matching key from a decoded mini-trie: its
+// parent binary node is replaced by the sibling subtree.
+func removeLeaf(r tref, key []byte) tref {
+	if r.n == nil {
+		return r // single-entry node handled by caller
+	}
+	var sibling, taken tref
+	if bitAt(key, int(r.n.bit)) == 0 {
+		taken, sibling = r.n.l, r.n.r
+	} else {
+		sibling, taken = r.n.l, r.n.r
+	}
+	if taken.n == nil && taken.e.leaf != nil && bytes.Equal(taken.e.leaf.key, key) {
+		return sibling
+	}
+	if bitAt(key, int(r.n.bit)) == 0 {
+		r.n.l = removeLeaf(taken, key)
+	} else {
+		r.n.r = removeLeaf(taken, key)
+	}
+	return r
+}

@@ -1,0 +1,203 @@
+package hot
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New()
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i, k := range keys {
+		tr.Insert([]byte(k), uint64(i))
+	}
+	if !tr.Delete([]byte("beta")) {
+		t.Fatal("delete failed")
+	}
+	if tr.Delete([]byte("beta")) {
+		t.Fatal("double delete")
+	}
+	if tr.Delete([]byte("zeta")) {
+		t.Fatal("deleted absent key")
+	}
+	if _, ok := tr.Get([]byte("beta")); ok {
+		t.Fatal("still present")
+	}
+	for _, k := range []string{"alpha", "gamma", "delta", "epsilon"} {
+		if _, ok := tr.Get([]byte(k)); !ok {
+			t.Fatalf("collateral: %q", k)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+}
+
+func TestDeleteAllEmptiesTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := randKeys(rng, 3000, 10, 8)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for i, k := range keys {
+		if !tr.Delete(k) {
+			t.Fatalf("delete %q failed at %d", k, i)
+		}
+		if _, ok := tr.Get(k); ok {
+			t.Fatalf("%q still present", k)
+		}
+	}
+	if tr.Len() != 0 || tr.root != nil {
+		t.Fatal("tree not empty")
+	}
+	// Reusable after emptying.
+	tr.Insert([]byte("again"), 1)
+	if v, ok := tr.Get([]byte("again")); !ok || v != 1 {
+		t.Fatal("tree unusable after emptying")
+	}
+}
+
+func TestDeletePreservesFanoutInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys := randKeys(rng, 20000, 8, 16)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	// Delete 80% randomly, then validate the structure.
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	cut := len(keys) * 8 / 10
+	for _, k := range keys[:cut] {
+		if !tr.Delete(k) {
+			t.Fatalf("delete %q", k)
+		}
+	}
+	var check func(c *cnode)
+	check = func(c *cnode) {
+		if len(c.entries) > MaxFanout {
+			t.Fatalf("fanout violated: %d", len(c.entries))
+		}
+		if len(c.bits) != 0 && len(c.entries) != len(c.bits)+1 {
+			t.Fatalf("mini-trie inconsistent after deletes")
+		}
+		for _, e := range c.entries {
+			if e.child != nil {
+				if len(e.child.entries) == 1 {
+					t.Fatal("trivial compound node not spliced")
+				}
+				check(e.child)
+			}
+		}
+	}
+	check(tr.root)
+	for i, k := range keys[cut:] {
+		if _, ok := tr.Get(k); !ok {
+			t.Fatalf("survivor %d lost", i)
+		}
+	}
+	// Scans stay sorted and complete.
+	n := 0
+	var prev []byte
+	tr.Scan(nil, func(k []byte, _ uint64) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("scan unsorted after deletes")
+		}
+		prev = append(prev[:0], k...)
+		n++
+		return true
+	})
+	if n != len(keys)-cut {
+		t.Fatalf("scan saw %d, want %d", n, len(keys)-cut)
+	}
+}
+
+func TestInsertDeleteQuickProperty(t *testing.T) {
+	type op struct {
+		Key []byte
+		Del bool
+		Val uint64
+	}
+	f := func(ops []op) bool {
+		tr := New()
+		ref := map[string]uint64{}
+		for _, o := range ops {
+			k := o.Key
+			if len(k) > 10 {
+				k = k[:10]
+			}
+			if o.Del {
+				_, present := ref[string(k)]
+				delete(ref, string(k))
+				if tr.Delete(k) != present {
+					return false
+				}
+			} else {
+				tr.Insert(k, o.Val)
+				ref[string(k)] = o.Val
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok := tr.Get([]byte(k)); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteFromSingletonAndPrefixChains(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("only"), 1)
+	if !tr.Delete([]byte("only")) || tr.Len() != 0 {
+		t.Fatal("singleton delete")
+	}
+	// Prefix chains exercise the 9-bit terminator groups.
+	chain := []string{"", "a", "ab", "abc", "abcd"}
+	for i, k := range chain {
+		tr.Insert([]byte(k), uint64(i))
+	}
+	for _, k := range []string{"ab", "", "abcd"} {
+		if !tr.Delete([]byte(k)) {
+			t.Fatalf("delete %q", k)
+		}
+	}
+	for _, k := range []string{"a", "abc"} {
+		if _, ok := tr.Get([]byte(k)); !ok {
+			t.Fatalf("survivor %q lost", k)
+		}
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+}
+
+func TestDeleteSequentialDense(t *testing.T) {
+	tr := New()
+	n := 5000
+	for i := 0; i < n; i++ {
+		tr.Insert([]byte(fmt.Sprintf("%06d", i)), uint64(i))
+	}
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete([]byte(fmt.Sprintf("%06d", i))) {
+			t.Fatalf("delete %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get([]byte(fmt.Sprintf("%06d", i)))
+		if (i%2 == 0) == ok {
+			t.Fatalf("key %d presence %v", i, ok)
+		}
+	}
+}

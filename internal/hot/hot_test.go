@@ -1,0 +1,308 @@
+package hot
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func randKeys(rng *rand.Rand, n, maxLen, alphabet int) [][]byte {
+	seen := map[string]bool{}
+	var out [][]byte
+	for len(out) < n {
+		k := make([]byte, rng.Intn(maxLen+1))
+		for i := range k {
+			k[i] = byte(rng.Intn(alphabet))
+		}
+		if !seen[string(k)] {
+			seen[string(k)] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestBitEmbeddingOrderAndDistinctness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := randKeys(rng, 500, 6, 4)
+	// critBit must exist for all distinct pairs, and the bit value at the
+	// critical position must match byte order.
+	for i := 0; i < 300; i++ {
+		a := keys[rng.Intn(len(keys))]
+		b := keys[rng.Intn(len(keys))]
+		if bytes.Equal(a, b) {
+			continue
+		}
+		c := critBit(a, b)
+		// Bits above c agree.
+		for p := 0; p < c; p++ {
+			if bitAt(a, p) != bitAt(b, p) {
+				t.Fatalf("bit %d differs below critBit %d for %q,%q", p, c, a, b)
+			}
+		}
+		if bitAt(a, c) == bitAt(b, c) {
+			t.Fatalf("critBit %d does not differ for %q,%q", c, a, b)
+		}
+		// Order: the key with bit 0 at c is the smaller one.
+		small, big := a, b
+		if bytes.Compare(a, b) > 0 {
+			small, big = b, a
+		}
+		if bitAt(small, c) != 0 || bitAt(big, c) != 1 {
+			t.Fatalf("embedding order broken for %q < %q at bit %d", small, big, c)
+		}
+	}
+}
+
+func TestPrefixPairsDistinguished(t *testing.T) {
+	// The classic bit-trie trap: "ab" vs "ab\x00" vs "ab\x00\x00".
+	pairs := [][2]string{
+		{"ab", "ab\x00"}, {"ab", "ab\x00\x00"}, {"", "\x00"},
+		{"x", "x\x00\x00\x00y"}, {"q", "q\x01"},
+	}
+	for _, p := range pairs {
+		a, b := []byte(p[0]), []byte(p[1])
+		c := critBit(a, b)
+		if bitAt(a, c) != 0 || bitAt(b, c) != 1 {
+			t.Fatalf("prefix pair %q/%q: shorter must order first at bit %d", a, b, c)
+		}
+	}
+}
+
+func TestInsertGetRandom(t *testing.T) {
+	for _, alpha := range []int{2, 16, 256} {
+		rng := rand.New(rand.NewSource(int64(alpha)))
+		keys := randKeys(rng, 4000, 12, alpha)
+		tr := New()
+		for i, k := range keys {
+			tr.Insert(k, uint64(i))
+		}
+		if tr.Len() != len(keys) {
+			t.Fatalf("alpha %d: Len=%d, want %d", alpha, tr.Len(), len(keys))
+		}
+		for i, k := range keys {
+			v, ok := tr.Get(k)
+			if !ok || v != uint64(i) {
+				t.Fatalf("alpha %d: Get(%q)=(%d,%v), want %d", alpha, k, v, ok, i)
+			}
+		}
+		seen := map[string]bool{}
+		for _, k := range keys {
+			seen[string(k)] = true
+		}
+		for i := 0; i < 3000; i++ {
+			k := randKeys(rng, 1, 14, alpha)[0]
+			_, ok := tr.Get(k)
+			if ok != seen[string(k)] {
+				t.Fatalf("alpha %d: Get(%q) presence %v", alpha, k, ok)
+			}
+		}
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("k"), 1)
+	tr.Insert([]byte("k"), 2)
+	if tr.Len() != 1 {
+		t.Fatal("size changed on update")
+	}
+	if v, _ := tr.Get([]byte("k")); v != 2 {
+		t.Fatal("update lost")
+	}
+}
+
+func TestFanoutBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys := randKeys(rng, 20000, 10, 26)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	var check func(c *cnode)
+	check = func(c *cnode) {
+		if len(c.entries) > MaxFanout {
+			t.Fatalf("compound node with %d entries exceeds fanout %d",
+				len(c.entries), MaxFanout)
+		}
+		if len(c.bits) != 0 && len(c.entries) != len(c.bits)+1 {
+			t.Fatalf("mini-trie inconsistent: %d bits, %d entries",
+				len(c.bits), len(c.entries))
+		}
+		for _, e := range c.entries {
+			if e.child != nil {
+				check(e.child)
+			}
+		}
+	}
+	check(tr.root)
+}
+
+func TestHeightOptimized(t *testing.T) {
+	// n keys in compound nodes of fanout 32: average depth should be near
+	// log32(n), far below a plain binary Patricia's log2(n).
+	keys := datagen.Generate(datagen.Email, 30000, 3)
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	tr := BulkLoad(keys, nil)
+	avg := tr.AvgLeafDepth()
+	ideal := math.Log(float64(len(keys))) / math.Log(MaxFanout)
+	if avg > 2.5*ideal+1 {
+		t.Fatalf("avg compound depth %.2f too far above ideal %.2f", avg, ideal)
+	}
+	s := tr.ComputeStats()
+	if s.Leaves != len(keys) {
+		t.Fatalf("leaves %d, want %d", s.Leaves, len(keys))
+	}
+}
+
+func TestScanMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := randKeys(rng, 3000, 10, 5)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	sorted := make([]string, len(keys))
+	for i, k := range keys {
+		sorted[i] = string(k)
+	}
+	sort.Strings(sorted)
+	for trial := 0; trial < 300; trial++ {
+		start := randKeys(rng, 1, 12, 6)[0]
+		limit := 1 + rng.Intn(25)
+		i := sort.SearchStrings(sorted, string(start))
+		var want []string
+		for j := i; j < len(sorted) && len(want) < limit; j++ {
+			want = append(want, sorted[j])
+		}
+		var got []string
+		tr.Scan(start, func(k []byte, _ uint64) bool {
+			got = append(got, string(k))
+			return len(got) < limit
+		})
+		if len(got) != len(want) {
+			t.Fatalf("Scan(%q,%d): %d vs %d", start, limit, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("Scan(%q)[%d]=%q, want %q", start, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestBulkLoadEquivalentToInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	keys := randKeys(rng, 5000, 10, 8)
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	bl := BulkLoad(keys, nil)
+	ins := New()
+	for i, k := range keys {
+		ins.Insert(k, uint64(i))
+	}
+	for i, k := range keys {
+		v, ok := bl.Get(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("bulk Get(%q)=(%d,%v)", k, v, ok)
+		}
+	}
+	var a, b []string
+	bl.Scan(nil, func(k []byte, _ uint64) bool { a = append(a, string(k)); return true })
+	ins.Scan(nil, func(k []byte, _ uint64) bool { b = append(b, string(k)); return true })
+	if len(a) != len(b) {
+		t.Fatalf("scan lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scan differs at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if !sort.StringsAreSorted(a) {
+		t.Fatal("scan not sorted")
+	}
+}
+
+func TestInsertDoesNotAliasCallerKey(t *testing.T) {
+	tr := New()
+	k := []byte("mutate")
+	tr.Insert(k, 7)
+	k[0] = 'X'
+	if _, ok := tr.Get([]byte("mutate")); !ok {
+		t.Fatal("tree aliased caller storage")
+	}
+}
+
+func TestMemoryModel(t *testing.T) {
+	keys := datagen.Generate(datagen.Email, 10000, 5)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	s := tr.ComputeStats()
+	if s.MemoryBytes < s.Leaves*16 {
+		t.Fatal("memory below leaf-pointer floor")
+	}
+	// Partial-key storage: bytes per key must be far below raw key bytes
+	// (HOT stores discriminative bits + pointers, not keys).
+	perKey := float64(s.MemoryBytes) / float64(len(keys))
+	if perKey > 60 {
+		t.Fatalf("%.1f bytes/key; HOT should store only partial keys", perKey)
+	}
+	if tr.MemoryUsage() != s.MemoryBytes {
+		t.Fatal("MemoryUsage inconsistent")
+	}
+}
+
+func TestEmptyAndSequential(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("phantom")
+	}
+	n := 0
+	tr.Scan(nil, func([]byte, uint64) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("scan on empty")
+	}
+	if BulkLoad(nil, nil).Len() != 0 {
+		t.Fatal("empty bulk")
+	}
+	for i := 0; i < 5000; i++ {
+		tr.Insert([]byte(fmt.Sprintf("%07d", i)), uint64(i))
+	}
+	for _, i := range []int{0, 2500, 4999} {
+		if v, ok := tr.Get([]byte(fmt.Sprintf("%07d", i))); !ok || v != uint64(i) {
+			t.Fatalf("sequential lost %d", i)
+		}
+	}
+}
+
+func TestInsertionOrderIndependentContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	keys := randKeys(rng, 2000, 8, 6)
+	tr1 := New()
+	for i, k := range keys {
+		tr1.Insert(k, uint64(i))
+	}
+	shuffled := append([][]byte{}, keys...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	tr2 := New()
+	for _, k := range shuffled {
+		tr2.Insert(k, 1)
+	}
+	var a, b []string
+	tr1.Scan(nil, func(k []byte, _ uint64) bool { a = append(a, string(k)); return true })
+	tr2.Scan(nil, func(k []byte, _ uint64) bool { b = append(b, string(k)); return true })
+	if len(a) != len(b) {
+		t.Fatal("content differs by insertion order")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("content differs at %d", i)
+		}
+	}
+}

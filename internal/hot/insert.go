@@ -1,0 +1,339 @@
+package hot
+
+import "bytes"
+
+// tref is the mutable (decoded) form of a mini-trie reference: either an
+// internal node or an entry. Compound nodes are decoded to this form for
+// structural edits and re-encoded to flat arrays afterwards.
+type tref struct {
+	n *tnode
+	e entry
+}
+
+type tnode struct {
+	bit  int32
+	l, r tref
+}
+
+// decode expands a compound node's flat mini-trie with freshly allocated
+// nodes (used by bulk packing, where trees outlive the call).
+func decode(c *cnode) tref {
+	if len(c.bits) == 0 {
+		return tref{e: c.entries[0]}
+	}
+	var rec func(i int32) tref
+	rec = func(i int32) tref {
+		if i < 0 {
+			return tref{e: c.entries[-(i + 1)]}
+		}
+		return tref{n: &tnode{bit: c.bits[i], l: rec(c.left[i]), r: rec(c.right[i])}}
+	}
+	return rec(0)
+}
+
+// newTnode allocates a scratch node from the tree's arena, whose capacity
+// decodeArena reserved up front (growing would relocate live pointers).
+func (t *Tree) newTnode(bit int32, l, r tref) *tnode {
+	if len(t.arena) == cap(t.arena) {
+		panic("hot: arena capacity miscalculated")
+	}
+	t.arena = append(t.arena, tnode{bit: bit, l: l, r: r})
+	return &t.arena[len(t.arena)-1]
+}
+
+// decodeArena expands a compound node into the tree's scratch arena. The
+// arena must have capacity for the whole node up front so that appends do
+// not relocate live *tnode pointers.
+func (t *Tree) decodeArena(c *cnode) tref {
+	t.arena = t.arena[:0]
+	// Worst case per insert: existing mini-trie nodes plus two new ones
+	// from place().
+	if need := len(c.bits) + 2; cap(t.arena) < need {
+		t.arena = make([]tnode, 0, need*2)
+	}
+	if len(c.bits) == 0 {
+		return tref{e: c.entries[0]}
+	}
+	var rec func(i int32) tref
+	rec = func(i int32) tref {
+		if i < 0 {
+			return tref{e: c.entries[-(i + 1)]}
+		}
+		l := rec(c.left[i])
+		r := rec(c.right[i])
+		return tref{n: t.newTnode(c.bits[i], l, r)}
+	}
+	return rec(0)
+}
+
+// encode flattens a mini-trie into a fresh compound node; entries are
+// emitted in in-order (= key order).
+func encode(r tref) *cnode {
+	cn := &cnode{}
+	if r.n == nil {
+		cn.entries = []entry{r.e}
+		return cn
+	}
+	var rec func(x tref) int32
+	rec = func(x tref) int32 {
+		if x.n == nil {
+			cn.entries = append(cn.entries, x.e)
+			return -int32(len(cn.entries))
+		}
+		idx := int32(len(cn.bits))
+		cn.bits = append(cn.bits, x.n.bit)
+		cn.left = append(cn.left, 0)
+		cn.right = append(cn.right, 0)
+		cn.left[idx] = rec(x.n.l)
+		cn.right[idx] = rec(x.n.r)
+		return idx
+	}
+	rec(r)
+	return cn
+}
+
+func countEntries(r tref) int {
+	if r.n == nil {
+		return 1
+	}
+	return countEntries(r.n.l) + countEntries(r.n.r)
+}
+
+// splitResult reports that a compound node overflowed and was divided at
+// its root discriminative bit. Each side is a ready entry: a compound node
+// normally, or the bare entry itself when a side holds a single item (a
+// 1/32 split must not create a trivial wrapper node).
+type splitResult struct {
+	bit         int32
+	left, right entry
+}
+
+// sideEntry packs one half of a split.
+func sideEntry(r tref) entry {
+	if r.n == nil {
+		return r.e
+	}
+	return entry{child: encode(r)}
+}
+
+// Insert adds or updates a key. Key bytes are copied.
+func (t *Tree) Insert(key []byte, val uint64) {
+	k := make([]byte, len(key))
+	copy(k, key)
+	if t.root == nil {
+		t.root = &cnode{entries: []entry{{leaf: &leaf{key: k, val: val}}}}
+		t.size++
+		return
+	}
+	// Bit-walk to a resident leaf; its key yields the critical bit.
+	cn := t.root
+	var reached *leaf
+	for {
+		e := cn.entries[cn.walkEntry(k)]
+		if e.leaf != nil {
+			reached = e.leaf
+			break
+		}
+		cn = e.child
+	}
+	if bytes.Equal(reached.key, k) {
+		reached.val = val
+		return
+	}
+	c := int32(critBit(k, reached.key))
+	nl := &leaf{key: k, val: val}
+	t.size++
+	if sp := t.insertAt(t.root, k, c, nl); sp != nil {
+		t.root = encode(tref{n: &tnode{
+			bit: sp.bit,
+			l:   tref{e: sp.left},
+			r:   tref{e: sp.right},
+		}})
+	}
+}
+
+// insertAt places the new discriminative bit c within cn (or a descendant
+// compound node), rebuilding the affected node and splitting on overflow.
+// Only the node that actually mutates is decoded and re-encoded: ancestors
+// on the path are walked in their flat form and left untouched unless a
+// child split cascades into them.
+func (t *Tree) insertAt(cn *cnode, key []byte, c int32, nl *leaf) *splitResult {
+	var childSplit *splitResult
+	if target := t.findTarget(cn, key, c); target != nil {
+		childSplit = t.insertAt(target, key, c, nl)
+		if childSplit == nil {
+			return nil // handled entirely inside the child
+		}
+	}
+	root := t.decodeArena(cn)
+	root = t.place(root, key, c, nl, childSplit)
+	if n := countEntries(root); n > MaxFanout {
+		// Divide at the top discriminative bit; each side holds at most
+		// MaxFanout entries since n <= MaxFanout+1.
+		return &splitResult{bit: root.n.bit, left: sideEntry(root.n.l), right: sideEntry(root.n.r)}
+	}
+	encodeInto(cn, root)
+	return nil
+}
+
+// encodeInto re-flattens a mini-trie into an existing compound node,
+// reusing its array storage.
+func encodeInto(cn *cnode, r tref) {
+	cn.bits = cn.bits[:0]
+	cn.left = cn.left[:0]
+	cn.right = cn.right[:0]
+	cn.entries = cn.entries[:0]
+	if r.n == nil {
+		cn.entries = append(cn.entries, r.e)
+		return
+	}
+	var rec func(x tref) int32
+	rec = func(x tref) int32 {
+		if x.n == nil {
+			cn.entries = append(cn.entries, x.e)
+			return -int32(len(cn.entries))
+		}
+		idx := int32(len(cn.bits))
+		cn.bits = append(cn.bits, x.n.bit)
+		cn.left = append(cn.left, 0)
+		cn.right = append(cn.right, 0)
+		cn.left[idx] = rec(x.n.l)
+		cn.right[idx] = rec(x.n.r)
+		return idx
+	}
+	rec(r)
+}
+
+// findTarget walks cn's flat mini-trie along the key's bit path and
+// returns the child compound node the insertion belongs to, or nil when
+// the insertion point (the first reference with bit >= c, or a leaf entry)
+// lies within cn itself.
+func (t *Tree) findTarget(cn *cnode, key []byte, c int32) *cnode {
+	if len(cn.bits) == 0 {
+		return cn.entries[0].child // nil for a leaf entry
+	}
+	cur := int32(0)
+	for {
+		if cn.bits[cur] >= c {
+			return nil
+		}
+		var next int32
+		if bitAt(key, int(cn.bits[cur])) == 0 {
+			next = cn.left[cur]
+		} else {
+			next = cn.right[cur]
+		}
+		if next >= 0 {
+			cur = next
+			continue
+		}
+		return cn.entries[-(next + 1)].child // nil for a leaf entry
+	}
+}
+
+// place inserts the (c, nl) binary node into a decoded mini-trie. Bit
+// positions increase along every root-to-leaf path (the Patricia
+// invariant), so the new node belongs above the first reference whose bit
+// is >= c on the key's bit path. childSplit, when non-nil, is the result
+// of an already-performed insertion into the child compound node the path
+// terminates at; it splices in as one binary level.
+func (t *Tree) place(r tref, key []byte, c int32, nl *leaf, childSplit *splitResult) tref {
+	if r.n != nil && r.n.bit < c {
+		if bitAt(key, int(r.n.bit)) == 0 {
+			r.n.l = t.place(r.n.l, key, c, nl, childSplit)
+		} else {
+			r.n.r = t.place(r.n.r, key, c, nl, childSplit)
+		}
+		return r
+	}
+	if r.n == nil && r.e.child != nil {
+		// findTarget established the insertion lives in this child, and
+		// the child has already split.
+		if childSplit == nil {
+			panic("hot: unexpected child entry without a pending split")
+		}
+		return tref{n: t.newTnode(childSplit.bit,
+			tref{e: childSplit.left}, tref{e: childSplit.right})}
+	}
+	// r is a leaf entry or an internal node with bit >= c: the new node
+	// takes its place, with the new leaf on the side of its bit value.
+	if bitAt(key, int(c)) == 0 {
+		return tref{n: t.newTnode(c, tref{e: entry{leaf: nl}}, r)}
+	}
+	return tref{n: t.newTnode(c, r, tref{e: entry{leaf: nl}})}
+}
+
+// BulkLoad builds the tree from sorted unique keys: a full binary Patricia
+// trie, packed top-down into compound nodes by breadth-first expansion
+// (shallowest discriminative bits first), which approaches the
+// height-optimal packing.
+func BulkLoad(keys [][]byte, vals []uint64) *Tree {
+	t := New()
+	if len(keys) == 0 {
+		return t
+	}
+	owned := make([][]byte, len(keys))
+	for i, k := range keys {
+		owned[i] = append([]byte(nil), k...)
+	}
+	var build func(lo, hi int) tref
+	build = func(lo, hi int) tref {
+		if hi-lo == 1 {
+			v := uint64(lo)
+			if vals != nil {
+				v = vals[lo]
+			}
+			return tref{e: entry{leaf: &leaf{key: owned[lo], val: v}}}
+		}
+		bit := int32(critBit(owned[lo], owned[hi-1]))
+		// Keys are sorted and share all bits above `bit`, so the bit value
+		// is monotone across the range: binary search the flip point.
+		a, b := lo, hi
+		for a < b {
+			mid := (a + b) / 2
+			if bitAt(owned[mid], int(bit)) == 0 {
+				a = mid + 1
+			} else {
+				b = mid
+			}
+		}
+		return tref{n: &tnode{bit: bit, l: build(lo, a), r: build(a, hi)}}
+	}
+	t.root = pack(build(0, len(owned)))
+	t.size = len(owned)
+	return t
+}
+
+// pack converts a Patricia subtree into a compound-node tree.
+func pack(r tref) *cnode {
+	if r.n == nil {
+		return &cnode{entries: []entry{r.e}}
+	}
+	// Breadth-first expansion: each expansion turns one frontier item into
+	// two, so stop once the frontier reaches MaxFanout entries.
+	expanded := map[*tnode]bool{r.n: true}
+	queue := []*tnode{r.n}
+	entriesCount := 2
+	for len(queue) > 0 && entriesCount < MaxFanout {
+		q := queue[0]
+		queue = queue[1:]
+		for _, ch := range []tref{q.l, q.r} {
+			if ch.n != nil && entriesCount < MaxFanout {
+				expanded[ch.n] = true
+				queue = append(queue, ch.n)
+				entriesCount++
+			}
+		}
+	}
+	var conv func(x tref) tref
+	conv = func(x tref) tref {
+		if x.n == nil {
+			return x
+		}
+		if !expanded[x.n] {
+			return tref{e: entry{child: pack(x)}}
+		}
+		return tref{n: &tnode{bit: x.n.bit, l: conv(x.n.l), r: conv(x.n.r)}}
+	}
+	return encode(conv(r))
+}

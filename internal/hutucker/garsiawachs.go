@@ -1,0 +1,79 @@
+package hutucker
+
+import "math"
+
+// garsiaWachsDepths computes optimal alphabetic code lengths with the
+// Garsia-Wachs algorithm. Phase 1 repeatedly merges the leftmost "locally
+// minimal pair" and re-inserts the merged tree after the rightmost item to
+// its left with weight >= the merged weight; phase 2 reads leaf depths off
+// the (non-alphabetic) combination tree. The depths are realizable by an
+// alphabetic tree of equal cost.
+func garsiaWachsDepths(weights []float64) []int {
+	n := len(weights)
+	pool := make([]gwNode, n, 2*n-1)
+	seq := make([]int, n)
+	for i, w := range weights {
+		pool[i] = gwNode{w: w, leafIdx: i, left: -1, right: -1}
+		seq[i] = i
+	}
+	wOf := func(pos int) float64 {
+		if pos < 0 || pos >= len(seq) {
+			return math.Inf(1)
+		}
+		return pool[seq[pos]].w
+	}
+	scan := 1
+	for len(seq) > 1 {
+		// Find minimal i >= 1 with w[i-1] <= w[i+1]; i = len(seq)-1 always
+		// qualifies because w[len] is +inf.
+		i := scan
+		if i < 1 {
+			i = 1
+		}
+		for wOf(i-1) > wOf(i+1) {
+			i++
+		}
+		merged := pool[seq[i-1]].w + pool[seq[i]].w
+		pool = append(pool, gwNode{w: merged, leafIdx: -1, left: seq[i-1], right: seq[i]})
+		id := len(pool) - 1
+		// Remove positions i-1 and i.
+		seq = append(seq[:i-1], seq[i+1:]...)
+		// Insert after the rightmost position j < i-1 with weight >= merged.
+		j := i - 2
+		for j >= 0 && pool[seq[j]].w < merged {
+			j--
+		}
+		q := j + 1
+		seq = append(seq, 0)
+		copy(seq[q+1:], seq[q:])
+		seq[q] = id
+		// Positions before q-1 have unchanged neighborhoods and were
+		// already ruled out, so the next scan can resume there.
+		scan = q - 1
+	}
+	depths := make([]int, n)
+	assignDepths(pool, seq[0], 0, depths)
+	return depths
+}
+
+type gwNode struct {
+	w           float64
+	leafIdx     int // original index for leaves, -1 for internal
+	left, right int // pool indices, -1 for leaves
+}
+
+func assignDepths(pool []gwNode, id, depth int, depths []int) {
+	// Iterative DFS; trees can be deep under extreme skew.
+	type frame struct{ id, depth int }
+	stack := []frame{{id, depth}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &pool[f.id]
+		if nd.leafIdx >= 0 {
+			depths[nd.leafIdx] = f.depth
+			continue
+		}
+		stack = append(stack, frame{nd.left, f.depth + 1}, frame{nd.right, f.depth + 1})
+	}
+}

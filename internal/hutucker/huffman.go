@@ -1,0 +1,75 @@
+package hutucker
+
+import "sort"
+
+// HuffmanDepths returns the code lengths of an optimal (order-oblivious)
+// Huffman code for the given weights. HOPE never emits Huffman codes —
+// they are not order-preserving — but the Huffman cost is the entropy
+// lower bound that the optimal alphabetic cost is compared against in
+// tests and ablation benchmarks.
+func HuffmanDepths(weights []float64) []int {
+	n := len(weights)
+	switch n {
+	case 0:
+		return nil
+	case 1:
+		return []int{0}
+	}
+	w := prepareWeights(weights, 1e-12)
+	// Two-queue construction over sorted leaves: O(n log n).
+	type hNode struct {
+		w           float64
+		leafIdx     int
+		left, right int
+	}
+	pool := make([]hNode, 0, 2*n-1)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return w[order[a]] < w[order[b]] })
+	for _, idx := range order {
+		pool = append(pool, hNode{w: w[idx], leafIdx: idx, left: -1, right: -1})
+	}
+	leaves := make([]int, n) // pool ids in ascending weight
+	for i := 0; i < n; i++ {
+		leaves[i] = i
+	}
+	var merged []int // pool ids of merged nodes, naturally ascending
+	li, mi := 0, 0
+	popMin := func() int {
+		switch {
+		case li < len(leaves) && (mi >= len(merged) || pool[leaves[li]].w <= pool[merged[mi]].w):
+			li++
+			return leaves[li-1]
+		default:
+			mi++
+			return merged[mi-1]
+		}
+	}
+	for li+mi < len(leaves)+len(merged)-0 {
+		remaining := (len(leaves) - li) + (len(merged) - mi)
+		if remaining == 1 {
+			break
+		}
+		a := popMin()
+		b := popMin()
+		pool = append(pool, hNode{w: pool[a].w + pool[b].w, leafIdx: -1, left: a, right: b})
+		merged = append(merged, len(pool)-1)
+	}
+	root := popMin()
+	depths := make([]int, n)
+	type frame struct{ id, d int }
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &pool[f.id]
+		if nd.leafIdx >= 0 {
+			depths[nd.leafIdx] = f.d
+			continue
+		}
+		stack = append(stack, frame{nd.left, f.d + 1}, frame{nd.right, f.d + 1})
+	}
+	return depths
+}

@@ -1,0 +1,47 @@
+package hutucker
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchWeights(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64() + 1e-6
+	}
+	return w
+}
+
+func BenchmarkGarsiaWachs4K(b *testing.B) {
+	w := benchWeights(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildDepthsWith(w, GarsiaWachs)
+	}
+}
+
+func BenchmarkHuTucker4K(b *testing.B) {
+	w := benchWeights(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildDepthsWith(w, HuTucker)
+	}
+}
+
+func BenchmarkGarsiaWachs64K(b *testing.B) {
+	w := benchWeights(65792)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildDepthsWith(w, GarsiaWachs)
+	}
+}
+
+func BenchmarkRangeCodes4K(b *testing.B) {
+	w := benchWeights(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RangeCodes(w)
+	}
+}

@@ -1,0 +1,106 @@
+package hutucker
+
+import "sort"
+
+// RangeCodes assigns order-preserving prefix codes by range encoding (the
+// integer form of arithmetic coding), the alternative Code Assigner the
+// paper discusses in Section 4.2: each interval's cumulative-probability
+// range is covered by the shortest dyadic interval that fits inside it,
+// and that dyadic interval's binary expansion is the code. The codes are
+// monotone and prefix-free by construction, but snapping to in-range
+// dyadic boundaries costs extra bits over the optimal Hu-Tucker codes —
+// exactly the trade-off the paper cites for preferring Hu-Tucker
+// ("requires more bits ... to guarantee order-preserving").
+func RangeCodes(weights []float64) []Code {
+	n := len(weights)
+	switch n {
+	case 0:
+		return nil
+	case 1:
+		return []Code{{Bits: 0, Len: 0}}
+	}
+	units := scaleToUnits(weights)
+	codes := make([]Code, n)
+	var cum uint64
+	for i, u := range units {
+		lo, hi := cum, cum+u
+		cum = hi
+		codes[i] = dyadicCode(lo, hi)
+	}
+	return codes
+}
+
+// unitsTotal is the probability grid resolution (2^32 units).
+const unitsTotalLog = 32
+
+// scaleToUnits maps weights onto a 2^32-unit grid, at least one unit each,
+// summing exactly to 2^32.
+func scaleToUnits(weights []float64) []uint64 {
+	n := len(weights)
+	w := prepareWeights(weights, 1e-12)
+	total := uint64(1) << unitsTotalLog
+	spend := total - uint64(n) // reserve one unit per interval
+	units := make([]uint64, n)
+	var sum uint64
+	for i, x := range w {
+		units[i] = 1 + uint64(x*float64(spend))
+		sum += units[i]
+	}
+	// Fix rounding drift on the largest entry (grow) or by round-robin
+	// trimming entries above one unit (shrink).
+	if sum < total {
+		largest := 0
+		for i := range units {
+			if units[i] > units[largest] {
+				largest = i
+			}
+		}
+		units[largest] += total - sum
+	} else if sum > total {
+		over := sum - total
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return units[order[a]] > units[order[b]] })
+		for over > 0 {
+			for _, i := range order {
+				if over == 0 {
+					break
+				}
+				if units[i] > 1 {
+					units[i]--
+					over--
+				}
+			}
+		}
+	}
+	return units
+}
+
+// dyadicCode returns the shortest code whose dyadic interval
+// [m*2^-L, (m+1)*2^-L) lies within [lo, hi) on the 2^32-unit grid.
+func dyadicCode(lo, hi uint64) Code {
+	for l := uint(1); l <= MaxCodeLen; l++ {
+		var m uint64
+		if l >= unitsTotalLog {
+			m = lo << (l - unitsTotalLog) // exact: lo * 2^(L-32)
+		} else {
+			shift := unitsTotalLog - l
+			m = (lo + (1 << shift) - 1) >> shift // ceil(lo * 2^(L-32))
+		}
+		// End of the dyadic interval back on the grid: (m+1) * 2^(32-L).
+		fits := false
+		if l >= unitsTotalLog {
+			fits = m+1 <= hi<<(l-unitsTotalLog)
+		} else {
+			fits = (m+1)<<(unitsTotalLog-l) <= hi
+		}
+		if fits {
+			return Code{Bits: m, Len: uint8(l)}
+		}
+	}
+	// Unreachable: every interval holds at least one unit, and a one-unit
+	// interval is itself dyadic at L = 32.
+	panic("hutucker: no dyadic code found")
+}

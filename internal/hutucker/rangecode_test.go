@@ -1,0 +1,116 @@
+package hutucker
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRangeCodesMonotoneAndPrefixFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(200)
+		w := normalize(randWeights(rng, n))
+		codes := RangeCodes(w)
+		if len(codes) != n {
+			t.Fatalf("got %d codes", len(codes))
+		}
+		for i := 1; i < n; i++ {
+			if !codes[i-1].Less(codes[i]) {
+				t.Fatalf("trial %d: codes not increasing at %d: %v then %v",
+					trial, i, codes[i-1], codes[i])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				a, b := codes[i], codes[j]
+				if a.Len > b.Len {
+					a, b = b, a
+				}
+				if a.Len > 0 && b.Bits>>(b.Len-a.Len) == a.Bits {
+					t.Fatalf("trial %d: %v is a prefix of %v", trial, a, b)
+				}
+			}
+		}
+	}
+}
+
+// The paper's claim: range encoding needs more bits than Hu-Tucker (which
+// is optimal), but stays within the Shannon-Fano-Elias style bound of
+// about two extra bits per symbol.
+func TestRangeCodesCostVsHuTucker(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(300)
+		w := normalize(randWeights(rng, n))
+		rc := RangeCodes(w)
+		var rcCost float64
+		for i, c := range rc {
+			rcCost += w[i] * float64(c.Len)
+		}
+		htCost := Cost(w, BuildDepths(w))
+		if rcCost < htCost-1e-9 {
+			t.Fatalf("range encoding (%.4f bits) beat optimal Hu-Tucker (%.4f)", rcCost, htCost)
+		}
+		// Entropy + ~2-bit bound.
+		var entropy float64
+		for _, p := range w {
+			if p > 0 {
+				entropy -= p * math.Log2(p)
+			}
+		}
+		if rcCost > entropy+2.5 {
+			t.Fatalf("range encoding cost %.4f far above entropy %.4f", rcCost, entropy)
+		}
+	}
+}
+
+func TestRangeCodesEdgeCases(t *testing.T) {
+	if RangeCodes(nil) != nil {
+		t.Fatal("empty")
+	}
+	if c := RangeCodes([]float64{5}); len(c) != 1 || c[0].Len != 0 {
+		t.Fatal("single")
+	}
+	// Extreme skew: heavy symbol gets a short code; all stay <= 63 bits.
+	w := make([]float64, 1000)
+	for i := range w {
+		w[i] = 1e-9
+	}
+	w[500] = 1.0
+	codes := RangeCodes(w)
+	if codes[500].Len > 4 {
+		t.Fatalf("heavy symbol code too long: %d bits", codes[500].Len)
+	}
+	for i, c := range codes {
+		if c.Len == 0 || c.Len > MaxCodeLen {
+			t.Fatalf("code %d has length %d", i, c.Len)
+		}
+	}
+	// Zero/negative weights are floored, not fatal.
+	codes = RangeCodes([]float64{0, -3, 2, math.NaN()})
+	for i := 1; i < len(codes); i++ {
+		if !codes[i-1].Less(codes[i]) {
+			t.Fatal("degenerate weights broke monotonicity")
+		}
+	}
+}
+
+func TestScaleToUnitsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(500)
+		w := randWeights(rng, n)
+		units := scaleToUnits(w)
+		var sum uint64
+		for _, u := range units {
+			if u == 0 {
+				t.Fatal("zero-unit interval")
+			}
+			sum += u
+		}
+		if sum != 1<<unitsTotalLog {
+			t.Fatalf("units sum %d != 2^32", sum)
+		}
+	}
+}

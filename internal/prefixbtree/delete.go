@@ -1,0 +1,170 @@
+package prefixbtree
+
+// minFill is the minimum slot count for non-root nodes after deletion.
+const minFill = Fanout / 2
+
+// Delete removes a key, reports whether it was present, and rebalances
+// with sibling borrows and merges. Moved keys are re-truncated against
+// their destination leaf's prefix, and affected separators are recomputed
+// with suffix truncation, so both space optimizations survive churn.
+func (t *Tree) Delete(key []byte) bool {
+	if !t.del(t.root, key) {
+		return false
+	}
+	t.size--
+	if in, ok := t.root.(*innerNode); ok && in.n == 0 {
+		t.root = in.child[0]
+		t.height--
+	}
+	return true
+}
+
+func (t *Tree) del(n node, key []byte) bool {
+	switch v := n.(type) {
+	case *leafNode:
+		i := v.lowerBound(key)
+		if i >= v.n || cmpKey(key, v.prefix, v.sufs[i]) != 0 {
+			return false
+		}
+		copy(v.sufs[i:], v.sufs[i+1:v.n])
+		copy(v.vals[i:], v.vals[i+1:v.n])
+		v.sufs[v.n-1] = nil
+		v.n--
+		v.recomputePrefix() // removal may lengthen the common prefix
+		return true
+	case *innerNode:
+		idx := v.upperBound(key)
+		if !t.del(v.child[idx], key) {
+			return false
+		}
+		t.rebalance(v, idx)
+		return true
+	}
+	return false
+}
+
+func fillOf(n node) int {
+	switch v := n.(type) {
+	case *leafNode:
+		return v.n
+	case *innerNode:
+		return v.n
+	}
+	return 0
+}
+
+// shortestSep returns the shortest string s with leftMax < s <= rightMin
+// (suffix truncation, as on splits).
+func shortestSep(leftMax, rightMin []byte) []byte {
+	return append([]byte(nil), rightMin[:lcpLen(leftMax, rightMin)+1]...)
+}
+
+// popSlot removes entry i from a leaf and returns the full key and value.
+func (l *leafNode) popSlot(i int) ([]byte, uint64) {
+	k := l.fullKey(nil, i)
+	v := l.vals[i]
+	copy(l.sufs[i:], l.sufs[i+1:l.n])
+	copy(l.vals[i:], l.vals[i+1:l.n])
+	l.sufs[l.n-1] = nil
+	l.n--
+	l.recomputePrefix()
+	return k, v
+}
+
+func (t *Tree) rebalance(p *innerNode, idx int) {
+	if fillOf(p.child[idx]) >= minFill {
+		return
+	}
+	left, right := -1, -1
+	if idx > 0 {
+		left = idx - 1
+	}
+	if idx < p.n {
+		right = idx + 1
+	}
+	switch c := p.child[idx].(type) {
+	case *leafNode:
+		if left >= 0 && fillOf(p.child[left]) > minFill {
+			l := p.child[left].(*leafNode)
+			k, v := l.popSlot(l.n - 1)
+			t.leafPlace(c, k, v)
+			p.keys[left] = shortestSep(l.fullKey(nil, l.n-1), c.fullKey(nil, 0))
+			return
+		}
+		if right >= 0 && fillOf(p.child[right]) > minFill {
+			r := p.child[right].(*leafNode)
+			k, v := r.popSlot(0)
+			t.leafPlace(c, k, v)
+			p.keys[idx] = shortestSep(c.fullKey(nil, c.n-1), r.fullKey(nil, 0))
+			return
+		}
+		if left >= 0 {
+			mergePrefixLeaves(t, p.child[left].(*leafNode), c)
+			p.removeAt(left)
+		} else if right >= 0 {
+			mergePrefixLeaves(t, c, p.child[right].(*leafNode))
+			p.removeAt(idx)
+		}
+	case *innerNode:
+		if left >= 0 && fillOf(p.child[left]) > minFill {
+			l := p.child[left].(*innerNode)
+			copy(c.keys[1:c.n+1], c.keys[:c.n])
+			copy(c.child[1:c.n+2], c.child[:c.n+1])
+			c.keys[0] = p.keys[left]
+			c.child[0] = l.child[l.n]
+			p.keys[left] = l.keys[l.n-1]
+			l.keys[l.n-1] = nil
+			l.child[l.n] = nil
+			l.n--
+			c.n++
+			return
+		}
+		if right >= 0 && fillOf(p.child[right]) > minFill {
+			r := p.child[right].(*innerNode)
+			c.keys[c.n] = p.keys[idx]
+			c.child[c.n+1] = r.child[0]
+			c.n++
+			p.keys[idx] = r.keys[0]
+			copy(r.keys[:r.n-1], r.keys[1:r.n])
+			copy(r.child[:r.n], r.child[1:r.n+1])
+			r.keys[r.n-1] = nil
+			r.child[r.n] = nil
+			r.n--
+			return
+		}
+		if left >= 0 {
+			mergePrefixInners(p.child[left].(*innerNode), c, p.keys[left])
+			p.removeAt(left)
+		} else if right >= 0 {
+			mergePrefixInners(c, p.child[right].(*innerNode), p.keys[idx])
+			p.removeAt(idx)
+		}
+	}
+}
+
+// mergePrefixLeaves moves every key of r into l (re-truncating against
+// l's adjusted prefix) and unlinks r. Combined occupancy fits: both nodes
+// are at or below the minimum fill.
+func mergePrefixLeaves(t *Tree, l, r *leafNode) {
+	var buf []byte
+	for i := 0; i < r.n; i++ {
+		buf = r.fullKey(buf, i)
+		t.leafPlace(l, buf, r.vals[i])
+	}
+	l.next = r.next
+}
+
+func mergePrefixInners(l, r *innerNode, sep []byte) {
+	l.keys[l.n] = sep
+	copy(l.keys[l.n+1:], r.keys[:r.n])
+	copy(l.child[l.n+1:], r.child[:r.n+1])
+	l.n += r.n + 1
+}
+
+func (p *innerNode) removeAt(i int) {
+	copy(p.keys[i:], p.keys[i+1:p.n])
+	copy(p.child[i+1:], p.child[i+2:p.n+1])
+	p.keys[p.n-1] = nil
+	p.child[p.n] = nil
+	p.n--
+}

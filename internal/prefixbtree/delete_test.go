@@ -1,0 +1,150 @@
+package prefixbtree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/btree"
+)
+
+func TestDeleteBasicAndTruncationSurvives(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Insert([]byte(fmt.Sprintf("shared/prefix/%04d", i)), uint64(i))
+	}
+	for i := 0; i < 500; i += 3 {
+		if !tr.Delete([]byte(fmt.Sprintf("shared/prefix/%04d", i))) {
+			t.Fatalf("delete %d", i)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		_, ok := tr.Get([]byte(fmt.Sprintf("shared/prefix/%04d", i)))
+		if (i%3 == 0) == ok {
+			t.Fatalf("key %d presence %v", i, ok)
+		}
+	}
+	// Prefix truncation still effective after churn.
+	s := tr.ComputeStats()
+	raw := 0
+	tr.Scan(nil, func(k []byte, _ uint64) bool { raw += len(k); return true })
+	if s.PrefixBytes+s.SuffixBytes >= raw {
+		t.Fatalf("truncation lost after deletes: stored %d raw %d",
+			s.PrefixBytes+s.SuffixBytes, raw)
+	}
+}
+
+// Differential churn against the plain B+tree: deletes must behave
+// identically.
+func TestDeleteMatchesPlainBTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pt := New()
+	bt := btree.New()
+	pool := randKeys(rng, 3000, 10)
+	live := map[string]bool{}
+	for round := 0; round < 40000; round++ {
+		k := pool[rng.Intn(len(pool))]
+		if live[string(k)] && rng.Intn(2) == 0 {
+			d1 := pt.Delete(k)
+			d2 := bt.Delete(k)
+			if d1 != d2 || !d1 {
+				t.Fatalf("delete divergence on %q: %v vs %v", k, d1, d2)
+			}
+			delete(live, string(k))
+		} else {
+			pt.Insert(k, uint64(round))
+			bt.Insert(k, uint64(round))
+			live[string(k)] = true
+		}
+	}
+	if pt.Len() != bt.Len() || pt.Len() != len(live) {
+		t.Fatalf("sizes diverge: %d vs %d vs %d", pt.Len(), bt.Len(), len(live))
+	}
+	var a, b []string
+	pt.Scan(nil, func(k []byte, _ uint64) bool { a = append(a, string(k)); return true })
+	bt.Scan(nil, func(k []byte, _ uint64) bool { b = append(b, string(k)); return true })
+	if len(a) != len(b) {
+		t.Fatalf("scan lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scan differs at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDeleteAllAndRootCollapse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys := randKeys(rng, 4000, 10)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for i, k := range keys {
+		if !tr.Delete(k) {
+			t.Fatalf("delete %q at %d", k, i)
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("len=%d height=%d after emptying", tr.Len(), tr.Height())
+	}
+	tr.Insert([]byte("again"), 9)
+	if v, ok := tr.Get([]byte("again")); !ok || v != 9 {
+		t.Fatal("unusable after emptying")
+	}
+}
+
+func TestInsertDeleteQuickProperty(t *testing.T) {
+	type op struct {
+		Key []byte
+		Del bool
+		Val uint64
+	}
+	f := func(ops []op) bool {
+		tr := New()
+		ref := map[string]uint64{}
+		for _, o := range ops {
+			k := o.Key
+			if len(k) > 8 {
+				k = k[:8]
+			}
+			if o.Del {
+				_, present := ref[string(k)]
+				delete(ref, string(k))
+				if tr.Delete(k) != present {
+					return false
+				}
+			} else {
+				tr.Insert(k, o.Val)
+				ref[string(k)] = o.Val
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok := tr.Get([]byte(k)); !ok || got != v {
+				return false
+			}
+		}
+		var prev []byte
+		n, good := 0, true
+		tr.Scan(nil, func(k []byte, _ uint64) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				good = false
+				return false
+			}
+			prev = append(prev[:0], k...)
+			n++
+			return true
+		})
+		return good && n == len(ref)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

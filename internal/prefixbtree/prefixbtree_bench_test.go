@@ -1,0 +1,28 @@
+package prefixbtree
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	keys := datagen.Generate(datagen.URL, 50000, 1)
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys[i%len(keys)], uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	keys := datagen.Generate(datagen.URL, 50000, 1)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i%len(keys)])
+	}
+}

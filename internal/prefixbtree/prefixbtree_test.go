@@ -1,0 +1,252 @@
+package prefixbtree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/datagen"
+)
+
+func randKeys(rng *rand.Rand, n, maxLen int) [][]byte {
+	seen := map[string]bool{}
+	var out [][]byte
+	for len(out) < n {
+		k := make([]byte, 1+rng.Intn(maxLen))
+		for i := range k {
+			k[i] = byte('a' + rng.Intn(6))
+		}
+		if !seen[string(k)] {
+			seen[string(k)] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestInsertGetRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := randKeys(rng, 5000, 12)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len=%d, want %d", tr.Len(), len(keys))
+	}
+	for i, k := range keys {
+		v, ok := tr.Get(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get(%q)=(%d,%v), want %d", k, v, ok, i)
+		}
+	}
+	// Absent keys.
+	for i := 0; i < 3000; i++ {
+		k := randKeys(rng, 1, 14)[0]
+		_, ok := tr.Get(k)
+		found := false
+		for _, kk := range keys {
+			if bytes.Equal(k, kk) {
+				found = true
+				break
+			}
+		}
+		if ok != found {
+			t.Fatalf("Get(%q) presence %v, want %v", k, ok, found)
+		}
+	}
+}
+
+func TestMatchesPlainBTreeOnEverything(t *testing.T) {
+	// Differential test: Prefix B+tree must be observationally identical
+	// to the plain B+tree.
+	rng := rand.New(rand.NewSource(2))
+	keys := randKeys(rng, 4000, 10)
+	pt := New()
+	bt := btree.New()
+	for i, k := range keys {
+		pt.Insert(k, uint64(i))
+		bt.Insert(k, uint64(i))
+	}
+	probes := append(randKeys(rng, 2000, 12), keys[:500]...)
+	for _, k := range probes {
+		pv, pok := pt.Get(k)
+		bv, bok := bt.Get(k)
+		if pok != bok || (pok && pv != bv) {
+			t.Fatalf("Get(%q): prefix (%d,%v) vs plain (%d,%v)", k, pv, pok, bv, bok)
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		start := randKeys(rng, 1, 12)[0]
+		limit := 1 + rng.Intn(25)
+		var a, b []string
+		pt.Scan(start, func(k []byte, _ uint64) bool {
+			a = append(a, string(k))
+			return len(a) < limit
+		})
+		bt.Scan(start, func(k []byte, _ uint64) bool {
+			b = append(b, string(k))
+			return len(b) < limit
+		})
+		if len(a) != len(b) {
+			t.Fatalf("Scan(%q): %d vs %d keys", start, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("Scan(%q)[%d]: %q vs %q", start, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestPrefixTruncationSavesMemoryOnSharedPrefixes(t *testing.T) {
+	// URL-like keys share long prefixes; the Prefix B+tree must store
+	// fewer key bytes than the plain B+tree.
+	keys := datagen.Generate(datagen.URL, 3000, 7)
+	pt := New()
+	bt := btree.New()
+	for i, k := range keys {
+		pt.Insert(k, uint64(i))
+		bt.Insert(k, uint64(i))
+	}
+	ps := pt.ComputeStats()
+	bs := bt.ComputeStats()
+	prefixKeyBytes := ps.PrefixBytes + ps.SuffixBytes + ps.SeparatorBytes
+	if prefixKeyBytes >= bs.KeyBytes {
+		t.Fatalf("prefix truncation stored %d key bytes, plain stores %d",
+			prefixKeyBytes, bs.KeyBytes)
+	}
+	if pt.MemoryUsage() >= bt.MemoryUsage() {
+		t.Fatalf("prefix tree (%d B) not smaller than plain (%d B)",
+			pt.MemoryUsage(), bt.MemoryUsage())
+	}
+}
+
+func TestSeparatorsAreShort(t *testing.T) {
+	// Suffix truncation: separators should be much shorter than full keys.
+	keys := datagen.Generate(datagen.URL, 2000, 8)
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	tr := BulkLoad(keys, nil)
+	s := tr.ComputeStats()
+	nSeps := 0
+	// Rough count: inner nodes hold ~Fanout separators each.
+	if s.Inners > 0 {
+		nSeps = s.SeparatorBytes / s.Inners
+	}
+	avgKey := datagen.AvgLen(keys)
+	if float64(nSeps) > avgKey*float64(Fanout) {
+		t.Fatalf("separator bytes per inner node %d vs avg key %f: no truncation evident",
+			nSeps, avgKey)
+	}
+}
+
+func TestBulkLoadEquivalentToInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := randKeys(rng, 3000, 10)
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	bl := BulkLoad(keys, nil)
+	ins := New()
+	for i, k := range keys {
+		ins.Insert(k, uint64(i))
+	}
+	for i, k := range keys {
+		v, ok := bl.Get(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("bulk Get(%q)=(%d,%v)", k, v, ok)
+		}
+	}
+	var a, b []string
+	bl.Scan(nil, func(k []byte, _ uint64) bool { a = append(a, string(k)); return true })
+	ins.Scan(nil, func(k []byte, _ uint64) bool { b = append(b, string(k)); return true })
+	if len(a) != len(b) {
+		t.Fatalf("scan lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scan differs at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUpdateAndPrefixKeys(t *testing.T) {
+	tr := New()
+	// Keys that are prefixes of each other stress cmpKey.
+	keys := []string{"a", "ab", "abc", "abcd", "abcde", "b"}
+	for i, k := range keys {
+		tr.Insert([]byte(k), uint64(i))
+	}
+	for i, k := range keys {
+		if v, ok := tr.Get([]byte(k)); !ok || v != uint64(i) {
+			t.Fatalf("Get(%q)=(%d,%v)", k, v, ok)
+		}
+	}
+	tr.Insert([]byte("abc"), 99)
+	if v, _ := tr.Get([]byte("abc")); v != 99 {
+		t.Fatal("update lost")
+	}
+	if tr.Len() != len(keys) {
+		t.Fatal("size changed on update")
+	}
+}
+
+func TestScanKeyReuseSemantics(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert([]byte(fmt.Sprintf("key%03d", i)), uint64(i))
+	}
+	// The callback key buffer is reused: retained copies must be explicit.
+	var copies []string
+	tr.Scan([]byte("key050"), func(k []byte, _ uint64) bool {
+		copies = append(copies, string(k))
+		return len(copies) < 5
+	})
+	want := []string{"key050", "key051", "key052", "key053", "key054"}
+	for i := range want {
+		if copies[i] != want[i] {
+			t.Fatalf("scan[%d]=%q, want %q", i, copies[i], want[i])
+		}
+	}
+}
+
+func TestSequentialAndDescendingInserts(t *testing.T) {
+	for _, desc := range []bool{false, true} {
+		tr := New()
+		n := 10000
+		for i := 0; i < n; i++ {
+			j := i
+			if desc {
+				j = n - 1 - i
+			}
+			tr.Insert([]byte(fmt.Sprintf("%08d", j)), uint64(j))
+		}
+		if tr.Len() != n {
+			t.Fatalf("desc=%v: size %d", desc, tr.Len())
+		}
+		for _, i := range []int{0, 1, n / 2, n - 1} {
+			if v, ok := tr.Get([]byte(fmt.Sprintf("%08d", i))); !ok || v != uint64(i) {
+				t.Fatalf("desc=%v: lost key %d", desc, i)
+			}
+		}
+		if tr.Height() > 6 {
+			t.Fatalf("desc=%v: height %d", desc, tr.Height())
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("phantom")
+	}
+	n := 0
+	tr.Scan(nil, func([]byte, uint64) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("scan emitted on empty tree")
+	}
+	if BulkLoad(nil, nil).Len() != 0 {
+		t.Fatal("empty bulk load")
+	}
+}

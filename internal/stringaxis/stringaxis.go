@@ -1,0 +1,123 @@
+// Package stringaxis implements interval arithmetic on the lexicographic
+// string axis, the theoretical model of Section 3.1 of the HOPE paper
+// (Zhang et al., SIGMOD 2020).
+//
+// All possible byte strings are laid out on a single axis in lexicographic
+// order. A dictionary encoding scheme divides the axis into connected,
+// disjoint intervals [b_i, b_{i+1}); every interval must have a non-empty
+// common prefix (its dictionary symbol) so that each encoding step consumes
+// at least one source byte. This package provides the primitives the symbol
+// selectors need to construct such interval sets: successor computation,
+// interval common prefixes, and gap splitting.
+package stringaxis
+
+import "bytes"
+
+// Succ returns the smallest string that is strictly greater than every
+// string having s as a prefix; that is, the exclusive upper bound of the
+// interval of strings prefixed by s. It reports ok=false when no such
+// string exists (s is empty or consists solely of 0xFF bytes), in which
+// case the interval extends to the end of the axis.
+//
+// Examples: Succ("abc") = "abd", Succ("a\xff") = "b", Succ("\xff") = none.
+func Succ(s []byte) (succ []byte, ok bool) {
+	i := len(s) - 1
+	for ; i >= 0; i-- {
+		if s[i] != 0xFF {
+			break
+		}
+	}
+	if i < 0 {
+		return nil, false
+	}
+	out := make([]byte, i+1)
+	copy(out, s[:i+1])
+	out[i]++
+	return out, true
+}
+
+// Compare orders two interval boundaries where nil means "end of axis"
+// (positive infinity). Non-nil boundaries compare lexicographically.
+func Compare(a, b []byte) int {
+	switch {
+	case a == nil && b == nil:
+		return 0
+	case a == nil:
+		return 1
+	case b == nil:
+		return -1
+	}
+	return bytes.Compare(a, b)
+}
+
+// HasPrefix reports whether s begins with prefix.
+func HasPrefix(s, prefix []byte) bool {
+	return len(s) >= len(prefix) && bytes.Equal(s[:len(prefix)], prefix)
+}
+
+// CommonPrefix returns the longest common prefix of a and b (a view into a).
+func CommonPrefix(a, b []byte) []byte {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return a[:i]
+}
+
+// IntervalCommonPrefix returns the longest string p that is a prefix of
+// every string in the half-open interval [lo, hi). hi == nil denotes the
+// end of the axis. The result is the dictionary symbol of the interval in
+// the string axis model; it may be empty.
+//
+// p qualifies iff [lo, hi) ⊆ [p, Succ(p)), i.e. p is a prefix of lo and
+// hi <= Succ(p) (trivially true when Succ(p) does not exist).
+func IntervalCommonPrefix(lo, hi []byte) []byte {
+	for k := len(lo); k >= 0; k-- {
+		p := lo[:k]
+		if s, ok := Succ(p); !ok || Compare(hi, s) <= 0 {
+			return p
+		}
+	}
+	return nil // unreachable: k == 0 always qualifies or returns empty
+}
+
+// SplitGap subdivides the half-open interval [lo, hi) into one or more
+// consecutive intervals, each of which has a non-empty common prefix, and
+// returns the left boundaries of the pieces (the first is always lo).
+// hi == nil denotes the end of the axis. lo must be non-empty and, when hi
+// is non-nil, lo < hi must hold.
+//
+// The split points are the one-byte strings strictly between lo and hi:
+// a gap that crosses a first-byte border cannot have a common prefix, while
+// every piece confined to a single first byte has at least that byte as its
+// prefix. This realizes the paper's "fill the gaps with new intervals" step
+// for the n-gram and ALM schemes.
+func SplitGap(lo, hi []byte) [][]byte {
+	if len(IntervalCommonPrefix(lo, hi)) > 0 {
+		return [][]byte{lo}
+	}
+	bounds := [][]byte{lo}
+	first := int(lo[0]) + 1
+	last := 0xFF // inclusive upper first-byte for split points
+	if hi != nil {
+		last = int(hi[0])
+		// If hi == [hi[0]] exactly, the piece [[hi[0]], hi) would be
+		// empty; stop the split points one byte earlier.
+		if len(hi) == 1 {
+			last--
+		}
+	}
+	for c := first; c <= last; c++ {
+		bounds = append(bounds, []byte{byte(c)})
+	}
+	return bounds
+}
+
+// MinByte is the smallest one-byte boundary; the axis region below it,
+// ["", "\x00"), contains only the empty string, which encodes to the empty
+// code and never performs a dictionary lookup.
+var MinByte = []byte{0x00}

@@ -1,0 +1,288 @@
+package stringaxis
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSuccBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"abc", "abd", true},
+		{"a", "b", true},
+		{"a\xff", "b", true},
+		{"a\xff\xff", "b", true},
+		{"\xfe\xff", "\xff", true},
+		{"\x00", "\x01", true},
+		{"", "", false},
+		{"\xff", "", false},
+		{"\xff\xff\xff", "", false},
+		{"ab\x00", "ab\x01", true},
+	}
+	for _, c := range cases {
+		got, ok := Succ([]byte(c.in))
+		if ok != c.ok {
+			t.Errorf("Succ(%q): ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && string(got) != c.want {
+			t.Errorf("Succ(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSuccDoesNotAliasInput(t *testing.T) {
+	in := []byte("abc")
+	got, _ := Succ(in)
+	got[0] = 'z'
+	if string(in) != "abc" {
+		t.Fatalf("Succ aliased its input: %q", in)
+	}
+}
+
+// Succ(s) must be the least string greater than every extension of s.
+func TestSuccIsLeastUpperBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		s := randKey(rng, 6)
+		succ, ok := Succ(s)
+		if !ok {
+			return true
+		}
+		// succ is strictly greater than s and s+anything "small".
+		ext := append(append([]byte{}, s...), randKey(rng, 3)...)
+		if bytes.Compare(succ, s) <= 0 || bytes.Compare(succ, ext) <= 0 {
+			return false
+		}
+		// Nothing with prefix s reaches succ: succ does not have prefix s
+		// unless s is empty.
+		return len(s) == 0 || !HasPrefix(succ, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare(nil, nil) != 0 {
+		t.Error("nil vs nil")
+	}
+	if Compare([]byte("z"), nil) >= 0 {
+		t.Error("string vs infinity")
+	}
+	if Compare(nil, []byte("z")) <= 0 {
+		t.Error("infinity vs string")
+	}
+	if Compare([]byte("a"), []byte("b")) >= 0 {
+		t.Error("a vs b")
+	}
+}
+
+func TestCommonPrefix(t *testing.T) {
+	if got := CommonPrefix([]byte("abcd"), []byte("abxy")); string(got) != "ab" {
+		t.Errorf("got %q", got)
+	}
+	if got := CommonPrefix([]byte("ab"), []byte("abxy")); string(got) != "ab" {
+		t.Errorf("got %q", got)
+	}
+	if got := CommonPrefix([]byte(""), []byte("abxy")); len(got) != 0 {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestIntervalCommonPrefixExamples(t *testing.T) {
+	cases := []struct {
+		lo, hi, want string
+		hiInf        bool
+	}{
+		// Examples straight from the paper's Figure 4.
+		{"inh", "ion", "i", false},   // 3-Grams gap [inh, ion) -> symbol "i"
+		{"ion", "ioo", "ion", false}, // frequent gram interval
+		{"sinh", "sion", "si", false},
+		{"ing", "inh", "ing", false},
+		// Whole first-byte region.
+		{"a", "b", "a", false},
+		// Crossing a first-byte border: no common prefix.
+		{"az", "ba", "", false},
+		// Last interval to infinity.
+		{"\xff", "", "\xff", true},
+		{"zz", "", "", true},
+		// Everything in [ab\xff, ac) must continue with 0xff after "ab".
+		{"ab\xff", "ac", "ab\xff", false},
+		{"ab\xfe", "ac", "ab", false},
+	}
+	for _, c := range cases {
+		var hi []byte
+		if !c.hiInf {
+			hi = []byte(c.hi)
+		}
+		got := IntervalCommonPrefix([]byte(c.lo), hi)
+		if string(got) != c.want {
+			t.Errorf("IntervalCommonPrefix(%q, %q) = %q, want %q", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// The returned prefix must (a) prefix lo and (b) cover the interval:
+// random strings in [lo, hi) all carry the prefix.
+func TestIntervalCommonPrefixProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		lo := randKey(rng, 5)
+		hi := randKey(rng, 5)
+		if bytes.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+		if bytes.Equal(lo, hi) {
+			continue
+		}
+		p := IntervalCommonPrefix(lo, hi)
+		if !HasPrefix(lo, p) {
+			t.Fatalf("prefix %q does not prefix lo %q", p, lo)
+		}
+		// Sample strings in [lo, hi): lo itself and lo + random extension
+		// clamped below hi.
+		for j := 0; j < 8; j++ {
+			s := append(append([]byte{}, lo...), randKey(rng, 3)...)
+			if bytes.Compare(s, hi) >= 0 {
+				continue
+			}
+			if !HasPrefix(s, p) {
+				t.Fatalf("string %q in [%q,%q) lacks prefix %q", s, lo, hi, p)
+			}
+		}
+	}
+}
+
+// Maximality: extending the prefix by one byte must stop covering [lo, hi).
+func TestIntervalCommonPrefixMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 3000; i++ {
+		lo := randKey(rng, 4)
+		hi := randKey(rng, 4)
+		if bytes.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+		if bytes.Equal(lo, hi) {
+			continue
+		}
+		p := IntervalCommonPrefix(lo, hi)
+		if len(p) == len(lo) {
+			continue // cannot extend further
+		}
+		longer := lo[:len(p)+1]
+		if s, ok := Succ(longer); ok && Compare(hi, s) <= 0 {
+			t.Fatalf("prefix %q not maximal for [%q,%q): %q also covers", p, lo, hi, longer)
+		}
+	}
+}
+
+func TestSplitGapSingleRegion(t *testing.T) {
+	got := SplitGap([]byte("inh"), []byte("ion"))
+	if len(got) != 1 || string(got[0]) != "inh" {
+		t.Fatalf("SplitGap(inh,ion) = %q, want [inh]", got)
+	}
+}
+
+func TestSplitGapCrossingBorder(t *testing.T) {
+	got := SplitGap([]byte("ax"), []byte("cm"))
+	want := []string{"ax", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("piece %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSplitGapToInfinity(t *testing.T) {
+	got := SplitGap([]byte{0xFD, 'q'}, nil)
+	want := []string{"\xfdq", "\xfe", "\xff"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d pieces, want %d: %q", len(got), len(want), got)
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("piece %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSplitGapHiIsSingleByte(t *testing.T) {
+	// [a?, b): the split point "b" would create an empty piece [b, b).
+	got := SplitGap([]byte("ax"), []byte("b"))
+	if len(got) != 1 || string(got[0]) != "ax" {
+		t.Fatalf("got %q, want [ax]", got)
+	}
+	// ["ax", "c"): split point "b" is valid, "c" is not.
+	got = SplitGap([]byte("ax"), []byte("c"))
+	if len(got) != 2 || string(got[1]) != "b" {
+		t.Fatalf("got %q, want [ax b]", got)
+	}
+}
+
+// Every piece produced by SplitGap must have a non-empty common prefix —
+// the property that guarantees encoding always consumes a byte.
+func TestSplitGapPiecesHaveNonEmptySymbols(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 4000; i++ {
+		lo := randNonEmptyKey(rng, 4)
+		var hi []byte
+		if rng.Intn(4) != 0 {
+			hi = randNonEmptyKey(rng, 4)
+			if bytes.Compare(lo, hi) >= 0 {
+				continue
+			}
+		}
+		bounds := SplitGap(lo, hi)
+		if !bytes.Equal(bounds[0], lo) {
+			t.Fatalf("first bound %q != lo %q", bounds[0], lo)
+		}
+		for j, b := range bounds {
+			var pieceHi []byte
+			if j+1 < len(bounds) {
+				pieceHi = bounds[j+1]
+				if bytes.Compare(b, pieceHi) >= 0 {
+					t.Fatalf("bounds not increasing: %q >= %q", b, pieceHi)
+				}
+			} else {
+				pieceHi = hi
+			}
+			if p := IntervalCommonPrefix(b, pieceHi); len(p) == 0 {
+				t.Fatalf("piece [%q,%q) of gap [%q,%q) has empty symbol", b, pieceHi, lo, hi)
+			}
+		}
+	}
+}
+
+func randKey(rng *rand.Rand, maxLen int) []byte {
+	n := rng.Intn(maxLen + 1)
+	b := make([]byte, n)
+	for i := range b {
+		// Small alphabet plus extremes to exercise 0x00/0xFF carry paths.
+		switch rng.Intn(6) {
+		case 0:
+			b[i] = 0x00
+		case 1:
+			b[i] = 0xFF
+		default:
+			b[i] = byte('a' + rng.Intn(4))
+		}
+	}
+	return b
+}
+
+func randNonEmptyKey(rng *rand.Rand, maxLen int) []byte {
+	for {
+		if k := randKey(rng, maxLen); len(k) > 0 {
+			return k
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package surf
+
+// lowerBound finds the first leaf, in trie order, whose original key could
+// be >= query, and returns the stored (truncated) prefix of that leaf and
+// its label position. The search is deliberately conservative: a leaf
+// whose prefix is a prefix of the query is ambiguous (the original key may
+// be smaller or larger), and it is included rather than skipped, so a
+// stored key >= query can never be overshot — the property the range
+// filter's one-sided guarantee rests on.
+func (f *Filter) lowerBound(query []byte) (prefix []byte, leafPos int, ok bool) {
+	if f.numKeys == 0 {
+		return nil, 0, false
+	}
+	// path holds the label position taken at each depth.
+	var path []int
+	node := 0
+	d := 0
+	for {
+		lo, hi := f.nodeRange(node)
+		if d == len(query) {
+			// Every key below this node extends the query: all >= it.
+			return f.descendLeftmost(path, lo)
+		}
+		want := uint16(query[d]) + 1
+		pos, exact := f.findLabel(lo, hi, want)
+		if exact {
+			if !f.hasChild.Get(pos) {
+				// Ambiguous leaf: prefix equals query[:d+1].
+				path = append(path, pos)
+				return f.pathPrefix(path), pos, true
+			}
+			path = append(path, pos)
+			node = f.childNode(pos)
+			d++
+			continue
+		}
+		if pos < hi {
+			// Smallest label greater than the query byte: everything in
+			// its subtree exceeds the query.
+			return f.descendLeftmost(path, pos)
+		}
+		// No label >= query byte here: backtrack to the next sibling edge.
+		for len(path) > 0 {
+			p := path[len(path)-1]
+			path = path[:len(path)-1]
+			if p+1 < len(f.labels) && !f.louds.Get(p+1) {
+				return f.descendLeftmost(path, p+1)
+			}
+		}
+		return nil, 0, false
+	}
+}
+
+// descendLeftmost extends path from label position pos, always taking the
+// first edge, until a leaf edge is reached.
+func (f *Filter) descendLeftmost(path []int, pos int) ([]byte, int, bool) {
+	for {
+		path = append(path, pos)
+		if !f.hasChild.Get(pos) {
+			return f.pathPrefix(path), pos, true
+		}
+		node := f.childNode(pos)
+		pos, _ = f.louds.Select1(node + 1)
+	}
+}
+
+// pathPrefix reconstructs the stored key prefix along a label path
+// (terminator labels contribute no byte).
+func (f *Filter) pathPrefix(path []int) []byte {
+	out := make([]byte, 0, len(path))
+	for _, pos := range path {
+		if l := f.labels[pos]; l != terminator {
+			out = append(out, byte(l-1))
+		}
+	}
+	return out
+}
+
+// Iterator walks the filter's stored (truncated) key prefixes in order —
+// the primitive an LSM-tree uses to merge filter answers across runs. Use
+// Seek to position at the first prefix whose original key could be >= the
+// target, then Next to advance.
+type Iterator struct {
+	f     *Filter
+	path  []int
+	valid bool
+}
+
+// NewIterator returns an unpositioned iterator; call Seek first.
+func (f *Filter) NewIterator() *Iterator { return &Iterator{f: f} }
+
+// Valid reports whether the iterator is positioned on a leaf.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Key returns the stored prefix at the current position (a truncation of
+// some original key; valid until the next call).
+func (it *Iterator) Key() []byte { return it.f.pathPrefix(it.path) }
+
+// LeafPos returns the current leaf's label position (for suffix access).
+func (it *Iterator) LeafPos() int { return it.path[len(it.path)-1] }
+
+// Seek positions the iterator at the first stored prefix that could
+// belong to a key >= target (conservative, like lowerBound).
+func (it *Iterator) Seek(target []byte) bool {
+	if it.f.numKeys == 0 {
+		it.valid = false
+		return false
+	}
+	// Reuse lowerBound's walk, retaining the path.
+	it.path = it.path[:0]
+	it.valid = it.seekPath(target)
+	return it.valid
+}
+
+// seekPath mirrors lowerBound but records the path into it.path.
+func (it *Iterator) seekPath(query []byte) bool {
+	f := it.f
+	node := 0
+	d := 0
+	for {
+		lo, hi := f.nodeRange(node)
+		if d == len(query) {
+			return it.descendLeftmost(lo)
+		}
+		want := uint16(query[d]) + 1
+		pos, exact := f.findLabel(lo, hi, want)
+		if exact {
+			if !f.hasChild.Get(pos) {
+				it.path = append(it.path, pos)
+				return true
+			}
+			it.path = append(it.path, pos)
+			node = f.childNode(pos)
+			d++
+			continue
+		}
+		if pos < hi {
+			return it.descendLeftmost(pos)
+		}
+		for len(it.path) > 0 {
+			p := it.path[len(it.path)-1]
+			it.path = it.path[:len(it.path)-1]
+			if p+1 < len(f.labels) && !f.louds.Get(p+1) {
+				return it.descendLeftmost(p + 1)
+			}
+		}
+		return false
+	}
+}
+
+func (it *Iterator) descendLeftmost(pos int) bool {
+	f := it.f
+	for {
+		it.path = append(it.path, pos)
+		if !f.hasChild.Get(pos) {
+			return true
+		}
+		node := f.childNode(pos)
+		pos, _ = f.louds.Select1(node + 1)
+	}
+}
+
+// Next advances to the following stored prefix in key order.
+func (it *Iterator) Next() bool {
+	if !it.valid {
+		return false
+	}
+	f := it.f
+	for len(it.path) > 0 {
+		p := it.path[len(it.path)-1]
+		it.path = it.path[:len(it.path)-1]
+		if p+1 < len(f.labels) && !f.louds.Get(p+1) {
+			it.valid = it.descendLeftmost(p + 1)
+			return it.valid
+		}
+	}
+	it.valid = false
+	return false
+}

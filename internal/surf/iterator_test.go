@@ -1,0 +1,102 @@
+package surf
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestIteratorFullWalkIsSortedAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := randKeys(rng, 3000, 10, 5)
+	f := Build(keys, Base, 0)
+	it := f.NewIterator()
+	if !it.Seek(nil) {
+		t.Fatal("seek to start failed")
+	}
+	count := 0
+	var prev []byte
+	for it.Valid() {
+		k := append([]byte(nil), it.Key()...)
+		// Prefixes are sorted (ties impossible: distinct leaves have
+		// distinct paths, and trie order is strictly increasing).
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("iterator not strictly increasing: %q then %q", prev, k)
+		}
+		// Every emitted prefix must actually prefix a stored key.
+		found := false
+		for _, orig := range keys {
+			if bytes.HasPrefix(orig, k) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("prefix %q matches no stored key", k)
+		}
+		prev = k
+		count++
+		it.Next()
+	}
+	if count != len(keys) {
+		t.Fatalf("iterated %d leaves, want %d", count, len(keys))
+	}
+}
+
+func TestIteratorSeekMatchesLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys := randKeys(rng, 2000, 8, 4)
+	f := Build(keys, Base, 0)
+	it := f.NewIterator()
+	for trial := 0; trial < 3000; trial++ {
+		q := randKeys(rng, 1, 10, 5)[0]
+		wantPrefix, wantPos, wantOK := f.lowerBound(q)
+		gotOK := it.Seek(q)
+		if gotOK != wantOK {
+			t.Fatalf("Seek(%q)=%v, lowerBound says %v", q, gotOK, wantOK)
+		}
+		if gotOK {
+			if !bytes.Equal(it.Key(), wantPrefix) || it.LeafPos() != wantPos {
+				t.Fatalf("Seek(%q) at (%q,%d), lowerBound at (%q,%d)",
+					q, it.Key(), it.LeafPos(), wantPrefix, wantPos)
+			}
+		}
+	}
+}
+
+func TestIteratorSeekThenScanCoversTail(t *testing.T) {
+	// Seek to a stored key and iterate to the end: the count must equal
+	// the number of stored keys at or after it.
+	rng := rand.New(rand.NewSource(3))
+	keys := randKeys(rng, 1500, 8, 4)
+	f := Build(keys, Base, 0)
+	asStr := make([]string, len(keys))
+	for i, k := range keys {
+		asStr[i] = string(k)
+	}
+	sort.Strings(asStr)
+	it := f.NewIterator()
+	for trial := 0; trial < 200; trial++ {
+		i := rng.Intn(len(asStr))
+		it.Seek([]byte(asStr[i]))
+		n := 0
+		for it.Valid() {
+			n++
+			it.Next()
+		}
+		// Conservative seek can land at most a few ambiguous leaves early,
+		// never late (no overshoot).
+		if n < len(asStr)-i {
+			t.Fatalf("seek to %q overshot: saw %d, want >= %d", asStr[i], n, len(asStr)-i)
+		}
+	}
+}
+
+func TestIteratorEmptyFilter(t *testing.T) {
+	f := Build(nil, Base, 0)
+	it := f.NewIterator()
+	if it.Seek([]byte("x")) || it.Valid() || it.Next() {
+		t.Fatal("empty filter iterator must stay invalid")
+	}
+}

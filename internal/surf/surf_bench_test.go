@@ -1,0 +1,40 @@
+package surf
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func benchFilter(b *testing.B, mode SuffixMode, bits uint) (*Filter, [][]byte) {
+	b.Helper()
+	keys := sortedUnique(datagen.Generate(datagen.Email, 100000, 1))
+	return Build(keys, mode, bits), keys
+}
+
+func BenchmarkBuild(b *testing.B) {
+	keys := sortedUnique(datagen.Generate(datagen.Email, 100000, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(keys, Real, 8)
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f, keys := benchFilter(b, Real, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkMayContainRange(b *testing.B) {
+	f, keys := benchFilter(b, Real, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		hi := append([]byte(nil), k...)
+		hi[len(hi)-1]++
+		f.MayContainRange(k, hi)
+	}
+}

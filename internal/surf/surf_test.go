@@ -1,0 +1,259 @@
+package surf
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func sortedUnique(keys [][]byte) [][]byte {
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || !bytes.Equal(keys[i-1], k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func randKeys(rng *rand.Rand, n, maxLen, alphabet int) [][]byte {
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		k := make([]byte, 1+rng.Intn(maxLen))
+		for j := range k {
+			k[j] = byte('a' + rng.Intn(alphabet))
+		}
+		out = append(out, k)
+	}
+	return sortedUnique(out)
+}
+
+func modes() []SuffixMode { return []SuffixMode{Base, Hash, Real} }
+
+// The cardinal property: no false negatives on point queries.
+func TestNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := randKeys(rng, 5000, 12, 6)
+	for _, mode := range modes() {
+		f := Build(keys, mode, 8)
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				t.Fatalf("mode %v: false negative for %q", mode, k)
+			}
+		}
+	}
+}
+
+func TestPrefixKeysAndTerminators(t *testing.T) {
+	keys := [][]byte{[]byte(""), []byte("a"), []byte("ab"), []byte("abc"), []byte("abd"), []byte("b")}
+	for _, mode := range modes() {
+		f := Build(keys, mode, 8)
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				t.Fatalf("mode %v: false negative for prefix key %q", mode, k)
+			}
+		}
+		if f.NumKeys() != len(keys) {
+			t.Fatal("key count")
+		}
+	}
+}
+
+// Truncation means some absent keys hit; but absent keys that diverge from
+// every stored key within the stored trie must miss.
+func TestDivergentAbsentKeysMiss(t *testing.T) {
+	keys := [][]byte{[]byte("apple"), []byte("apply"), []byte("banana")}
+	f := Build(keys, Base, 0)
+	for _, k := range []string{"cherry", "ap", "", "b", "apric"} {
+		// "apric": diverges from appl* at depth 2 ('r' vs 'p').
+		if k == "b" || k == "ap" {
+			continue // truncated internal paths; behavior not asserted
+		}
+		if f.MayContain([]byte(k)) {
+			t.Fatalf("divergent absent key %q reported present", k)
+		}
+	}
+}
+
+func TestSuffixModesReduceFalsePositives(t *testing.T) {
+	// Paper Figure 11 direction: Real suffixes cut the FPR dramatically.
+	keys := datagen.Generate(datagen.Email, 8000, 1)
+	keys = sortedUnique(keys)
+	absent := datagen.Generate(datagen.Email, 4000, 999)
+	present := map[string]bool{}
+	for _, k := range keys {
+		present[string(k)] = true
+	}
+	var probes [][]byte
+	for _, k := range absent {
+		if !present[string(k)] {
+			probes = append(probes, k)
+		}
+	}
+	base := Build(keys, Base, 0)
+	real8 := Build(keys, Real, 8)
+	hash8 := Build(keys, Hash, 8)
+	fprBase := base.FalsePositiveRate(probes)
+	fprReal := real8.FalsePositiveRate(probes)
+	fprHash := hash8.FalsePositiveRate(probes)
+	if fprReal >= fprBase && fprBase > 0 {
+		t.Fatalf("Real8 FPR %.4f not below Base FPR %.4f", fprReal, fprBase)
+	}
+	if fprHash >= fprBase && fprBase > 0 {
+		t.Fatalf("Hash8 FPR %.4f not below Base FPR %.4f", fprHash, fprBase)
+	}
+	// No false negatives regardless.
+	for _, k := range keys[:1000] {
+		if !real8.MayContain(k) || !hash8.MayContain(k) {
+			t.Fatal("suffix mode introduced false negative")
+		}
+	}
+}
+
+// Range queries: one-sided — any range containing a stored key answers true.
+func TestRangeNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys := randKeys(rng, 3000, 10, 5)
+	for _, mode := range modes() {
+		f := Build(keys, mode, 8)
+		for trial := 0; trial < 3000; trial++ {
+			k := keys[rng.Intn(len(keys))]
+			// Build a random range straddling k.
+			lo := append([]byte(nil), k...)
+			hi := append([]byte(nil), k...)
+			switch rng.Intn(3) {
+			case 0: // exact point range
+			case 1: // widen left
+				if len(lo) > 0 {
+					lo = lo[:rng.Intn(len(lo))]
+				}
+			default: // widen right
+				hi = append(hi, 0xFF)
+			}
+			if !f.MayContainRange(lo, hi) {
+				t.Fatalf("mode %v: false negative for range [%q, %q] containing %q",
+					mode, lo, hi, k)
+			}
+		}
+	}
+}
+
+func TestRangeRejectsDistantRanges(t *testing.T) {
+	keys := [][]byte{[]byte("carrot"), []byte("cabbage"), []byte("celery")}
+	f := Build(keys, Real, 8)
+	if f.MayContainRange([]byte("x"), []byte("zzz")) {
+		t.Fatal("range far beyond all keys reported true")
+	}
+	if f.MayContainRange([]byte("a"), []byte("b")) {
+		t.Fatal("range far below all keys reported true")
+	}
+	if f.MayContainRange([]byte("z"), []byte("a")) {
+		t.Fatal("inverted range reported true")
+	}
+}
+
+// The paper's SuRF range-query shape: [key, key-with-last-byte+1].
+func TestPaperStyleClosedRanges(t *testing.T) {
+	keys := datagen.Generate(datagen.Email, 3000, 3)
+	keys = sortedUnique(keys)
+	f := Build(keys, Real, 8)
+	for _, k := range keys[:500] {
+		hi := append([]byte(nil), k...)
+		hi[len(hi)-1]++
+		if !f.MayContainRange(k, hi) {
+			t.Fatalf("closed range over stored key %q reported false", k)
+		}
+	}
+}
+
+func TestLowerBoundAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := randKeys(rng, 2000, 8, 4)
+	f := Build(keys, Base, 0)
+	asStrings := make([]string, len(keys))
+	for i, k := range keys {
+		asStrings[i] = string(k)
+	}
+	for trial := 0; trial < 5000; trial++ {
+		q := randKeys(rng, 1, 10, 5)[0]
+		prefix, _, ok := f.lowerBound(q)
+		i := sort.SearchStrings(asStrings, string(q))
+		if i == len(asStrings) {
+			// No stored key >= q. The conservative search may still land
+			// on an ambiguous earlier leaf; it must then be a prefix of q.
+			if ok && !bytes.HasPrefix(q, prefix) {
+				t.Fatalf("lowerBound(%q) returned %q with no stored key >= query", q, prefix)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("lowerBound(%q) missed; reference found %q", q, asStrings[i])
+		}
+		// No overshoot: prefix must not exceed the reference lower bound.
+		if bytes.Compare(prefix, []byte(asStrings[i])) > 0 {
+			t.Fatalf("lowerBound(%q) = %q overshoots reference %q", q, prefix, asStrings[i])
+		}
+	}
+}
+
+func TestAvgHeightAndMemory(t *testing.T) {
+	keys := datagen.Generate(datagen.Email, 5000, 4)
+	keys = sortedUnique(keys)
+	base := Build(keys, Base, 0)
+	real8 := Build(keys, Real, 8)
+	if h := base.AvgHeight(); h < 2 || h > 30 {
+		t.Fatalf("implausible avg height %v", h)
+	}
+	if base.MemoryUsage() <= 0 {
+		t.Fatal("no memory reported")
+	}
+	if real8.MemoryUsage() <= base.MemoryUsage() {
+		t.Fatal("real suffixes must cost memory")
+	}
+	// Succinctness: bits per key should be far below raw key storage.
+	bitsPerKey := float64(base.MemoryUsage()*8) / float64(len(keys))
+	rawBits := datagen.AvgLen(keys) * 8
+	if bitsPerKey >= rawBits {
+		t.Fatalf("SuRF uses %.1f bits/key, raw keys are %.1f", bitsPerKey, rawBits)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	f := Build(nil, Base, 0)
+	if f.MayContain([]byte("x")) || f.MayContainRange([]byte("a"), []byte("z")) {
+		t.Fatal("empty filter claims membership")
+	}
+	if f.AvgHeight() != 0 {
+		t.Fatal("empty height")
+	}
+	one := Build([][]byte{[]byte("only")}, Real, 8)
+	if !one.MayContain([]byte("only")) {
+		t.Fatal("single key lost")
+	}
+	if !one.MayContainRange([]byte("a"), []byte("z")) {
+		t.Fatal("single key range missed")
+	}
+}
+
+func TestHashModeExactness(t *testing.T) {
+	// Hash suffixes reject almost all absent keys sharing stored paths.
+	keys := [][]byte{[]byte("shared-prefix-aaaa"), []byte("shared-prefix-bbbb")}
+	f := Build(keys, Hash, 16)
+	if !f.MayContain(keys[0]) || !f.MayContain(keys[1]) {
+		t.Fatal("false negative")
+	}
+	fp := 0
+	for c := byte('c'); c <= 'z'; c++ {
+		probe := append([]byte("shared-prefix-"), c, c, c, c)
+		if f.MayContain(probe) {
+			fp++
+		}
+	}
+	if fp > 2 {
+		t.Fatalf("hash suffix rejected too little: %d/24 false positives", fp)
+	}
+}

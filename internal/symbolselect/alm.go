@@ -1,0 +1,162 @@
+package symbolselect
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stringaxis"
+)
+
+// DefaultMaxPatternLen caps ALM candidate pattern length. The original ALM
+// counts substrings of every length, which is quadratic in key length; the
+// cap bounds that cost and is far above any pattern that survives the
+// frequency threshold in practice (see DESIGN.md, Substitutions).
+const DefaultMaxPatternLen = 64
+
+// ALM implements Antoshenkov's variable-length-interval selector (paper
+// Section 3.3): collect the frequency of every substring up to
+// maxPatternLen bytes, keep patterns whose length x frequency exceeds a
+// threshold W, blend prefix-violating patterns, and fill the gaps. W is
+// binary-searched so the dictionary stays within limit entries, as the
+// paper prescribes ("one must binary search on W's to obtain a desired
+// dictionary size").
+func ALM(samples [][]byte, limit, maxPatternLen int, weightByLength bool) ([]Interval, error) {
+	return almSelect(samples, limit, maxPatternLen, weightByLength, countAllSubstrings)
+}
+
+// ALMImproved is the paper's improved variant. Its published dictionary
+// segments are identical to ALM's (paper Figures 4c and 4f); the
+// improvements are suffix-trie-based statistics collection (an
+// implementation optimization this package subsumes in the shared counting
+// path) and, crucially, Hu-Tucker codes instead of fixed-length codes —
+// which is the Code Assigner's concern (core.Build selects it by scheme).
+func ALMImproved(samples [][]byte, limit, maxPatternLen int, weightByLength bool) ([]Interval, error) {
+	return almSelect(samples, limit, maxPatternLen, weightByLength, countAllSubstrings)
+}
+
+func almSelect(samples [][]byte, limit, maxPatternLen int,
+	weightByLength bool, count func([][]byte, int) map[string]int64) ([]Interval, error) {
+	if limit < 300 {
+		return nil, fmt.Errorf("symbolselect: ALM dictionary limit %d too small", limit)
+	}
+	if maxPatternLen <= 0 {
+		maxPatternLen = DefaultMaxPatternLen
+	}
+	freqs := count(samples, maxPatternLen)
+	type pat struct {
+		s       string
+		freq    int64
+		product int64 // len(s) * freq, the ALM selection metric
+	}
+	pats := make([]pat, 0, len(freqs))
+	for s, f := range freqs {
+		// Minimum support: a multi-byte pattern seen once is an artifact
+		// of the sample, not a reusable symbol — admitting such patterns
+		// lets small samples flood the dictionary with one-off suffixes
+		// and starves the common intervals of short codes.
+		if len(s) > 1 && f < 2 {
+			continue
+		}
+		pats = append(pats, pat{s, f, int64(len(s)) * f})
+	}
+	sort.Slice(pats, func(i, j int) bool { return pats[i].s < pats[j].s })
+
+	// Distinct product values, descending: the binary-search space for W.
+	prodSet := make(map[int64]bool, len(pats))
+	for _, p := range pats {
+		prodSet[p.product] = true
+	}
+	products := make([]int64, 0, len(prodSet))
+	for v := range prodSet {
+		products = append(products, v)
+	}
+	sort.Slice(products, func(i, j int) bool { return products[i] > products[j] })
+
+	build := func(w int64) []Interval {
+		var symbols [][]byte
+		var counts []int64
+		for _, p := range pats {
+			if p.product >= w {
+				symbols = append(symbols, []byte(p.s))
+				counts = append(counts, p.freq)
+			}
+		}
+		symbols = blend(symbols, counts)
+		return buildFromSymbols(symbols)
+	}
+
+	// Largest selection (smallest W) whose interval count fits the limit.
+	lo, hi := 0, len(products)-1 // index into descending products
+	best := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if len(build(products[mid])) <= limit {
+			best = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	var intervals []Interval
+	if best < 0 {
+		// Even the highest threshold overflows (dense tiny alphabets):
+		// fall back to no selected patterns, i.e. byte-gap coverage only.
+		intervals = buildFromSymbols(nil)
+	} else {
+		intervals = build(products[best])
+		// Guard against local non-monotonicity of the entry count.
+		for len(intervals) > limit && best > 0 {
+			best--
+			intervals = build(products[best])
+		}
+	}
+	testEncode(intervals, samples, weightByLength)
+	return intervals, nil
+}
+
+// countAllSubstrings counts every substring of length 1..maxLen.
+func countAllSubstrings(samples [][]byte, maxLen int) map[string]int64 {
+	counts := make(map[string]int64)
+	for _, key := range samples {
+		for i := 0; i < len(key); i++ {
+			end := len(key)
+			if i+maxLen < end {
+				end = i + maxLen
+			}
+			for j := i + 1; j <= end; j++ {
+				counts[string(key[i:j])]++
+			}
+		}
+	}
+	return counts
+}
+
+// blend enforces the prefix property on the selected patterns: when a
+// pattern is a prefix of other selected patterns, its occurrence count is
+// redistributed to its longest extension and the pattern itself is dropped
+// (paper Section 4.2, "blending"). Input symbols must be sorted; the
+// result is sorted and prefix-free.
+func blend(symbols [][]byte, counts []int64) [][]byte {
+	n := len(symbols)
+	drop := make([]bool, n)
+	for i := 0; i < n; i++ {
+		// Extensions of symbols[i] are contiguous after it.
+		longest := -1
+		for j := i + 1; j < n && stringaxis.HasPrefix(symbols[j], symbols[i]); j++ {
+			if longest == -1 || len(symbols[j]) > len(symbols[longest]) {
+				longest = j
+			}
+		}
+		if longest >= 0 {
+			counts[longest] += counts[i]
+			drop[i] = true
+		}
+	}
+	out := symbols[:0]
+	for i, s := range symbols {
+		if !drop[i] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package symbolselect
+
+// SingleChar divides the axis into the 256 fixed-length intervals
+// [c, c+1) with single-byte symbols (paper Figure 4a). The access weights
+// are the zeroth-order byte frequencies of the samples, which is exactly
+// what a test encoding would measure since every step consumes one byte.
+func SingleChar(samples [][]byte) []Interval {
+	var counts [256]int64
+	for _, key := range samples {
+		for _, b := range key {
+			counts[b]++
+		}
+	}
+	intervals := make([]Interval, 256)
+	for c := 0; c < 256; c++ {
+		b := []byte{byte(c)}
+		intervals[c] = Interval{Boundary: b, Symbol: b, Weight: float64(counts[c])}
+	}
+	return intervals
+}
+
+// DoubleChar divides the axis into fixed-length two-byte intervals plus
+// one terminator interval ∅ per first byte (paper Figure 4b): the
+// terminator entry [c1, c1\x00) captures source strings that end after c1
+// and fills the interval gaps, making the dictionary complete. With
+// alphabet A (256 in production; tests shrink it) the layout has A*(A+1)
+// intervals in axis order: [c1], [c1 0], [c1 1], ...
+//
+// Weights come from simulating the encoding walk: two bytes per step, one
+// terminator hit when a single byte remains.
+func DoubleChar(samples [][]byte, alphabet int) []Interval {
+	counts := make([]int64, alphabet*(alphabet+1))
+	for _, key := range samples {
+		for pos := 0; pos < len(key); {
+			c1 := int(key[pos])
+			if pos+1 == len(key) {
+				counts[c1*(alphabet+1)]++
+				pos++
+				continue
+			}
+			counts[c1*(alphabet+1)+1+int(key[pos+1])]++
+			pos += 2
+		}
+	}
+	intervals := make([]Interval, 0, len(counts))
+	idx := 0
+	for c1 := 0; c1 < alphabet; c1++ {
+		b := []byte{byte(c1)}
+		intervals = append(intervals, Interval{Boundary: b, Symbol: b, Weight: float64(counts[idx])})
+		idx++
+		for c2 := 0; c2 < alphabet; c2++ {
+			b2 := []byte{byte(c1), byte(c2)}
+			intervals = append(intervals, Interval{Boundary: b2, Symbol: b2, Weight: float64(counts[idx])})
+			idx++
+		}
+	}
+	return intervals
+}

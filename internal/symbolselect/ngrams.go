@@ -1,0 +1,88 @@
+package symbolselect
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// NGrams implements the 3-Grams and 4-Grams selectors (paper Figures 4d,
+// 4e): count every n-byte substring of the samples, keep the most frequent
+// patterns (about half the dictionary budget, per the paper), and fill the
+// interval gaps between them. Weights come from a test encoding, scaled by
+// symbol length (VIVC schemes).
+func NGrams(samples [][]byte, n, limit int, weightByLength bool) ([]Interval, error) {
+	if n < 2 || n > 4 {
+		return nil, fmt.Errorf("symbolselect: unsupported gram size %d", n)
+	}
+	if limit < 600 {
+		return nil, fmt.Errorf("symbolselect: %d-gram dictionary limit %d too small (need room for the 256 single-byte gap intervals)", n, limit)
+	}
+	counts := countGrams(samples, n)
+	type gramFreq struct {
+		gram uint32
+		freq int64
+	}
+	freqs := make([]gramFreq, 0, len(counts))
+	for g, f := range counts {
+		freqs = append(freqs, gramFreq{g, f})
+	}
+	// Most frequent first; ties by gram value for determinism.
+	sort.Slice(freqs, func(i, j int) bool {
+		if freqs[i].freq != freqs[j].freq {
+			return freqs[i].freq > freqs[j].freq
+		}
+		return freqs[i].gram < freqs[j].gram
+	})
+	take := limit / 2
+	if take > len(freqs) {
+		take = len(freqs)
+	}
+	var intervals []Interval
+	for {
+		symbols := make([][]byte, take)
+		for i := 0; i < take; i++ {
+			symbols[i] = unpackGram(freqs[i].gram, n)
+		}
+		symbols = sortUniqueSymbols(symbols)
+		intervals = buildFromSymbols(symbols)
+		if len(intervals) <= limit || take == 0 {
+			break
+		}
+		// Gap entries pushed the total over budget: drop the least
+		// frequent grams (each removal deletes at least one interval).
+		drop := len(intervals) - limit
+		if drop > take {
+			drop = take
+		}
+		take -= drop
+	}
+	testEncode(intervals, samples, weightByLength)
+	return intervals, nil
+}
+
+// countGrams counts all n-byte substrings, packed big-endian into uint32
+// so gram order matches lexicographic order.
+func countGrams(samples [][]byte, n int) map[uint32]int64 {
+	counts := make(map[uint32]int64)
+	for _, key := range samples {
+		for i := 0; i+n <= len(key); i++ {
+			counts[packGram(key[i:i+n], n)]++
+		}
+	}
+	return counts
+}
+
+func packGram(b []byte, n int) uint32 {
+	var buf [4]byte
+	copy(buf[4-n:], b[:n])
+	return binary.BigEndian.Uint32(buf[:])
+}
+
+func unpackGram(g uint32, n int) []byte {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], g)
+	out := make([]byte, n)
+	copy(out, buf[4-n:])
+	return out
+}

@@ -1,0 +1,153 @@
+// Package symbolselect implements HOPE's Symbol Selector module (paper
+// Section 4.2): for each compression scheme it counts the relevant string
+// patterns in the sampled keys, divides the string axis into intervals,
+// and measures each interval's access probability with a test encoding of
+// the samples. The output feeds the Code Assigner and the Dictionary.
+package symbolselect
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/stringaxis"
+)
+
+// Interval is one dictionary interval produced by a selector: its left
+// boundary on the string axis, its symbol (the common prefix of all
+// strings in the interval, always non-empty), and the code-assignment
+// weight measured by test-encoding the samples.
+type Interval struct {
+	Boundary []byte
+	Symbol   []byte
+	Weight   float64
+}
+
+// buildFromSymbols turns a sorted, prefix-free, non-empty symbol list into
+// a complete interval set: one interval [s, Succ(s)) per symbol plus gap
+// intervals covering the rest of the axis, split so every gap piece keeps
+// a non-empty symbol (paper Section 3.3, "fill the gaps with new
+// intervals"). The axis is covered from "\x00"; the region below holds
+// only the empty string, which encodes to the empty code.
+func buildFromSymbols(symbols [][]byte) []Interval {
+	var out []Interval
+	addGap := func(lo, hi []byte) {
+		if stringaxis.Compare(lo, hi) >= 0 {
+			return
+		}
+		bounds := stringaxis.SplitGap(lo, hi)
+		for i, b := range bounds {
+			var pieceHi []byte
+			if i+1 < len(bounds) {
+				pieceHi = bounds[i+1]
+			} else {
+				pieceHi = hi
+			}
+			out = append(out, Interval{
+				Boundary: b,
+				Symbol:   stringaxis.IntervalCommonPrefix(b, pieceHi),
+			})
+		}
+	}
+	prev := stringaxis.MinByte
+	for _, s := range symbols {
+		addGap(prev, s)
+		out = append(out, Interval{Boundary: s, Symbol: s})
+		next, ok := stringaxis.Succ(s)
+		if !ok {
+			return out // symbol runs to the end of the axis
+		}
+		prev = next
+	}
+	addGap(prev, nil)
+	return out
+}
+
+// Validate checks the structural invariants every selector must satisfy:
+// boundaries strictly increasing starting at "\x00", symbols non-empty
+// prefixes of their boundaries. It is exercised directly by tests and
+// defensively by the core builder.
+func Validate(intervals []Interval) error {
+	if len(intervals) == 0 {
+		return fmt.Errorf("symbolselect: no intervals")
+	}
+	if !bytes.Equal(intervals[0].Boundary, stringaxis.MinByte) {
+		return fmt.Errorf("symbolselect: axis not covered from \\x00 (first boundary %q)",
+			intervals[0].Boundary)
+	}
+	for i, iv := range intervals {
+		if len(iv.Symbol) == 0 {
+			return fmt.Errorf("symbolselect: interval %d (%q) has empty symbol", i, iv.Boundary)
+		}
+		if !stringaxis.HasPrefix(iv.Boundary, iv.Symbol) {
+			return fmt.Errorf("symbolselect: interval %d symbol %q does not prefix boundary %q",
+				i, iv.Symbol, iv.Boundary)
+		}
+		if i > 0 && bytes.Compare(intervals[i-1].Boundary, iv.Boundary) >= 0 {
+			return fmt.Errorf("symbolselect: boundaries not increasing at %d", i)
+		}
+		var hi []byte
+		if i+1 < len(intervals) {
+			hi = intervals[i+1].Boundary
+		}
+		// The symbol must cover the interval: every string in [lo, hi)
+		// carries it.
+		if got := stringaxis.IntervalCommonPrefix(iv.Boundary, hi); !stringaxis.HasPrefix(got, iv.Symbol) {
+			return fmt.Errorf("symbolselect: interval %d symbol %q is not a common prefix of [%q,%q)",
+				i, iv.Symbol, iv.Boundary, hi)
+		}
+	}
+	return nil
+}
+
+// testEncode simulates encoding every sample against the interval set and
+// sets each interval's Weight to its access count, optionally multiplied
+// by its symbol length. The paper weights probabilities by symbol length
+// for the variable-length-interval schemes so that the Code Assigner
+// optimizes bits per consumed byte rather than bits per step.
+func testEncode(intervals []Interval, samples [][]byte, weightByLength bool) {
+	boundaries := make([][]byte, len(intervals))
+	symLens := make([]int, len(intervals))
+	for i, iv := range intervals {
+		boundaries[i] = iv.Boundary
+		symLens[i] = len(iv.Symbol)
+	}
+	hits := make([]int64, len(intervals))
+	for _, key := range samples {
+		for pos := 0; pos < len(key); {
+			idx := floorIndex(boundaries, key[pos:])
+			hits[idx]++
+			pos += symLens[idx]
+		}
+	}
+	for i := range intervals {
+		w := float64(hits[i])
+		if weightByLength {
+			w *= float64(symLens[i])
+		}
+		intervals[i].Weight = w
+	}
+}
+
+// floorIndex returns the index of the greatest boundary <= src.
+func floorIndex(boundaries [][]byte, src []byte) int {
+	i := sort.Search(len(boundaries), func(i int) bool {
+		return bytes.Compare(boundaries[i], src) > 0
+	})
+	if i == 0 {
+		panic("symbolselect: source below first boundary")
+	}
+	return i - 1
+}
+
+// sortUniqueSymbols sorts byte-string symbols and removes duplicates.
+func sortUniqueSymbols(symbols [][]byte) [][]byte {
+	sort.Slice(symbols, func(i, j int) bool { return bytes.Compare(symbols[i], symbols[j]) < 0 })
+	out := symbols[:0]
+	for i, s := range symbols {
+		if i == 0 || !bytes.Equal(symbols[i-1], s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,474 @@
+package symbolselect
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func keysOf(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func TestSingleChar(t *testing.T) {
+	samples := keysOf("aab", "ba")
+	ivs := SingleChar(samples)
+	if len(ivs) != 256 {
+		t.Fatalf("got %d intervals", len(ivs))
+	}
+	if err := Validate(ivs); err != nil {
+		t.Fatal(err)
+	}
+	if ivs['a'].Weight != 3 || ivs['b'].Weight != 2 || ivs['c'].Weight != 0 {
+		t.Fatalf("weights a=%v b=%v c=%v", ivs['a'].Weight, ivs['b'].Weight, ivs['c'].Weight)
+	}
+}
+
+func TestDoubleCharLayoutAndWeights(t *testing.T) {
+	const alpha = 4
+	samples := [][]byte{{1, 2}, {1}, {1, 2, 3}}
+	ivs := DoubleChar(samples, alpha)
+	if len(ivs) != alpha*(alpha+1) {
+		t.Fatalf("got %d intervals", len(ivs))
+	}
+	// A reduced alphabet is a test-scale device: the interval set is only
+	// valid for keys within the alphabet, so the axis-wide Validate is
+	// exercised on the full alphabet (TestDoubleCharFullAlphabetLayout).
+	for i := 1; i < len(ivs); i++ {
+		if bytes.Compare(ivs[i-1].Boundary, ivs[i].Boundary) >= 0 {
+			t.Fatal("boundaries not increasing")
+		}
+	}
+	// "12" pair twice ({1,2} and the first step of {1,2,3}); terminator
+	// for 1 once ({1}); terminator for 3 once (last byte of {1,2,3}).
+	get := func(b []byte) float64 {
+		for _, iv := range ivs {
+			if bytes.Equal(iv.Boundary, b) {
+				return iv.Weight
+			}
+		}
+		t.Fatalf("boundary %v missing", b)
+		return 0
+	}
+	if w := get([]byte{1, 2}); w != 2 {
+		t.Fatalf("pair(1,2) weight %v", w)
+	}
+	if w := get([]byte{1}); w != 1 {
+		t.Fatalf("term(1) weight %v", w)
+	}
+	if w := get([]byte{3}); w != 1 {
+		t.Fatalf("term(3) weight %v", w)
+	}
+}
+
+func TestDoubleCharFullAlphabetLayout(t *testing.T) {
+	ivs := DoubleChar(keysOf("hello"), 256)
+	if len(ivs) != 256*257 {
+		t.Fatalf("got %d intervals, want 65792", len(ivs))
+	}
+	if err := Validate(ivs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildFromSymbolsPaperExample(t *testing.T) {
+	// Figure 4d: symbols "ing" and "ion" produce the gap [inh, ion) with
+	// symbol "i" and the interval [ion, ioo) with symbol "ion".
+	ivs := buildFromSymbols([][]byte{[]byte("ing"), []byte("ion")})
+	if err := Validate(ivs); err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	for _, iv := range ivs {
+		seen = append(seen, string(iv.Boundary)+"="+string(iv.Symbol))
+	}
+	joined := strings.Join(seen, ",")
+	for _, want := range []string{"ing=ing", "inh=i", "ion=ion"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing interval %q in %v", want, seen)
+		}
+	}
+}
+
+func TestBuildFromSymbolsEmptyGivesByteCoverage(t *testing.T) {
+	ivs := buildFromSymbols(nil)
+	if len(ivs) != 256 {
+		t.Fatalf("got %d intervals", len(ivs))
+	}
+	if err := Validate(ivs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildFromSymbolsSymbolAtAxisEnd(t *testing.T) {
+	// A symbol of 0xFF bytes has no successor: the interval runs to the
+	// axis end and no trailing gap is created.
+	ivs := buildFromSymbols([][]byte{{0xFF, 0xFF}})
+	if err := Validate(ivs); err != nil {
+		t.Fatal(err)
+	}
+	last := ivs[len(ivs)-1]
+	if !bytes.Equal(last.Boundary, []byte{0xFF, 0xFF}) {
+		t.Fatalf("last boundary %q", last.Boundary)
+	}
+}
+
+func TestNGramsSelectsFrequentPatterns(t *testing.T) {
+	var samples [][]byte
+	for i := 0; i < 200; i++ {
+		samples = append(samples, []byte("compression"), []byte("completion"))
+	}
+	ivs, err := NGrams(samples, 3, 1024, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(ivs); err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) > 1024 {
+		t.Fatalf("limit exceeded: %d", len(ivs))
+	}
+	found := false
+	for _, iv := range ivs {
+		if string(iv.Symbol) == "com" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal(`frequent gram "com" not selected`)
+	}
+}
+
+func TestNGramsRespectsLimitOnDenseInput(t *testing.T) {
+	// Uniform random keys create the maximum number of gap intervals.
+	rng := rand.New(rand.NewSource(1))
+	var samples [][]byte
+	for i := 0; i < 800; i++ {
+		k := make([]byte, 12)
+		for j := range k {
+			k[j] = byte(rng.Intn(256))
+		}
+		samples = append(samples, k)
+	}
+	for _, limit := range []int{600, 1024, 4096} {
+		ivs, err := NGrams(samples, 3, limit, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ivs) > limit {
+			t.Fatalf("limit %d exceeded: %d intervals", limit, len(ivs))
+		}
+		if err := Validate(ivs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNGrams4(t *testing.T) {
+	var samples [][]byte
+	for i := 0; i < 100; i++ {
+		samples = append(samples, []byte("sigmod2020"), []byte("sigmod2019"))
+	}
+	ivs, err := NGrams(samples, 4, 2048, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(ivs); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, iv := range ivs {
+		if string(iv.Symbol) == "sigm" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal(`frequent 4-gram "sigm" not selected`)
+	}
+}
+
+func TestNGramsRejectsBadParams(t *testing.T) {
+	if _, err := NGrams(nil, 5, 1024, true); err == nil {
+		t.Fatal("gram size 5 accepted")
+	}
+	if _, err := NGrams(nil, 3, 100, true); err == nil {
+		t.Fatal("tiny limit accepted")
+	}
+}
+
+func TestNGramsWeightsReflectTestEncoding(t *testing.T) {
+	var samples [][]byte
+	for i := 0; i < 50; i++ {
+		samples = append(samples, []byte("aaaaaa"))
+	}
+	ivs, err := NGrams(samples, 3, 700, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aaa float64
+	var total float64
+	for _, iv := range ivs {
+		total += iv.Weight
+		if string(iv.Symbol) == "aaa" {
+			aaa = iv.Weight
+		}
+	}
+	// Every step of every sample hits "aaa": 2 steps x 50 samples.
+	if aaa != 100 {
+		t.Fatalf(`weight of "aaa" = %v, want 100`, aaa)
+	}
+	if total != 100 {
+		t.Fatalf("total weight %v, want 100", total)
+	}
+}
+
+func TestBlend(t *testing.T) {
+	symbols := [][]byte{[]byte("si"), []byte("sig"), []byte("sigmod"), []byte("x")}
+	counts := []int64{10, 5, 2, 7}
+	out := blend(symbols, counts)
+	if len(out) != 2 || string(out[0]) != "sigmod" || string(out[1]) != "x" {
+		t.Fatalf("blend result %q", out)
+	}
+	// Both prefix counts redistributed to "sigmod".
+	if counts[2] != 17 {
+		t.Fatalf("sigmod count %d, want 17", counts[2])
+	}
+	if counts[3] != 7 {
+		t.Fatalf("x count %d", counts[3])
+	}
+}
+
+func TestBlendNoViolation(t *testing.T) {
+	symbols := [][]byte{[]byte("abc"), []byte("abd"), []byte("b")}
+	counts := []int64{1, 2, 3}
+	out := blend(symbols, counts)
+	if len(out) != 3 {
+		t.Fatalf("blend dropped non-violating symbols: %q", out)
+	}
+}
+
+func TestALMSelectsLongFrequentPattern(t *testing.T) {
+	var samples [][]byte
+	for i := 0; i < 300; i++ {
+		samples = append(samples, []byte("@gmail.com"), []byte("@yahoo.com"))
+	}
+	ivs, err := ALM(samples, 1024, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(ivs); err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) > 1024 {
+		t.Fatalf("limit exceeded: %d", len(ivs))
+	}
+	// A long shared pattern must survive selection.
+	found := false
+	for _, iv := range ivs {
+		if strings.Contains(string(iv.Symbol), "mail.com") {
+			found = true
+		}
+	}
+	if !found {
+		var syms []string
+		for _, iv := range ivs {
+			if len(iv.Symbol) > 3 {
+				syms = append(syms, string(iv.Symbol))
+			}
+		}
+		t.Fatalf("no long pattern selected; long symbols: %v", syms)
+	}
+}
+
+func TestALMPrefixFreeSymbols(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var samples [][]byte
+	for i := 0; i < 400; i++ {
+		k := []byte("prefix-" + string(rune('a'+rng.Intn(4))) + "-suffix")
+		samples = append(samples, k)
+	}
+	ivs, err := ALM(samples, 600, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selected symbols (those equal to their boundary and longer than one
+	// byte) must be prefix-free: check all symbol pairs.
+	var syms []string
+	for _, iv := range ivs {
+		if bytes.Equal(iv.Boundary, iv.Symbol) && len(iv.Symbol) > 1 {
+			syms = append(syms, string(iv.Symbol))
+		}
+	}
+	sort.Strings(syms)
+	for i := 1; i < len(syms); i++ {
+		if strings.HasPrefix(syms[i], syms[i-1]) {
+			t.Fatalf("symbols not prefix-free: %q prefixes %q", syms[i-1], syms[i])
+		}
+	}
+}
+
+func TestALMMinimumSupport(t *testing.T) {
+	// Multi-byte patterns need frequency >= 2 before entering the ALM
+	// candidate list: a corpus of unique long strings must not flood the
+	// dictionary with one-off suffix patterns. The dictionary of such a
+	// corpus should therefore stay small (shared fragments plus byte-gap
+	// coverage), far below the requested limit.
+	rng := rand.New(rand.NewSource(77))
+	var samples [][]byte
+	for i := 0; i < 200; i++ {
+		samples = append(samples, []byte(fmt.Sprintf("unique-%016x-%016x", rng.Uint64(), rng.Uint64())))
+	}
+	ivs, err := ALMImproved(samples, 4096, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(ivs); err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) > 4096 {
+		t.Fatalf("limit exceeded: %d", len(ivs))
+	}
+	// No selected symbol may be one of the corpus's unique long suffixes:
+	// with minimum support 2, nothing longer than the shared fragments
+	// ("unique-", hex digit runs) qualifies.
+	for _, iv := range ivs {
+		if len(iv.Symbol) > 10 {
+			t.Fatalf("improbably long symbol %q from a support-starved corpus", iv.Symbol)
+		}
+	}
+}
+
+func TestCountAllSubstrings(t *testing.T) {
+	counts := countAllSubstrings(keysOf("aba"), 64)
+	want := map[string]int64{"a": 2, "b": 1, "ab": 1, "ba": 1, "aba": 1}
+	if len(counts) != len(want) {
+		t.Fatalf("got %v", counts)
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Fatalf("counts[%q]=%d, want %d", k, counts[k], v)
+		}
+	}
+	// Length cap honored.
+	capped := countAllSubstrings(keysOf("abcdef"), 2)
+	for k := range capped {
+		if len(k) > 2 {
+			t.Fatalf("pattern %q exceeds cap", k)
+		}
+	}
+}
+
+func TestALMImprovedValidAndWithinLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	words := []string{"data", "base", "system", "index", "tree", "key"}
+	var samples [][]byte
+	for i := 0; i < 500; i++ {
+		samples = append(samples,
+			[]byte(words[rng.Intn(len(words))]+words[rng.Intn(len(words))]))
+	}
+	ivs, err := ALMImproved(samples, 512, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(ivs); err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) > 512 {
+		t.Fatalf("limit exceeded: %d", len(ivs))
+	}
+}
+
+func TestALMRejectsTinyLimit(t *testing.T) {
+	if _, err := ALM(nil, 10, 0, false); err == nil {
+		t.Fatal("tiny limit accepted")
+	}
+}
+
+// Test-encoding weights: weighting by symbol length must scale multi-byte
+// interval weights.
+func TestWeightByLength(t *testing.T) {
+	var samples [][]byte
+	for i := 0; i < 50; i++ {
+		samples = append(samples, []byte("ababab"))
+	}
+	unweighted, err := NGrams(samples, 3, 700, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := NGrams(samples, 3, 700, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(ivs []Interval, sym string) float64 {
+		for _, iv := range ivs {
+			if string(iv.Symbol) == sym {
+				return iv.Weight
+			}
+		}
+		return -1
+	}
+	u := find(unweighted, "aba")
+	w := find(weighted, "aba")
+	if u <= 0 || w != 3*u {
+		t.Fatalf(`"aba": unweighted %v, weighted %v (want 3x)`, u, w)
+	}
+}
+
+// Any interval set a selector emits must let encoding progress on
+// arbitrary inputs: floor lookup succeeds and symbols are non-empty.
+func TestSelectorsCoverArbitraryInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var samples [][]byte
+	for i := 0; i < 200; i++ {
+		samples = append(samples, []byte("sample-key-"+string(rune('0'+rng.Intn(10)))))
+	}
+	sets := map[string][]Interval{}
+	sets["single"] = SingleChar(samples)
+	sets["double"] = DoubleChar(samples, 256)
+	if ivs, err := NGrams(samples, 3, 1024, true); err == nil {
+		sets["3grams"] = ivs
+	} else {
+		t.Fatal(err)
+	}
+	if ivs, err := ALMImproved(samples, 512, 0, true); err == nil {
+		sets["almimp"] = ivs
+	} else {
+		t.Fatal(err)
+	}
+	for name, ivs := range sets {
+		boundaries := make([][]byte, len(ivs))
+		for i := range ivs {
+			boundaries[i] = ivs[i].Boundary
+		}
+		for trial := 0; trial < 2000; trial++ {
+			n := 1 + rng.Intn(10)
+			src := make([]byte, n)
+			for i := range src {
+				src[i] = byte(rng.Intn(256))
+			}
+			pos := 0
+			for steps := 0; pos < len(src); steps++ {
+				idx := floorIndex(boundaries, src[pos:])
+				symLen := len(ivs[idx].Symbol)
+				if symLen == 0 {
+					t.Fatalf("%s: empty symbol hit for %q", name, src)
+				}
+				if !bytes.HasPrefix(src[pos:], ivs[idx].Symbol) {
+					t.Fatalf("%s: interval %q does not prefix remaining %q",
+						name, ivs[idx].Symbol, src[pos:])
+				}
+				pos += symLen
+				if steps > len(src) {
+					t.Fatalf("%s: encoding did not progress on %q", name, src)
+				}
+			}
+		}
+	}
+}

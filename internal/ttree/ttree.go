@@ -1,0 +1,96 @@
+// Package ttree realizes the "stores no keys" extreme of the paper's
+// Figure 7 spectrum: the T-Tree of Lehman & Carey, which the paper itself
+// equates with "simply a sorted list of record IDs", where no key bytes
+// appear in the data structure at all. Every comparison dereferences the
+// record ID into the tuple store, so the index memory is pointers only —
+// and HOPE can save nothing on it, which is exactly the point Figure 7
+// makes (search trees benefit from key compression in proportion to how
+// much key material they store).
+//
+// The implementation follows the paper's equivalence: an ordered array of
+// record IDs over an external tuple store, with binary-search lookups.
+// Inserts shift (amortized O(n), adequate for the Figure 7 demonstration
+// and bulk-load-then-query workloads; the original T-Tree amortizes this
+// with a balanced tree of ID arrays).
+package ttree
+
+import "bytes"
+
+// TupleStore resolves a record ID to its key, modeling the DBMS heap the
+// index points into.
+type TupleStore interface {
+	KeyOf(recordID uint64) []byte
+}
+
+// SliceStore is the simplest TupleStore: record IDs index a key slice.
+type SliceStore [][]byte
+
+// KeyOf returns the key bytes of a record.
+func (s SliceStore) KeyOf(id uint64) []byte { return s[id] }
+
+// Index is an ordered index storing only record IDs.
+type Index struct {
+	store TupleStore
+	ids   []uint64
+}
+
+// New returns an empty index over the tuple store.
+func New(store TupleStore) *Index { return &Index{store: store} }
+
+// BulkLoad builds the index from record IDs whose keys are already sorted.
+func BulkLoad(store TupleStore, sortedIDs []uint64) *Index {
+	return &Index{store: store, ids: append([]uint64(nil), sortedIDs...)}
+}
+
+// Len returns the number of indexed records.
+func (t *Index) Len() int { return len(t.ids) }
+
+// lowerBound returns the first position whose key >= key.
+func (t *Index) lowerBound(key []byte) int {
+	lo, hi := 0, len(t.ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(t.store.KeyOf(t.ids[mid]), key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds a record by ID (its key comes from the store). Duplicate
+// keys keep the latest record.
+func (t *Index) Insert(id uint64) {
+	key := t.store.KeyOf(id)
+	i := t.lowerBound(key)
+	if i < len(t.ids) && bytes.Equal(t.store.KeyOf(t.ids[i]), key) {
+		t.ids[i] = id
+		return
+	}
+	t.ids = append(t.ids, 0)
+	copy(t.ids[i+1:], t.ids[i:])
+	t.ids[i] = id
+}
+
+// Get returns the record ID stored under key.
+func (t *Index) Get(key []byte) (uint64, bool) {
+	i := t.lowerBound(key)
+	if i < len(t.ids) && bytes.Equal(t.store.KeyOf(t.ids[i]), key) {
+		return t.ids[i], true
+	}
+	return 0, false
+}
+
+// Scan visits records with key >= start in order until fn returns false.
+func (t *Index) Scan(start []byte, fn func(id uint64) bool) {
+	for i := t.lowerBound(start); i < len(t.ids); i++ {
+		if !fn(t.ids[i]) {
+			return
+		}
+	}
+}
+
+// MemoryUsage is the modeled index footprint: 8 bytes per record ID and
+// nothing else — no key bytes live in the index.
+func (t *Index) MemoryUsage() int { return len(t.ids) * 8 }

@@ -1,0 +1,120 @@
+package ttree
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func fixture(rng *rand.Rand, n int) (SliceStore, []uint64) {
+	seen := map[string]bool{}
+	var store SliceStore
+	for len(store) < n {
+		k := make([]byte, 1+rng.Intn(10))
+		for i := range k {
+			k[i] = byte('a' + rng.Intn(8))
+		}
+		if !seen[string(k)] {
+			seen[string(k)] = true
+			store = append(store, k)
+		}
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return bytes.Compare(store[ids[a]], store[ids[b]]) < 0
+	})
+	return store, ids
+}
+
+func TestInsertGetScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	store, _ := fixture(rng, 3000)
+	idx := New(store)
+	order := rng.Perm(len(store))
+	for _, i := range order {
+		idx.Insert(uint64(i))
+	}
+	if idx.Len() != len(store) {
+		t.Fatalf("Len=%d", idx.Len())
+	}
+	for i, k := range store {
+		id, ok := idx.Get(k)
+		if !ok || id != uint64(i) {
+			t.Fatalf("Get(%q)=(%d,%v), want %d", k, id, ok, i)
+		}
+	}
+	if _, ok := idx.Get([]byte("zzzzzzzzzzzz")); ok {
+		t.Fatal("phantom key")
+	}
+	// Scans ordered by key.
+	var prev []byte
+	n := 0
+	idx.Scan(nil, func(id uint64) bool {
+		k := store.KeyOf(id)
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("scan unsorted")
+		}
+		prev = k
+		n++
+		return true
+	})
+	if n != len(store) {
+		t.Fatalf("scan saw %d", n)
+	}
+}
+
+func TestBulkLoadMatchesInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	store, sortedIDs := fixture(rng, 2000)
+	bl := BulkLoad(store, sortedIDs)
+	ins := New(store)
+	for i := range store {
+		ins.Insert(uint64(i))
+	}
+	for _, k := range store {
+		a, aok := bl.Get(k)
+		b, bok := ins.Get(k)
+		if a != b || aok != bok {
+			t.Fatalf("divergence on %q", k)
+		}
+	}
+}
+
+func TestDuplicateKeyKeepsLatest(t *testing.T) {
+	store := SliceStore{[]byte("same"), []byte("same")}
+	idx := New(store)
+	idx.Insert(0)
+	idx.Insert(1)
+	if idx.Len() != 1 {
+		t.Fatal("duplicate key duplicated")
+	}
+	if id, _ := idx.Get([]byte("same")); id != 1 {
+		t.Fatal("latest record not kept")
+	}
+}
+
+// The Figure 7 punchline: the T-Tree's index memory is identical whether
+// keys are HOPE-compressed or not — it stores no key bytes.
+func TestMemoryIndependentOfKeyLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	longKeys, ids := fixture(rng, 1000)
+	shortStore := make(SliceStore, len(longKeys))
+	for i, k := range longKeys {
+		shortStore[i] = k[:1+len(k)/2] // "compressed" keys
+	}
+	long := BulkLoad(longKeys, ids)
+	// Short keys may collide after truncation; memory comparison only
+	// needs equal record counts, so reuse the same ID set size.
+	short := BulkLoad(shortStore, ids)
+	if long.MemoryUsage() != short.MemoryUsage() {
+		t.Fatalf("T-Tree memory varied with key length: %d vs %d",
+			long.MemoryUsage(), short.MemoryUsage())
+	}
+	if long.MemoryUsage() != 8*len(ids) {
+		t.Fatal("index must store exactly 8 bytes per record")
+	}
+}

@@ -1,0 +1,162 @@
+// Package ycsb implements the workload driver of the paper's Section 7:
+// YCSB-style workloads C (point lookups) and E (range scans with inserts)
+// with the standard scrambled-Zipfian popularity distribution, remapped
+// one-to-one onto the string-key datasets so the Zipf skew is preserved
+// (paper Section 7.1).
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipfian draws items in [0, n) with the YCSB Zipfian distribution
+// (theta defaults to 0.99) and scrambles them with an FNV hash so the
+// popular items are spread across the key space, exactly as YCSB does.
+type Zipfian struct {
+	rng            *rand.Rand
+	n              uint64
+	theta          float64
+	alpha, eta     float64
+	zetan, zetaTwo float64
+	scramble       bool
+}
+
+// DefaultTheta is YCSB's default Zipfian constant.
+const DefaultTheta = 0.99
+
+// NewZipfian returns a scrambled Zipfian generator over [0, n).
+func NewZipfian(n uint64, theta float64, rng *rand.Rand) *Zipfian {
+	if n == 0 {
+		panic("ycsb: empty key space")
+	}
+	z := &Zipfian{rng: rng, n: n, theta: theta, scramble: true}
+	z.zetan = zeta(n, theta)
+	z.zetaTwo = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zetaTwo/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number sum(1/i^theta, i=1..n).
+func zeta(n uint64, theta float64) float64 {
+	var s float64
+	for i := uint64(1); i <= n; i++ {
+		s += 1 / math.Pow(float64(i), theta)
+	}
+	return s
+}
+
+// nextRank draws the unscrambled Zipf rank (0 is most popular).
+func (z *Zipfian) nextRank() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Next draws a scrambled item in [0, n).
+func (z *Zipfian) Next() uint64 {
+	r := z.nextRank()
+	if r >= z.n {
+		r = z.n - 1
+	}
+	if !z.scramble {
+		return r
+	}
+	return fnv64(r) % z.n
+}
+
+func fnv64(x uint64) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xFF
+		h *= 0x100000001b3
+		x >>= 8
+	}
+	return h
+}
+
+// OpKind is a workload operation type.
+type OpKind int
+
+const (
+	// Read is a point lookup (workload C).
+	Read OpKind = iota
+	// Scan is a range scan from a start key (workload E).
+	Scan
+	// Insert adds a new key (workload E).
+	Insert
+)
+
+// Op is one workload operation. Key indexes the dataset: for Read/Scan it
+// selects an existing (loaded) key; for Insert it selects from the insert
+// pool beyond the loaded range.
+type Op struct {
+	Kind    OpKind
+	Key     int
+	ScanLen int
+}
+
+// Workload is a generated operation sequence over a dataset of nKeys
+// loaded keys; inserts (workload E) consume keys nKeys..nKeys+inserts-1.
+type Workload struct {
+	Ops     []Op
+	NumKeys int
+	Inserts int
+}
+
+// MaxScanLen is YCSB's default maximum scan length for workload E.
+const MaxScanLen = 100
+
+// GenerateC builds workload C: 100% Zipf-distributed point lookups.
+func GenerateC(nOps, nKeys int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	z := NewZipfian(uint64(nKeys), DefaultTheta, rng)
+	ops := make([]Op, nOps)
+	for i := range ops {
+		ops[i] = Op{Kind: Read, Key: int(z.Next())}
+	}
+	return Workload{Ops: ops, NumKeys: nKeys}
+}
+
+// GenerateE builds workload E: 95% range scans (Zipf start key, uniform
+// scan length 1..MaxScanLen) and 5% inserts of previously unseen keys.
+// The dataset must contain at least nKeys + ceil(nOps*0.05) keys.
+func GenerateE(nOps, nKeys int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	z := NewZipfian(uint64(nKeys), DefaultTheta, rng)
+	ops := make([]Op, nOps)
+	inserts := 0
+	for i := range ops {
+		if rng.Float64() < 0.05 {
+			ops[i] = Op{Kind: Insert, Key: nKeys + inserts}
+			inserts++
+			continue
+		}
+		ops[i] = Op{Kind: Scan, Key: int(z.Next()), ScanLen: 1 + rng.Intn(MaxScanLen)}
+	}
+	return Workload{Ops: ops, NumKeys: nKeys, Inserts: inserts}
+}
+
+// Mix reports the operation counts, a readability aid for harness output.
+func (w Workload) Mix() string {
+	var r, s, ins int
+	for _, op := range w.Ops {
+		switch op.Kind {
+		case Read:
+			r++
+		case Scan:
+			s++
+		case Insert:
+			ins++
+		}
+	}
+	return fmt.Sprintf("reads=%d scans=%d inserts=%d", r, s, ins)
+}

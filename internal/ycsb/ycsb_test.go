@@ -1,0 +1,136 @@
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestZipfianRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipfian(1000, DefaultTheta, rng)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("draw %d out of range", v)
+		}
+	}
+}
+
+// The unscrambled rank distribution must be Zipf-shaped: rank 0 drawn with
+// probability ~ 1/zetan.
+func TestZipfianSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 10000
+	z := NewZipfian(n, DefaultTheta, rng)
+	z.scramble = false
+	const draws = 200000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	p0 := float64(counts[0]) / draws
+	want := 1 / z.zetan
+	if math.Abs(p0-want) > 0.02 {
+		t.Fatalf("P(rank 0) = %.4f, want ~%.4f", p0, want)
+	}
+	// Monotone-ish decay over decades.
+	if counts[0] < counts[10] || counts[10] < counts[1000] {
+		t.Fatalf("not Zipf-shaped: c0=%d c10=%d c1000=%d", counts[0], counts[10], counts[1000])
+	}
+}
+
+// Scrambling spreads the popular ranks but preserves total skew: the top
+// 1% of items should take a large share of draws.
+func TestScrambledZipfianSkewPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 10000
+	z := NewZipfian(n, DefaultTheta, rng)
+	const draws = 300000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top1 := 0
+	for i := 0; i < n/100; i++ {
+		top1 += counts[i]
+	}
+	share := float64(top1) / draws
+	if share < 0.25 {
+		t.Fatalf("top-1%% share %.3f too small; skew lost in scrambling", share)
+	}
+	// And scrambled hot items are not clustered at low indexes: the most
+	// popular raw index should rarely be 0.
+	unscrambledHot := fnv64(0) % n
+	if unscrambledHot == 0 {
+		t.Skip("hash coincidence")
+	}
+}
+
+func TestGenerateCDeterministicAndPure(t *testing.T) {
+	a := GenerateC(5000, 1000, 7)
+	b := GenerateC(5000, 1000, 7)
+	if len(a.Ops) != 5000 {
+		t.Fatal("op count")
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatal("non-deterministic")
+		}
+		if a.Ops[i].Kind != Read {
+			t.Fatal("workload C must be pure reads")
+		}
+		if a.Ops[i].Key < 0 || a.Ops[i].Key >= 1000 {
+			t.Fatal("key out of range")
+		}
+	}
+	if !strings.Contains(a.Mix(), "reads=5000") {
+		t.Fatalf("mix: %s", a.Mix())
+	}
+}
+
+func TestGenerateEMixAndInsertKeys(t *testing.T) {
+	w := GenerateE(20000, 1000, 11)
+	scans, inserts := 0, 0
+	nextInsert := 1000
+	for _, op := range w.Ops {
+		switch op.Kind {
+		case Scan:
+			scans++
+			if op.ScanLen < 1 || op.ScanLen > MaxScanLen {
+				t.Fatalf("scan len %d", op.ScanLen)
+			}
+			if op.Key < 0 || op.Key >= 1000 {
+				t.Fatal("scan key out of range")
+			}
+		case Insert:
+			inserts++
+			if op.Key != nextInsert {
+				t.Fatalf("insert keys must be sequential fresh keys: got %d want %d",
+					op.Key, nextInsert)
+			}
+			nextInsert++
+		default:
+			t.Fatal("unexpected read in workload E")
+		}
+	}
+	frac := float64(inserts) / float64(len(w.Ops))
+	if frac < 0.03 || frac > 0.07 {
+		t.Fatalf("insert fraction %.3f outside ~5%%", frac)
+	}
+	if w.Inserts != inserts {
+		t.Fatal("insert count mismatch")
+	}
+}
+
+func TestZipfianPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZipfian(0, DefaultTheta, rand.New(rand.NewSource(1)))
+}
