@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test lint bench figures clean
+
+all: lint test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) vet ./...
+
+# bench records the encode-path performance trajectory: serial kernel vs
+# parallel bulk EncodeAll per scheme, written to BENCH_encode.json so
+# successive PRs can diff perf.
+bench:
+	$(GO) run ./cmd/hopebench -fig encode -dataset email -keys 200000 \
+		-json BENCH_encode.json
+
+# figures regenerates the paper's evaluation artifacts at laptop scale.
+figures:
+	$(GO) run ./cmd/hopebench -fig all -dataset email -keys 100000
+
+clean:
+	rm -f BENCH_encode.json

@@ -80,6 +80,31 @@ func BenchmarkEncode(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeAll measures the public parallel bulk-encode path over a
+// sorted email load — the tree-loading fast path. Throughput (MB/s of
+// source keys) is the headline metric; compare against BenchmarkEncode
+// for the per-key serial latency.
+func BenchmarkEncodeAll(b *testing.B) {
+	keys := datagen.Generate(datagen.Email, 20000, 1)
+	samples := hope.SampleKeys(keys, 0.01, 42)
+	total := 0
+	for _, k := range keys {
+		total += len(k)
+	}
+	for _, scheme := range hope.Schemes {
+		b.Run(scheme.String(), func(b *testing.B) {
+			enc := once(b, "enc/"+scheme.String(), func() (*hope.Encoder, error) {
+				return hope.Build(scheme, samples, hope.Options{DictLimit: 1 << 12})
+			})
+			b.SetBytes(int64(total))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hope.EncodeAll(enc, keys)
+			}
+		})
+	}
+}
+
 // BenchmarkFig8 reports the Figure 8 series: compression rate, encode
 // latency and dictionary memory per scheme and dictionary size.
 func BenchmarkFig8(b *testing.B) {

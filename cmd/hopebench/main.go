@@ -20,14 +20,18 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: table1, 8, 9, 10, 11, 12, 13, 14, 15, 16, ablation, all")
+	fig := flag.String("fig", "all", "figure to reproduce: table1, 8, 9, 10, 11, 12, 13, 14, 15, 16, ablation, encode, all")
 	dataset := flag.String("dataset", "email", "dataset: email, wiki, url, all")
 	keys := flag.Int("keys", 100000, "number of keys (paper: 14-25M)")
 	ops := flag.Int("ops", 100000, "number of workload operations (paper: 10M)")
 	sample := flag.Float64("sample", 0.01, "HOPE build sample fraction (paper: 1%)")
 	seed := flag.Int64("seed", 42, "dataset seed")
 	quick := flag.Bool("quick", false, "shrink dictionary limits for a fast pass")
+	jsonOut := flag.String("json", "", "also write results as JSON to this file (fig=encode only)")
 	flag.Parse()
+	if *jsonOut != "" && *fig != "encode" {
+		fatal(fmt.Errorf("-json only applies to -fig encode"))
+	}
 
 	var datasets []datagen.Kind
 	if *dataset == "all" {
@@ -39,14 +43,29 @@ func main() {
 		}
 		datasets = []datagen.Kind{k}
 	}
+	// Encode-bench rows accumulate across datasets so -dataset all writes
+	// one JSON file with every dataset's rows instead of overwriting it
+	// per dataset.
+	var encodeRows []bench.EncodeBenchRow
 	for _, ds := range datasets {
 		cfg := bench.Config{
 			Dataset: ds, NumKeys: *keys, NumOps: *ops,
 			SampleFrac: *sample, Seed: *seed, Quick: *quick,
 		}
-		if err := run(*fig, cfg); err != nil {
+		if err := run(*fig, cfg, &encodeRows); err != nil {
 			fatal(err)
 		}
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := bench.WriteEncodeBenchJSON(f, encodeRows); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 }
 
@@ -55,11 +74,11 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(fig string, cfg bench.Config) error {
+func run(fig string, cfg bench.Config, encodeRows *[]bench.EncodeBenchRow) error {
 	switch fig {
 	case "all":
 		for _, f := range []string{"table1", "8", "9", "10", "11", "12", "13", "14", "15", "16", "ablation"} {
-			if err := run(f, cfg); err != nil {
+			if err := run(f, cfg, encodeRows); err != nil {
 				return err
 			}
 		}
@@ -86,8 +105,29 @@ func run(fig string, cfg bench.Config) error {
 		return fig16(cfg)
 	case "ablation":
 		return ablations(cfg)
+	case "encode":
+		return encodeBench(cfg, encodeRows)
 	}
 	return fmt.Errorf("unknown figure %q", fig)
+}
+
+func encodeBench(cfg bench.Config, encodeRows *[]bench.EncodeBenchRow) error {
+	rows, err := bench.RunEncodeBench(cfg)
+	if err != nil {
+		return err
+	}
+	*encodeRows = append(*encodeRows, rows...)
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Scheme, strconv.Itoa(r.DictEntries),
+			bench.F(r.SerialNsKey), bench.F(r.SerialNsChar),
+			bench.F(r.BulkNsKey), bench.F(r.BulkSpeedup), strconv.Itoa(r.Workers),
+			bench.F(r.CPR)})
+	}
+	bench.Table(os.Stdout, fmt.Sprintf("Encode kernels (%s): serial vs parallel bulk", cfg.Dataset),
+		[]string{"Scheme", "Entries", "Serial (ns/key)", "Serial (ns/char)",
+			"Bulk (ns/key)", "Bulk speedup", "Workers", "CPR"}, out)
+	return nil
 }
 
 func table1() error {

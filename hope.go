@@ -57,10 +57,29 @@ var Schemes = core.Schemes
 // assignment).
 type Options = core.Options
 
-// Encoder compresses keys order-preservingly. Not safe for concurrent use;
-// build one per goroutine (builds are cheap relative to tree loads) or
-// guard with a mutex.
+// Encoder compresses keys order-preservingly. Except for EncodeAll, it is
+// not safe for concurrent use; wrap it in a ConcurrentEncoder (dictionary
+// lookups are read-only, only the bit-buffer state needs isolating).
+// Encoding runs through a dictionary-specialized kernel captured at build
+// time — an allocation-free fused lookup+append loop with no interface
+// dispatch per symbol.
 type Encoder = core.Encoder
+
+// ConcurrentEncoder is a goroutine-safe encoder over a shared dictionary;
+// use it when many request-handling goroutines encode against one index.
+type ConcurrentEncoder = core.ConcurrentEncoder
+
+// NewConcurrentEncoder wraps an encoder for concurrent use. The wrapped
+// encoder must no longer be used directly.
+func NewConcurrentEncoder(e *Encoder) *ConcurrentEncoder {
+	return core.NewConcurrentEncoder(e)
+}
+
+// EncodeAll bulk-encodes keys with enc across GOMAXPROCS workers, returning
+// the padded encodings as slices of a single backing buffer. This is the
+// fast path for loading a search tree: contiguous sorted runs are sharded
+// across workers with one bit appender each. Safe for concurrent use.
+func EncodeAll(enc *Encoder, keys [][]byte) [][]byte { return enc.EncodeAll(keys) }
 
 // BuildStats is the build-phase time breakdown (paper Figure 9).
 type BuildStats = core.BuildStats

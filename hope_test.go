@@ -47,6 +47,35 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeBulkAndConcurrent covers the public bulk-encode surface:
+// EncodeAll matches per-key Encode, and a ConcurrentEncoder built through
+// the façade agrees with both.
+func TestFacadeBulkAndConcurrent(t *testing.T) {
+	keys := datagen.Generate(datagen.Email, 3000, 3)
+	samples := hope.SampleKeys(keys, 0.02, 42)
+	enc, err := hope.Build(hope.DoubleChar, samples, hope.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk := hope.EncodeAll(enc, keys)
+	if len(bulk) != len(keys) {
+		t.Fatalf("EncodeAll returned %d results", len(bulk))
+	}
+	ce := hope.NewConcurrentEncoder(enc)
+	for i, k := range keys[:200] {
+		want := ce.Encode(k)
+		if !bytes.Equal(bulk[i], want) {
+			t.Fatalf("EncodeAll diverged on %q", k)
+		}
+	}
+	bulk2 := ce.EncodeAll(keys[:100])
+	for i := range bulk2 {
+		if !bytes.Equal(bulk2[i], bulk[i]) {
+			t.Fatal("ConcurrentEncoder.EncodeAll diverged")
+		}
+	}
+}
+
 func TestSampleKeys(t *testing.T) {
 	keys := datagen.Generate(datagen.Wiki, 1000, 2)
 	s := hope.SampleKeys(keys, 0.1, 7)

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// EncodeBenchRow is one scheme's encode-path measurement, the repository's
+// perf-trajectory record (written to BENCH_encode.json by `make bench` so
+// successive PRs can compare encode performance).
+type EncodeBenchRow struct {
+	Dataset      string  `json:"dataset"`
+	Scheme       string  `json:"scheme"`
+	DictEntries  int     `json:"dict_entries"`
+	Keys         int     `json:"keys"`
+	SerialNsKey  float64 `json:"serial_ns_per_key"`
+	SerialNsChar float64 `json:"serial_ns_per_char"`
+	BulkNsKey    float64 `json:"bulk_ns_per_key"` // EncodeAll wall time per key
+	BulkSpeedup  float64 `json:"bulk_speedup"`    // serial wall / bulk wall
+	Workers      int     `json:"workers"`         // GOMAXPROCS during the run
+	CPR          float64 `json:"cpr"`
+}
+
+// RunEncodeBench measures the serial encode kernel and the parallel
+// EncodeAll bulk path for every scheme on the configured dataset.
+func RunEncodeBench(cfg Config) ([]EncodeBenchRow, error) {
+	keys := cfg.Keys()
+	samples := cfg.Sample(keys)
+	limit := 1 << 16
+	if cfg.Quick {
+		limit = 1 << 11
+	}
+	chars := totalBytes(keys)
+	var rows []EncodeBenchRow
+	for _, scheme := range core.Schemes {
+		enc, err := core.Build(scheme, samples, core.Options{DictLimit: limit})
+		if err != nil {
+			return nil, err
+		}
+		// Warm the kernel and appender, then time the serial bulk
+		// alternative: encode key by key, materializing each result (the
+		// loop EncodeAll replaces — one allocation per key).
+		var buf []byte
+		for _, k := range keys[:min(len(keys), 1000)] {
+			b, _ := enc.EncodeBits(buf, k)
+			buf = b[:0]
+		}
+		out := make([][]byte, len(keys))
+		t0 := time.Now()
+		for i, k := range keys {
+			b, _ := enc.EncodeBits(buf, k)
+			out[i] = append([]byte(nil), b...)
+			buf = b[:0]
+		}
+		serial := time.Since(t0)
+		_ = out
+
+		t0 = time.Now()
+		enc.EncodeAll(keys)
+		bulk := time.Since(t0)
+		speedup := 0.0 // 0 signals an unmeasurable (sub-tick) bulk run
+		if bulk > 0 {
+			speedup = float64(serial.Nanoseconds()) / float64(bulk.Nanoseconds())
+		}
+
+		rows = append(rows, EncodeBenchRow{
+			Dataset:      cfg.Dataset.String(),
+			Scheme:       scheme.String(),
+			DictEntries:  enc.NumEntries(),
+			Keys:         len(keys),
+			SerialNsKey:  float64(serial.Nanoseconds()) / float64(len(keys)),
+			SerialNsChar: nsPerChar(serial, chars),
+			BulkNsKey:    float64(bulk.Nanoseconds()) / float64(len(keys)),
+			BulkSpeedup:  speedup,
+			Workers:      runtime.GOMAXPROCS(0),
+			CPR:          enc.CompressionRate(keys),
+		})
+	}
+	return rows, nil
+}
+
+// WriteEncodeBenchJSON writes the rows as indented JSON.
+func WriteEncodeBenchJSON(w io.Writer, rows []EncodeBenchRow) error {
+	e := json.NewEncoder(w)
+	e.SetIndent("", "  ")
+	return e.Encode(rows)
+}

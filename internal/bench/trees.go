@@ -121,9 +121,9 @@ func RunFig11(cfg Config) ([]Fig11Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		encoded, _ := encodeAll(enc, keys)
+		encoded := encodeAllBulk(enc, keys)
 		sorted := sortedUnique(encoded)
-		probes, _ := encodeAll(enc, probesRaw)
+		probes := encodeAllBulk(enc, probesRaw)
 		base := surf.Build(sorted, surf.Base, 0)
 		real8 := surf.Build(sorted, surf.Real, 8)
 		rows = append(rows, Fig11Row{
@@ -177,7 +177,7 @@ func RunFig12(cfg Config, indexes []string) ([]Fig12Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		encoded, _ := encodeAll(enc, keys)
+		encoded := encodeAllBulk(enc, keys)
 		for _, name := range indexes {
 			idx := NewIndex(name)
 			t0 := time.Now()
@@ -237,7 +237,7 @@ func RunFig16(cfg Config, indexes []string) ([]Fig16Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		encoded, _ := encodeAll(enc, keys)
+		encoded := encodeAllBulk(enc, keys)
 		for _, name := range indexes {
 			idx := NewIndex(name)
 			for i, k := range encoded {

@@ -37,16 +37,28 @@ func (a *Appender) Reset(dst []byte) {
 // Append adds the low n bits of code to the stream, most significant first.
 // n must be in [0, 64].
 func (a *Appender) Append(code uint64, n uint) {
-	if n == 0 {
-		return
-	}
 	if n < 64 {
 		code &= (1 << n) - 1
 	}
+	a.AppendWord(code, n)
+}
+
+// AppendWord adds the low n bits of w to the stream, most significant
+// first, without masking: the caller guarantees the bits of w above n are
+// zero. It is the flush half of the word-level staging fast path used by
+// the dictionary encode kernels — a kernel packs several short codes into
+// a local 64-bit word (a shift and an OR per code, no calls) and hands the
+// word over only when the next code would overflow it, so the register
+// bookkeeping here runs once per ~64 bits instead of once per code.
+// n must be in [0, 64].
+func (a *Appender) AppendWord(w uint64, n uint) {
+	if n == 0 {
+		return
+	}
 	a.bits += int(n)
-	room := 64 - a.nAcc
+	room := 64 - a.nAcc // nAcc < 64 between calls, so room >= 1
 	if n <= room {
-		a.acc |= code << (room - n)
+		a.acc |= w << (room - n)
 		a.nAcc += n
 		if a.nAcc == 64 {
 			a.spill()
@@ -54,11 +66,11 @@ func (a *Appender) Append(code uint64, n uint) {
 		return
 	}
 	// Fill the register, spill it, then stage the remainder.
-	rem := n - room
-	a.acc |= code >> rem
+	rem := n - room // in [1, 63]
+	a.acc |= w >> rem
 	a.nAcc = 64
 	a.spill()
-	a.acc = code << (64 - rem)
+	a.acc = w << (64 - rem)
 	a.nAcc = rem
 }
 

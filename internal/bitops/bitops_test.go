@@ -6,6 +6,78 @@ import (
 	"testing"
 )
 
+// TestAppendWordMatchesAppend drives random code sequences through both
+// Append (masked, per-code) and word-staged AppendWord flushes, asserting
+// identical output. This is the contract the encode kernels rely on.
+func TestAppendWordMatchesAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		nCodes := rng.Intn(50)
+		codes := make([]uint64, nCodes)
+		lens := make([]uint, nCodes)
+		for i := range codes {
+			lens[i] = uint(1 + rng.Intn(32))
+			codes[i] = rng.Uint64() & ((1 << lens[i]) - 1)
+		}
+		var want Appender
+		want.Reset(nil)
+		for i := range codes {
+			want.Append(codes[i], lens[i])
+		}
+		wantBuf, wantBits := want.Finish()
+
+		// Stage the same codes kernel-style into a local word.
+		var got Appender
+		got.Reset(nil)
+		var acc uint64
+		var n uint
+		for i := range codes {
+			if n+lens[i] > 64 {
+				got.AppendWord(acc, n)
+				acc, n = 0, 0
+			}
+			acc = acc<<lens[i] | codes[i]
+			n += lens[i]
+		}
+		got.AppendWord(acc, n)
+		gotBuf, gotBits := got.Finish()
+		if gotBits != wantBits || !bytes.Equal(gotBuf, wantBuf) {
+			t.Fatalf("trial %d: staged output diverged: got %x (%d bits) want %x (%d bits)",
+				trial, gotBuf, gotBits, wantBuf, wantBits)
+		}
+	}
+}
+
+// TestAppendWordEdges exercises the boundary cases directly: zero bits,
+// a full 64-bit word into an empty register, and a word split across an
+// almost-full register.
+func TestAppendWordEdges(t *testing.T) {
+	var a Appender
+	a.Reset(nil)
+	a.AppendWord(0, 0)
+	if buf, bits := a.Finish(); len(buf) != 0 || bits != 0 {
+		t.Fatal("zero-bit word emitted output")
+	}
+	a.Reset(nil)
+	a.AppendWord(^uint64(0), 64)
+	if buf, bits := a.Finish(); bits != 64 || !bytes.Equal(buf, bytes.Repeat([]byte{0xFF}, 8)) {
+		t.Fatalf("full word: %x (%d bits)", buf, bits)
+	}
+	a.Reset(nil)
+	a.Append(1, 63) // register at 63/64 bits
+	a.AppendWord(^uint64(0), 64)
+	buf, bits := a.Finish()
+	if bits != 127 {
+		t.Fatalf("split word bits = %d", bits)
+	}
+	// 63 bits of 0...01 then 64 ones, padded with a final 0 bit.
+	want := []byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03,
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFE}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("split word: %x", buf)
+	}
+}
+
 // naiveBits builds the expected byte output of a code sequence one bit at
 // a time, to validate the 64-bit-buffered Appender.
 type naiveBits struct {

@@ -1,12 +1,17 @@
 package core
 
-import "sync"
+import (
+	"bytes"
+	"sync"
+)
 
 // ConcurrentEncoder is a goroutine-safe wrapper around a shared dictionary.
 // Dictionary lookups are read-only, so only the per-encode bit-buffer
 // state needs isolating; a pool of appenders provides it. The paper's
 // encoder is single-threaded — this wrapper is the natural extension for a
 // DBMS running queries on many threads against one index dictionary.
+// Encoding runs through the same devirtualized kernel as the serial
+// encoder.
 type ConcurrentEncoder struct {
 	enc  *Encoder
 	pool sync.Pool
@@ -30,14 +35,34 @@ func (c *ConcurrentEncoder) Encode(key []byte) []byte {
 func (c *ConcurrentEncoder) EncodeBits(dst, key []byte) ([]byte, int) {
 	a := c.pool.Get().(*appender)
 	a.Reset(dst)
-	for pos := 0; pos < len(key); {
-		code, n := c.enc.dict.Lookup(key[pos:])
-		a.Append(code.Bits, uint(code.Len))
-		pos += n
-	}
+	c.enc.appendEncode(a, key)
 	buf, bits := a.Finish()
 	c.pool.Put(a)
 	return buf, bits
+}
+
+// EncodeAll bulk-encodes keys across GOMAXPROCS workers; safe for
+// concurrent use (see Encoder.EncodeAll).
+func (c *ConcurrentEncoder) EncodeAll(keys [][]byte) [][]byte {
+	return c.enc.EncodeAll(keys)
+}
+
+// EncodePair encodes the two boundary keys of a closed-range query; safe
+// for concurrent use. Unlike Encoder.EncodePair it cannot share the
+// encoder's appender, so ALM schemes fall back to two independent encodes.
+func (c *ConcurrentEncoder) EncodePair(lo, hi []byte) ([]byte, []byte) {
+	if !c.enc.Batchable() {
+		if bytes.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+		return c.Encode(lo), c.Encode(hi)
+	}
+	// A stack-local copy shares the read-only dictionary state and
+	// supplies a fresh appender (the only mutable field), so no pool
+	// round-trip is needed.
+	e := *c.enc
+	e.app = appender{}
+	return e.EncodePair(lo, hi)
 }
 
 // Scheme returns the wrapped encoder's scheme.

@@ -52,3 +52,83 @@ func TestConcurrentEncoderMatchesSerial(t *testing.T) {
 		t.Fatal("accessors")
 	}
 }
+
+// TestConcurrentEncoderStressAllSchemes hammers one shared
+// ConcurrentEncoder per scheme with many goroutines mixing single-key
+// encodes, pair encodes and bulk EncodeAll calls, asserting every output
+// matches a serial reference encoder. Run under -race this doubles as the
+// data-race check for the kernel and EncodeAll paths.
+func TestConcurrentEncoderStressAllSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	encs := buildAll(t, nil)
+	keys := append(sampleKeys(rng, 1500), randomBinaryKeys(rng, 300, 20)...)
+	const workers = 12
+	for _, s := range Schemes {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			e := encs[s]
+			want := make([][]byte, len(keys))
+			for i, k := range keys {
+				out, _ := e.EncodeBits(nil, k)
+				want[i] = append([]byte(nil), out...)
+			}
+			// Pair references are computed serially up front: the wrapped
+			// encoder must not be used directly once workers start.
+			wantLo := make([][]byte, len(keys)-1)
+			wantHi := make([][]byte, len(keys)-1)
+			for i := 0; i+1 < len(keys); i++ {
+				wantLo[i], wantHi[i] = e.EncodePair(keys[i], keys[i+1])
+			}
+			ce := NewConcurrentEncoder(e)
+			var wg sync.WaitGroup
+			errs := make(chan string, workers)
+			fail := func(msg string) {
+				select {
+				case errs <- msg:
+				default:
+				}
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(worker int) {
+					defer wg.Done()
+					switch worker % 3 {
+					case 0: // single-key encodes
+						for i := worker; i < len(keys); i += workers {
+							if !bytes.Equal(ce.Encode(keys[i]), want[i]) {
+								fail("Encode diverged on " + string(keys[i]))
+								return
+							}
+						}
+					case 1: // pair encodes over adjacent keys
+						for i := worker; i+1 < len(keys); i += workers {
+							lo, hi := ce.EncodePair(keys[i], keys[i+1])
+							if !bytes.Equal(lo, wantLo[i]) || !bytes.Equal(hi, wantHi[i]) {
+								fail("EncodePair diverged on " + string(keys[i]))
+								return
+							}
+						}
+					case 2: // bulk encodes of a shifting window
+						lo := worker * 97 % len(keys)
+						hi := lo + 257
+						if hi > len(keys) {
+							hi = len(keys)
+						}
+						out := ce.EncodeAll(keys[lo:hi])
+						for j, b := range out {
+							if !bytes.Equal(b, want[lo+j]) {
+								fail("EncodeAll diverged on " + string(keys[lo+j]))
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			if msg, bad := <-errs; bad {
+				t.Fatal(msg)
+			}
+		})
+	}
+}

@@ -143,6 +143,7 @@ func (s BuildStats) Total() time.Duration {
 type Encoder struct {
 	scheme  Scheme
 	dict    dict.Dictionary
+	kern    dict.Kernel // concrete encode kernel, captured once at build
 	entries []dict.Entry
 	stats   BuildStats
 
@@ -219,6 +220,11 @@ func Build(scheme Scheme, samples [][]byte, opt Options) (*Encoder, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Capture the concrete kernel once: every encode after this point runs
+	// the dictionary's fused lookup+append loop with no interface dispatch
+	// per symbol. The Dictionary interface remains the correctness
+	// reference (the differential tests compare the two).
+	e.kern, _ = e.dict.(dict.Kernel)
 	e.stats.DictBuild = time.Since(t2)
 	e.stats.Entries = len(e.entries)
 	return e, nil

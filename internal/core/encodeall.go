@@ -1,0 +1,101 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// encodeAllMinShard is the smallest per-worker shard worth a goroutine;
+// below it the spawn/join overhead exceeds the encode work.
+const encodeAllMinShard = 256
+
+// EncodeAll bulk-encodes keys and returns their padded encodings. The work
+// is sharded into contiguous runs across up to GOMAXPROCS workers — bulk
+// inputs are typically sorted loads, and contiguous shards keep each
+// worker's dictionary probes on neighbouring intervals — with one appender
+// per worker. Every result is a slice of one shared backing buffer, in
+// key order; on the parallel path that layout costs a final merge copy of
+// the worker buffers (transiently ~2x the encoded size), the price of
+// handing callers a single contiguous allocation instead of one buffer
+// per worker.
+//
+// Unlike the other Encoder methods, EncodeAll is safe for concurrent use:
+// it touches only the read-only dictionary, never the Encoder's embedded
+// appender.
+func (e *Encoder) EncodeAll(keys [][]byte) [][]byte {
+	out := make([][]byte, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if max := len(keys) / encodeAllMinShard; workers > max {
+		workers = max // every shard gets at least encodeAllMinShard keys
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers <= 1 {
+		backing, offs := e.encodeShard(nil, keys, make([]int, len(keys)+1))
+		return carve(out, backing, offs)
+	}
+	// Shard boundaries: contiguous, near-equal key counts.
+	bounds := make([]int, workers+1)
+	for w := 0; w <= workers; w++ {
+		bounds[w] = w * len(keys) / workers
+	}
+	backings := make([][]byte, workers)
+	offsets := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard := keys[bounds[w]:bounds[w+1]]
+			backings[w], offsets[w] = e.encodeShard(nil, shard, make([]int, len(shard)+1))
+		}(w)
+	}
+	wg.Wait()
+	// Merge the worker buffers into one backing array and carve results.
+	total := 0
+	for _, b := range backings {
+		total += len(b)
+	}
+	backing := make([]byte, 0, total)
+	for w := 0; w < workers; w++ {
+		base := len(backing)
+		backing = append(backing, backings[w]...)
+		offs := offsets[w]
+		for i := bounds[w]; i < bounds[w+1]; i++ {
+			j := i - bounds[w]
+			lo, hi := base+offs[j], base+offs[j+1]
+			out[i] = backing[lo:hi:hi]
+		}
+	}
+	return out
+}
+
+// encodeShard encodes a contiguous run of keys back to back into one
+// growing buffer, recording the byte offset of each encoding in offs
+// (offs[i]..offs[i+1] is key i's padded encoding). The buffer is
+// pre-sized to the shard's source byte count — compression rates are ≥ 1
+// on workload-like keys, so this usually avoids regrowth entirely (it is
+// a hint, not a bound: adversarial bytes can encode to more bits than
+// they occupy, and append still grows then).
+func (e *Encoder) encodeShard(buf []byte, keys [][]byte, offs []int) ([]byte, []int) {
+	if buf == nil {
+		hint := 0
+		for _, k := range keys {
+			hint += len(k)
+		}
+		buf = make([]byte, 0, hint+8)
+	}
+	var a appender
+	a.Reset(buf)
+	offs[0] = 0
+	for i, k := range keys {
+		e.appendEncode(&a, k)
+		buf, _ = a.Finish() // pads to a byte boundary in place
+		offs[i+1] = len(buf)
+	}
+	return buf, offs
+}

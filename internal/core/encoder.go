@@ -10,6 +10,28 @@ import (
 // encode state.
 type appender = bitops.Appender
 
+// appendEncode runs the captured concrete kernel over key, falling back to
+// the interface-dispatch loop for dictionaries that do not provide one.
+// The fallback also serves as the reference loop the differential tests
+// compare the kernels against.
+func (e *Encoder) appendEncode(a *appender, key []byte) {
+	if e.kern != nil {
+		e.kern.AppendEncode(a, key)
+		return
+	}
+	e.appendEncodeGeneric(a, key)
+}
+
+// appendEncodeGeneric is the devirtualization baseline: one Dictionary
+// interface call and one sub-slice per symbol.
+func (e *Encoder) appendEncodeGeneric(a *appender, key []byte) {
+	for pos := 0; pos < len(key); {
+		code, n := e.dict.Lookup(key[pos:])
+		a.Append(code.Bits, uint(code.Len))
+		pos += n
+	}
+}
+
 // Encode compresses key and returns the code sequence padded with zero
 // bits to a byte boundary — the form the search trees store. Comparing two
 // encoded keys as byte strings preserves the order of the original keys.
@@ -24,15 +46,12 @@ func (e *Encoder) Encode(key []byte) []byte {
 }
 
 // EncodeBits compresses key into dst (reusing its storage) and returns the
-// padded bytes along with the exact number of code bits.
+// padded bytes along with the exact number of code bits. With a dst of
+// sufficient capacity the call performs no allocations.
 func (e *Encoder) EncodeBits(dst, key []byte) ([]byte, int) {
 	a := &e.app
 	a.Reset(dst)
-	for pos := 0; pos < len(key); {
-		code, n := e.dict.Lookup(key[pos:])
-		a.Append(code.Bits, uint(code.Len))
-		pos += n
-	}
+	e.appendEncode(a, key)
 	return a.Finish()
 }
 
@@ -61,21 +80,27 @@ func (e *Encoder) CompressionRate(keys [][]byte) float64 {
 func (e *Encoder) Batchable() bool { return e.lookAhead > 0 }
 
 // EncodeBatch compresses a sorted run of keys, encoding their common
-// prefix only once (paper Section 4.2, batch encoding). The result slices
-// are freshly allocated. Falls back to individual encoding for ALM
-// schemes. A batch of two is the paper's pair-encoding used for
-// closed-range queries.
+// prefix only once (paper Section 4.2, batch encoding). The results are
+// slices of one shared backing array sized by the batch — one allocation
+// per batch, not one per key — so callers must not grow them in place.
+// Falls back to individual encoding for ALM schemes. A batch of two is the
+// paper's pair-encoding used for closed-range queries.
 func (e *Encoder) EncodeBatch(keys [][]byte) [][]byte {
 	out := make([][]byte, len(keys))
 	if len(keys) == 0 {
 		return out
 	}
+	// backing accumulates every padded encoding back to back; out[i] is
+	// carved from it at the end. Growth is amortized across the batch.
+	var backing []byte
+	offs := make([]int, len(keys)+1)
 	if !e.Batchable() || len(keys) == 1 {
 		for i, k := range keys {
 			b, _ := e.EncodeBits(nil, k)
-			out[i] = append([]byte(nil), b...)
+			backing = append(backing, b...)
+			offs[i+1] = len(backing)
 		}
-		return out
+		return carve(out, backing, offs)
 	}
 	// The common prefix of a sorted run is the prefix of first and last.
 	first, last := keys[0], keys[len(keys)-1]
@@ -101,15 +126,20 @@ func (e *Encoder) EncodeBatch(keys [][]byte) [][]byte {
 	mark := a.Mark()
 	for i, k := range keys {
 		a.Restore(mark)
-		for p := pos; p < len(k); {
-			code, n := e.dict.Lookup(k[p:])
-			a.Append(code.Bits, uint(code.Len))
-			p += n
-		}
+		e.appendEncode(a, k[pos:])
 		m2 := a.Mark()
 		buf, _ := a.Finish()
-		out[i] = append([]byte(nil), buf...)
+		backing = append(backing, buf...)
+		offs[i+1] = len(backing)
 		a.Restore(m2) // undo Finish's padding before the next key
+	}
+	return carve(out, backing, offs)
+}
+
+// carve slices backing into the per-key results recorded in offs.
+func carve(out [][]byte, backing []byte, offs []int) [][]byte {
+	for i := range out {
+		out[i] = backing[offs[i]:offs[i+1]:offs[i+1]]
 	}
 	return out
 }

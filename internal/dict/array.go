@@ -26,6 +26,9 @@ func NewSingleCharArray(entries []Entry) (*SingleCharArray, error) {
 		if len(e.Boundary) != 1 || e.Boundary[0] != byte(i) || e.SymbolLen != 1 {
 			return nil, fmt.Errorf("dict: entry %d is not the single byte %#02x", i, i)
 		}
+		if err := checkCode(e.Code); err != nil {
+			return nil, fmt.Errorf("dict: entry %d: %w", i, err)
+		}
 		d.codes[i] = e.Code
 	}
 	return d, nil
@@ -85,6 +88,9 @@ func NewDoubleCharArray(alphabet int, entries []Entry) (*DoubleCharArray, error)
 		term := i%(alphabet+1) == 0
 		if term && e.SymbolLen != 1 || !term && e.SymbolLen != 2 {
 			return nil, fmt.Errorf("dict: entry %d has symbol length %d", i, e.SymbolLen)
+		}
+		if err := checkCode(e.Code); err != nil {
+			return nil, fmt.Errorf("dict: entry %d: %w", i, err)
 		}
 		d.codes[i] = e.Code
 	}

@@ -94,52 +94,10 @@ func NewBitmapTrie(depth int, entries []Entry) (*BitmapTrie, error) {
 }
 
 // Lookup walks at most depth levels, using popcounts to locate children,
-// and returns the floor entry for src.
+// and returns the floor entry for src. The walk itself lives in floorIdx
+// (kernel.go), shared with the encode kernel.
 func (t *BitmapTrie) Lookup(src []byte) (hutucker.Code, int) {
-	node := &t.levels[0][0]
-	for d := 0; ; d++ {
-		if d == len(src) {
-			// All remaining boundaries in this subtree extend the path and
-			// therefore exceed src; the floor is the path itself (term) or
-			// the last entry before the subtree.
-			idx := int(node.startIdx) - 1
-			if node.term {
-				idx = int(node.startIdx)
-			}
-			return t.entryAt(idx)
-		}
-		c := int(src[d])
-		r := bitops.Rank256(&node.bitmap, c) // set bits at positions <= c
-		if bitops.Bit256(&node.bitmap, c) {
-			if d == t.depth-1 {
-				// Leaf branch: the boundary path·c is the floor.
-				return t.entryAt(int(node.startIdx) + boolInt(node.term) + r - 1)
-			}
-			node = &t.levels[d+1][node.childBase+uint32(r-1)]
-			continue
-		}
-		// No branch for c: the floor is the last boundary under the
-		// largest smaller branch, the terminator, or the entry preceding
-		// this subtree.
-		if d == t.depth-1 {
-			return t.entryAt(int(node.startIdx) + boolInt(node.term) + r - 1)
-		}
-		if r > 0 {
-			ch := &t.levels[d+1][node.childBase+uint32(r-1)]
-			return t.entryAt(int(ch.startIdx) + int(ch.count) - 1)
-		}
-		idx := int(node.startIdx) - 1
-		if node.term {
-			idx = int(node.startIdx)
-		}
-		return t.entryAt(idx)
-	}
-}
-
-func (t *BitmapTrie) entryAt(idx int) (hutucker.Code, int) {
-	if idx < 0 {
-		panic("dict: lookup below first boundary; dictionary must cover the axis")
-	}
+	idx := t.floorIdx(src, 0)
 	return t.codes[idx], int(t.symLens[idx])
 }
 

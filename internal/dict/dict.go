@@ -63,12 +63,29 @@ func validateEntries(entries []Entry) error {
 		if e.SymbolLen == 0 {
 			return fmt.Errorf("dict: entry %d has empty symbol", i)
 		}
+		if err := checkCode(e.Code); err != nil {
+			return fmt.Errorf("dict: entry %d: %w", i, err)
+		}
 		if int(e.SymbolLen) > len(e.Boundary) {
 			return fmt.Errorf("dict: entry %d symbol longer than boundary", i)
 		}
 		if i > 0 && bytes.Compare(entries[i-1].Boundary, e.Boundary) >= 0 {
 			return fmt.Errorf("dict: boundaries not strictly increasing at %d", i)
 		}
+	}
+	return nil
+}
+
+// checkCode rejects code words with set bits above their length. The
+// encode kernels stage codes into a 64-bit word without masking (see
+// Kernel), so this invariant is enforced once at construction instead of
+// once per appended code.
+func checkCode(c hutucker.Code) error {
+	if c.Len > 64 {
+		return fmt.Errorf("code length %d exceeds 64", c.Len)
+	}
+	if c.Len < 64 && c.Bits>>c.Len != 0 {
+		return fmt.Errorf("code %#x has bits above its length %d", c.Bits, c.Len)
 	}
 	return nil
 }

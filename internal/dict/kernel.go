@@ -1,0 +1,204 @@
+package dict
+
+import (
+	"repro/internal/bitops"
+)
+
+// Kernel is the devirtualized encode fast path: a dictionary that
+// implements it fuses the lookup+append loop over a whole key into one
+// concrete method, so the encoder pays no interface dispatch and no
+// sub-slice construction per symbol. AppendEncode walks key from position
+// 0, appends every symbol's code to a, and returns the number of codes
+// appended. All dictionaries in this package implement Kernel; the
+// encoder captures the concrete kernel once at build time.
+//
+// Kernels rely on the constructor-checked invariant that every code's
+// Bits has no set bits above Len, which lets them stage codes into a
+// local 64-bit word without masking (see Appender.AppendWord).
+type Kernel interface {
+	AppendEncode(a *bitops.Appender, key []byte) int
+}
+
+// Static checks: every dictionary structure provides the fast path.
+var (
+	_ Kernel = (*SingleCharArray)(nil)
+	_ Kernel = (*DoubleCharArray)(nil)
+	_ Kernel = (*BitmapTrie)(nil)
+	_ Kernel = (*ARTDict)(nil)
+	_ Kernel = (*BinarySearch)(nil)
+)
+
+// AppendEncode encodes key through the 256-entry table: one load, one
+// staged shift-or per source byte. This is the hottest loop in the
+// repository; it compiles to a straight table-indexed scan.
+func (d *SingleCharArray) AppendEncode(a *bitops.Appender, key []byte) int {
+	var acc uint64
+	var n uint
+	for i := 0; i < len(key); i++ {
+		c := d.codes[key[i]]
+		cl := uint(c.Len)
+		if n+cl > 64 {
+			a.AppendWord(acc, n)
+			acc, n = 0, 0
+		}
+		acc = acc<<cl | c.Bits
+		n += cl
+	}
+	a.AppendWord(acc, n)
+	return len(key)
+}
+
+// AppendEncode encodes key two bytes at a time through the
+// alphabet*(alphabet+1) table, finishing with the terminator entry when a
+// single byte remains.
+func (d *DoubleCharArray) AppendEncode(a *bitops.Appender, key []byte) int {
+	base := d.alphabet + 1
+	codes := d.codes
+	var acc uint64
+	var n uint
+	syms := 0
+	i := 0
+	for i+1 < len(key) {
+		c := codes[int(key[i])*base+1+int(key[i+1])]
+		cl := uint(c.Len)
+		if n+cl > 64 {
+			a.AppendWord(acc, n)
+			acc, n = 0, 0
+		}
+		acc = acc<<cl | c.Bits
+		n += cl
+		i += 2
+		syms++
+	}
+	if i < len(key) {
+		c := codes[int(key[i])*base]
+		cl := uint(c.Len)
+		if n+cl > 64 {
+			a.AppendWord(acc, n)
+			acc, n = 0, 0
+		}
+		acc = acc<<cl | c.Bits
+		n += cl
+		syms++
+	}
+	a.AppendWord(acc, n)
+	return syms
+}
+
+// AppendEncode encodes key through the bitmap trie, tracking the source
+// position with an index instead of re-slicing, and staging codes
+// word-at-a-time.
+func (t *BitmapTrie) AppendEncode(a *bitops.Appender, key []byte) int {
+	var acc uint64
+	var n uint
+	syms := 0
+	for pos := 0; pos < len(key); {
+		idx := t.floorIdx(key, pos)
+		c := t.codes[idx]
+		cl := uint(c.Len)
+		if n+cl > 64 {
+			a.AppendWord(acc, n)
+			acc, n = 0, 0
+		}
+		acc = acc<<cl | c.Bits
+		n += cl
+		pos += int(t.symLens[idx])
+		syms++
+	}
+	a.AppendWord(acc, n)
+	return syms
+}
+
+// floorIdx is Lookup restated over (key, pos) so the encode kernel never
+// constructs a sub-slice per symbol. It returns the floor entry's index.
+func (t *BitmapTrie) floorIdx(key []byte, pos int) int {
+	node := &t.levels[0][0]
+	for d := 0; ; d++ {
+		if pos+d == len(key) {
+			idx := int(node.startIdx) - 1
+			if node.term {
+				idx = int(node.startIdx)
+			}
+			return t.checkIdx(idx)
+		}
+		c := int(key[pos+d])
+		r := bitops.Rank256(&node.bitmap, c)
+		if bitops.Bit256(&node.bitmap, c) {
+			if d == t.depth-1 {
+				return t.checkIdx(int(node.startIdx) + boolInt(node.term) + r - 1)
+			}
+			node = &t.levels[d+1][node.childBase+uint32(r-1)]
+			continue
+		}
+		if d == t.depth-1 {
+			return t.checkIdx(int(node.startIdx) + boolInt(node.term) + r - 1)
+		}
+		if r > 0 {
+			ch := &t.levels[d+1][node.childBase+uint32(r-1)]
+			return t.checkIdx(int(ch.startIdx) + int(ch.count) - 1)
+		}
+		idx := int(node.startIdx) - 1
+		if node.term {
+			idx = int(node.startIdx)
+		}
+		return t.checkIdx(idx)
+	}
+}
+
+func (t *BitmapTrie) checkIdx(idx int) int {
+	if idx < 0 {
+		panic("dict: lookup below first boundary; dictionary must cover the axis")
+	}
+	return idx
+}
+
+// AppendEncode encodes key through the ART floor search. The tree walk
+// dominates here; the staging still removes the per-symbol interface
+// dispatch and append bookkeeping.
+func (d *ARTDict) AppendEncode(a *bitops.Appender, key []byte) int {
+	var acc uint64
+	var n uint
+	syms := 0
+	for pos := 0; pos < len(key); {
+		_, idx, ok := d.tree.Floor(key[pos:])
+		if !ok {
+			panic("dict: lookup below first boundary; dictionary must cover the axis")
+		}
+		c := d.codes[idx]
+		cl := uint(c.Len)
+		if n+cl > 64 {
+			a.AppendWord(acc, n)
+			acc, n = 0, 0
+		}
+		acc = acc<<cl | c.Bits
+		n += cl
+		pos += int(d.symLens[idx])
+		syms++
+	}
+	a.AppendWord(acc, n)
+	return syms
+}
+
+// AppendEncode encodes key through the reference binary search. It exists
+// so the ablation's forced binary-search dictionary goes through the same
+// encoder plumbing as the specialized structures; the differential tests
+// instead drive Lookup directly as the independent reference.
+func (d *BinarySearch) AppendEncode(a *bitops.Appender, key []byte) int {
+	var acc uint64
+	var n uint
+	syms := 0
+	for pos := 0; pos < len(key); {
+		c, symLen := d.Lookup(key[pos:])
+		cl := uint(c.Len)
+		if n+cl > 64 {
+			a.AppendWord(acc, n)
+			acc, n = 0, 0
+		}
+		acc = acc<<cl | c.Bits
+		n += cl
+		pos += symLen
+		syms++
+	}
+	a.AppendWord(acc, n)
+	return syms
+}
