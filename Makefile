@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint bench figures clean
+.PHONY: all build test lint bench bench-tree bench-check figures clean
 
 all: lint test build
 
@@ -22,9 +22,29 @@ bench:
 	$(GO) run ./cmd/hopebench -fig encode -dataset email -keys 200000 \
 		-json BENCH_encode.json
 
+# bench-tree records the end-to-end search-tree trajectory: hope.Index
+# load / point / range-scan latency and bytes-per-key for every backend ×
+# scheme, written to BENCH_tree.json (uploaded as a CI artifact alongside
+# BENCH_encode.json).
+bench-tree:
+	$(GO) run ./cmd/hopebench -fig tree -dataset email -keys 50000 -ops 50000 \
+		-json BENCH_tree.json
+
+# bench-check is the perf-regression gate: regenerate the encode record at
+# `make bench` parameters and fail on a >15% median regression in any
+# encode figure against the committed BENCH_encode.json baseline.
+# Same-machine only: the baseline must have been recorded by `make bench`
+# on this box, or the comparison measures hardware, not code (CI instead
+# reruns the bench for both the PR head and its merge base on one runner).
+bench-check:
+	$(GO) run ./cmd/hopebench -fig encode -dataset email -keys 200000 \
+		-json BENCH_encode.fresh.json
+	$(GO) run ./cmd/benchdiff BENCH_encode.json BENCH_encode.fresh.json
+	@rm -f BENCH_encode.fresh.json
+
 # figures regenerates the paper's evaluation artifacts at laptop scale.
 figures:
 	$(GO) run ./cmd/hopebench -fig all -dataset email -keys 100000
 
 clean:
-	rm -f BENCH_encode.json
+	rm -f BENCH_encode.fresh.json

@@ -226,6 +226,21 @@ func BenchmarkFig16(b *testing.B) {
 	spin(b)
 }
 
+// BenchmarkFigTree reports the end-to-end hope.Index series: load, point
+// and range-scan latency plus bytes/key for every backend × configuration.
+func BenchmarkFigTree(b *testing.B) {
+	cfg := benchCfg(datagen.Email)
+	rows := once(b, "figtree", func() ([]bench.TreeBenchRow, error) {
+		return bench.RunFigTree(cfg, hope.Backends)
+	})
+	for _, r := range rows {
+		b.ReportMetric(r.PointNs, tag(fmt.Sprintf("ns/point:%s/%s", r.Backend, r.Config)))
+		b.ReportMetric(r.ScanNs, tag(fmt.Sprintf("ns/scan:%s/%s", r.Backend, r.Config)))
+		b.ReportMetric(r.BytesPerKey, tag(fmt.Sprintf("B/key:%s/%s", r.Backend, r.Config)))
+	}
+	spin(b)
+}
+
 // BenchmarkAblationWeighting reports the effect of symbol-length-weighted
 // probabilities on VIVC compression.
 func BenchmarkAblationWeighting(b *testing.B) {

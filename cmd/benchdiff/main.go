@@ -1,0 +1,165 @@
+// Command benchdiff is the CI perf-regression gate: it compares two
+// BENCH_encode.json files (the encode-path perf record `make bench`
+// writes) and fails when the median regression of any latency metric
+// exceeds the threshold.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.15] baseline.json current.json
+//
+// Rows are matched by (dataset, scheme); for every latency metric the
+// tool collects the per-row current/baseline ratios and compares each
+// metric's median ratio against 1+threshold. The median — not the max —
+// gates the job so a single noisy scheme on shared CI hardware cannot
+// fail the build, while a real encode-path regression (which moves every
+// scheme) reliably does. Exit status: 0 pass, 1 regression, 2 usage or
+// input error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+)
+
+// metrics are the gated figures; every one is a latency (lower is
+// better). Throughput-like columns (speedup, CPR) are reported but not
+// gated: they depend on worker count and dictionary contents rather than
+// the encode hot path alone.
+var metrics = []struct {
+	name string
+	get  func(bench.EncodeBenchRow) float64
+}{
+	{"serial_ns_per_key", func(r bench.EncodeBenchRow) float64 { return r.SerialNsKey }},
+	{"serial_ns_per_char", func(r bench.EncodeBenchRow) float64 { return r.SerialNsChar }},
+	{"bulk_ns_per_key", func(r bench.EncodeBenchRow) float64 { return r.BulkNsKey }},
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "maximum tolerated median regression (0.15 = +15%)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] baseline.json current.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := readRows(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := readRows(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	report, failed, err := diff(base, cur, *threshold)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(report)
+	if failed {
+		fmt.Printf("FAIL: median regression above %.0f%% (or baseline rows missing)\n", *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: all medians within %.0f%%\n", *threshold*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
+
+func readRows(path string) ([]bench.EncodeBenchRow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows []bench.EncodeBenchRow
+	if err := json.NewDecoder(f).Decode(&rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+func key(r bench.EncodeBenchRow) string { return r.Dataset + "/" + r.Scheme }
+
+// diff builds the human-readable comparison and reports whether any
+// metric's median ratio breaches 1+threshold. A baseline row with no
+// matching current row fails the gate outright: a scheme that stopped
+// being measured is a silent total regression, not a pass. (Current rows
+// without a baseline — newly added schemes — are noted and tolerated.)
+func diff(base, cur []bench.EncodeBenchRow, threshold float64) (string, bool, error) {
+	baseBy := map[string]bench.EncodeBenchRow{}
+	for _, r := range base {
+		baseBy[key(r)] = r
+	}
+	curKeys := map[string]bool{}
+	out := fmt.Sprintf("%-28s %-20s %10s %10s %8s\n", "row", "metric", "baseline", "current", "ratio")
+	failed := false
+	for _, c := range cur {
+		curKeys[key(c)] = true
+		if _, ok := baseBy[key(c)]; !ok {
+			out += fmt.Sprintf("%-28s new row (no baseline), not gated\n", key(c))
+		}
+	}
+	for _, b := range base {
+		if !curKeys[key(b)] {
+			out += fmt.Sprintf("%-28s MISSING from current record\n", key(b))
+			failed = true
+		}
+	}
+	matched := 0
+	for _, m := range metrics {
+		var ratios []float64
+		for _, c := range cur {
+			b, ok := baseBy[key(c)]
+			if !ok {
+				continue
+			}
+			matched++
+			bv, cv := m.get(b), m.get(c)
+			if bv <= 0 {
+				continue // unmeasurable baseline (sub-tick), nothing to gate
+			}
+			ratio := cv / bv
+			ratios = append(ratios, ratio)
+			flag := ""
+			if ratio > 1+threshold {
+				flag = "  <- above threshold"
+			}
+			out += fmt.Sprintf("%-28s %-20s %10.2f %10.2f %7.2fx%s\n", key(c), m.name, bv, cv, ratio, flag)
+		}
+		if len(ratios) == 0 {
+			continue
+		}
+		med := median(ratios)
+		verdict := "ok"
+		if med > 1+threshold {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		out += fmt.Sprintf("%-28s %-20s %10s %10s %7.2fx  median: %s\n",
+			"(median)", m.name, "", "", med, verdict)
+	}
+	if matched == 0 {
+		return "", false, fmt.Errorf("no rows match between baseline and current (different datasets or schemes?)")
+	}
+	return out, failed, nil
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

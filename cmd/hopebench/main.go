@@ -15,22 +15,23 @@ import (
 	"os"
 	"strconv"
 
+	hope "repro"
 	"repro/internal/bench"
 	"repro/internal/datagen"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: table1, 8, 9, 10, 11, 12, 13, 14, 15, 16, ablation, encode, all")
+	fig := flag.String("fig", "all", "figure to reproduce: table1, 8, 9, 10, 11, 12, 13, 14, 15, 16, ablation, encode, tree, all")
 	dataset := flag.String("dataset", "email", "dataset: email, wiki, url, all")
 	keys := flag.Int("keys", 100000, "number of keys (paper: 14-25M)")
 	ops := flag.Int("ops", 100000, "number of workload operations (paper: 10M)")
 	sample := flag.Float64("sample", 0.01, "HOPE build sample fraction (paper: 1%)")
 	seed := flag.Int64("seed", 42, "dataset seed")
 	quick := flag.Bool("quick", false, "shrink dictionary limits for a fast pass")
-	jsonOut := flag.String("json", "", "also write results as JSON to this file (fig=encode only)")
+	jsonOut := flag.String("json", "", "also write results as JSON to this file (fig=encode and fig=tree)")
 	flag.Parse()
-	if *jsonOut != "" && *fig != "encode" {
-		fatal(fmt.Errorf("-json only applies to -fig encode"))
+	if *jsonOut != "" && *fig != "encode" && *fig != "tree" {
+		fatal(fmt.Errorf("-json only applies to -fig encode and -fig tree"))
 	}
 
 	var datasets []datagen.Kind
@@ -43,16 +44,17 @@ func main() {
 		}
 		datasets = []datagen.Kind{k}
 	}
-	// Encode-bench rows accumulate across datasets so -dataset all writes
-	// one JSON file with every dataset's rows instead of overwriting it
-	// per dataset.
+	// Bench rows accumulate across datasets so -dataset all writes one
+	// JSON file with every dataset's rows instead of overwriting it per
+	// dataset.
 	var encodeRows []bench.EncodeBenchRow
+	var treeRows []bench.TreeBenchRow
 	for _, ds := range datasets {
 		cfg := bench.Config{
 			Dataset: ds, NumKeys: *keys, NumOps: *ops,
 			SampleFrac: *sample, Seed: *seed, Quick: *quick,
 		}
-		if err := run(*fig, cfg, &encodeRows); err != nil {
+		if err := run(*fig, cfg, &encodeRows, &treeRows); err != nil {
 			fatal(err)
 		}
 	}
@@ -62,8 +64,14 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		if err := bench.WriteEncodeBenchJSON(f, encodeRows); err != nil {
-			fatal(err)
+		var werr error
+		if *fig == "tree" {
+			werr = bench.WriteTreeBenchJSON(f, treeRows)
+		} else {
+			werr = bench.WriteEncodeBenchJSON(f, encodeRows)
+		}
+		if werr != nil {
+			fatal(werr)
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
 	}
@@ -74,11 +82,11 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(fig string, cfg bench.Config, encodeRows *[]bench.EncodeBenchRow) error {
+func run(fig string, cfg bench.Config, encodeRows *[]bench.EncodeBenchRow, treeRows *[]bench.TreeBenchRow) error {
 	switch fig {
 	case "all":
-		for _, f := range []string{"table1", "8", "9", "10", "11", "12", "13", "14", "15", "16", "ablation"} {
-			if err := run(f, cfg, encodeRows); err != nil {
+		for _, f := range []string{"table1", "8", "9", "10", "11", "12", "13", "14", "15", "16", "ablation", "tree"} {
+			if err := run(f, cfg, encodeRows, treeRows); err != nil {
 				return err
 			}
 		}
@@ -107,8 +115,32 @@ func run(fig string, cfg bench.Config, encodeRows *[]bench.EncodeBenchRow) error
 		return ablations(cfg)
 	case "encode":
 		return encodeBench(cfg, encodeRows)
+	case "tree":
+		return treeBench(cfg, treeRows)
 	}
 	return fmt.Errorf("unknown figure %q", fig)
+}
+
+func treeBench(cfg bench.Config, treeRows *[]bench.TreeBenchRow) error {
+	rows, err := bench.RunFigTree(cfg, hope.Backends)
+	if err != nil {
+		return err
+	}
+	*treeRows = append(*treeRows, rows...)
+	var out [][]string
+	for _, r := range rows {
+		cpr := "-"
+		if r.CPR > 0 {
+			cpr = bench.F(r.CPR)
+		}
+		out = append(out, []string{r.Backend, r.Config,
+			bench.F3(r.LoadSec), bench.F(r.PointNs), bench.F(r.ScanNs),
+			bench.F(r.BytesPerKey), bench.F3(r.TreeMB), bench.F3(r.DictMB), cpr})
+	}
+	bench.Table(os.Stdout, fmt.Sprintf("End-to-end trees (%s): hope.Index across backends x schemes", cfg.Dataset),
+		[]string{"Backend", "Config", "Load (s)", "Point (ns)", "Scan (ns)",
+			"Bytes/key", "Tree (MB)", "Dict (MB)", "CPR"}, out)
+	return nil
 }
 
 func encodeBench(cfg bench.Config, encodeRows *[]bench.EncodeBenchRow) error {

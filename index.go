@@ -1,0 +1,429 @@
+package hope
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/art"
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/hot"
+	"repro/internal/prefixbtree"
+	"repro/internal/surf"
+)
+
+// Backend names one of the five search trees the paper evaluates and
+// hope.Index can wrap.
+type Backend string
+
+const (
+	// ART is the adaptive radix tree (Leis et al.).
+	ART Backend = "ART"
+	// HOT is the height-optimized trie (Binna et al.).
+	HOT Backend = "HOT"
+	// SuRF is the succinct range filter in front of a sorted static run;
+	// it is bulk-loaded and immutable (Put and Delete return
+	// ErrImmutableBackend).
+	SuRF Backend = "SuRF"
+	// BTree is the B+tree.
+	BTree Backend = "B+tree"
+	// PrefixBTree is the prefix-compressed B+tree.
+	PrefixBTree Backend = "Prefix B+tree"
+)
+
+// Backends lists every facade backend in the paper's order.
+var Backends = []Backend{ART, HOT, SuRF, BTree, PrefixBTree}
+
+// ErrImmutableBackend is returned by Put and Delete on bulk-only backends
+// (SuRF builds a succinct static structure that cannot be updated in
+// place).
+var ErrImmutableBackend = errors.New("hope: backend is immutable; load it with Bulk")
+
+// Index is the unified compressed-index facade: one of the five search
+// trees behind a single Put/Get/Delete/Scan/Bulk interface, with an
+// optional HOPE encoder applied transparently to every key. With a nil
+// encoder the Index stores keys uncompressed — the paper's baseline
+// configuration and the reference the differential tests compare encoded
+// scans against.
+//
+// All keys the caller passes are original (uncompressed) keys; the facade
+// encodes points and translates range bounds into encoded space (see
+// Scan and ScanPrefix for how the order-preserving guarantees compose).
+// Stored keys handed to scan callbacks are in stored (encoded) form; pair
+// the Index with a Decoder if originals must be reconstructed, or carry
+// the association through the value.
+//
+// An Index is not safe for concurrent use (the underlying trees and the
+// encoder's bit buffer are single-writer); wrap it with external locking,
+// or shard it for concurrent workloads with one encoder per shard (the
+// encoder's point-operation state is as single-writer as the trees).
+type Index struct {
+	backend Backend
+	be      indexBackend
+	enc     *core.Encoder
+
+	// maxKeyLen tracks the longest original key ever stored; ScanPrefix
+	// feeds it to the encoder's interval-ceiling bound so the encoded
+	// upper bound dominates every stored continuation of the prefix.
+	maxKeyLen int
+
+	buf []byte // scratch for point-operation encodes
+}
+
+// NewIndex wraps the named backend. enc may be nil for an uncompressed
+// index; otherwise every key is encoded with it transparently. The
+// encoder is captured by reference and its point-encode state is
+// mutable, so an encoder may be shared between Index instances only as
+// long as all of them are driven from one goroutine; concurrent shards
+// need one encoder each (dictionaries are read-only, so rebuilding is
+// cheap — or encode externally via a ConcurrentEncoder and use nil).
+func NewIndex(backend Backend, enc *core.Encoder) (*Index, error) {
+	x := &Index{backend: backend, enc: enc}
+	switch backend {
+	case ART:
+		x.be = &artBackend{t: art.New(art.IndexMode)}
+	case HOT:
+		x.be = &hotBackend{t: hot.New()}
+	case SuRF:
+		x.be = &surfBackend{}
+	case BTree:
+		x.be = &btreeBackend{t: btree.New()}
+	case PrefixBTree:
+		x.be = &prefixBackend{t: prefixbtree.New()}
+	default:
+		return nil, fmt.Errorf("hope: unknown backend %q", backend)
+	}
+	return x, nil
+}
+
+// Backend returns the wrapped tree's name.
+func (x *Index) Backend() Backend { return x.backend }
+
+// Encoder returns the encoder applied to keys (nil when uncompressed).
+func (x *Index) Encoder() *core.Encoder { return x.enc }
+
+// Len returns the number of stored keys.
+func (x *Index) Len() int { return x.be.length() }
+
+// MemoryUsage returns the modeled footprint in bytes of the tree plus the
+// encoder's dictionary — the paper's reported metric ("HOPE size
+// included").
+func (x *Index) MemoryUsage() int {
+	m := x.be.memory()
+	if x.enc != nil {
+		m += x.enc.MemoryUsage()
+	}
+	return m
+}
+
+// TreeMemoryUsage returns the tree's modeled footprint alone.
+func (x *Index) TreeMemoryUsage() int { return x.be.memory() }
+
+// encodePoint encodes key into the reusable scratch buffer; the result is
+// only valid until the next point operation.
+func (x *Index) encodePoint(key []byte) []byte {
+	if x.enc == nil {
+		return key
+	}
+	b, _ := x.enc.EncodeBits(x.buf, key)
+	x.buf = b[:0]
+	return b
+}
+
+// encodeOwned returns an encoded copy the backend may retain.
+func (x *Index) encodeOwned(key []byte) []byte {
+	if x.enc == nil {
+		return append([]byte(nil), key...)
+	}
+	return x.enc.Encode(key)
+}
+
+func (x *Index) trackLen(key []byte) {
+	if len(key) > x.maxKeyLen {
+		x.maxKeyLen = len(key)
+	}
+}
+
+// Put inserts or overwrites one key. Bulk is the fast path for loading
+// many keys at once (it runs the parallel encoder and, for SuRF, is the
+// only way to populate the index).
+func (x *Index) Put(key []byte, val uint64) error {
+	x.trackLen(key)
+	return x.be.insert(x.encodeOwned(key), val)
+}
+
+// Get returns the value stored under key.
+func (x *Index) Get(key []byte) (uint64, bool) {
+	return x.be.get(x.encodePoint(key))
+}
+
+// Delete removes key, reporting whether it was present.
+func (x *Index) Delete(key []byte) (bool, error) {
+	return x.be.remove(x.encodePoint(key))
+}
+
+// Bulk loads keys[i] -> vals[i] through the parallel bulk-encode path. A
+// nil vals assigns each key its position. Keys need not be sorted. For
+// the SuRF backend this both builds the filter and retains the sorted
+// encoded run it filters for.
+func (x *Index) Bulk(keys [][]byte, vals []uint64) error {
+	if vals != nil && len(vals) != len(keys) {
+		return fmt.Errorf("hope: %d keys but %d values", len(keys), len(vals))
+	}
+	if vals == nil {
+		vals = make([]uint64, len(keys))
+		for i := range vals {
+			vals[i] = uint64(i)
+		}
+	}
+	for _, k := range keys {
+		x.trackLen(k)
+	}
+	var encoded [][]byte
+	if x.enc != nil {
+		encoded = x.enc.EncodeAll(keys)
+	} else {
+		// Copy: backends retain keys and callers may reuse their buffers.
+		backing := make([]byte, 0, totalLen(keys))
+		encoded = make([][]byte, len(keys))
+		for i, k := range keys {
+			start := len(backing)
+			backing = append(backing, k...)
+			encoded[i] = backing[start:len(backing):len(backing)]
+		}
+	}
+	return x.be.bulk(encoded, vals)
+}
+
+func totalLen(keys [][]byte) int {
+	n := 0
+	for _, k := range keys {
+		n += len(k)
+	}
+	return n
+}
+
+// Scan visits, in ascending original-key order, every stored key k with
+// lo <= k < hi (both bounds in original key space; a nil hi is unbounded)
+// and returns how many keys it visited. fn receives the stored (encoded)
+// key and may stop the scan by returning false.
+//
+// Both bounds are complete keys, so they translate exactly: encoding is
+// order-preserving, hence enc(lo) <= enc(k) < enc(hi) holds for stored
+// keys precisely when lo <= k < hi holds for the originals (the
+// zero-padding weak-order edge documented in DESIGN.md is the only
+// exception).
+func (x *Index) Scan(lo, hi []byte, fn func(key []byte, val uint64) bool) int {
+	var loEnc, hiEnc []byte
+	if x.enc != nil {
+		loEnc = x.enc.EncodeBound(lo)
+		if loEnc == nil {
+			loEnc = []byte{}
+		}
+		hiEnc = x.enc.EncodeBound(hi)
+	} else {
+		loEnc, hiEnc = lo, hi
+	}
+	return x.scanEncoded(loEnc, hiEnc, false, fn)
+}
+
+// ScanPrefix visits every stored key that starts with prefix, in
+// ascending order, and returns how many keys it visited. In encoded space
+// a prefix is generally not dictionary-complete, so the upper bound runs
+// through the encoder's interval-ceiling construction (EncodePrefix): the
+// lower bound is the exact encoding of the prefix and the upper bound is
+// the smallest encoded string the facade can prove to dominate every
+// stored key carrying the prefix.
+func (x *Index) ScanPrefix(prefix []byte, fn func(key []byte, val uint64) bool) int {
+	if x.enc != nil {
+		maxLen := x.maxKeyLen
+		if len(prefix) > maxLen {
+			maxLen = len(prefix)
+		}
+		lo, hi := x.enc.EncodePrefix(prefix, maxLen)
+		return x.scanEncoded(lo, hi, true, fn)
+	}
+	// Uncompressed: the successor prefix (last non-0xff byte bumped, 0xff
+	// run stripped) is the exclusive upper bound; an all-0xff prefix has
+	// no successor and the range is unbounded above.
+	hi := prefixSuccessor(prefix)
+	return x.scanEncoded(prefix, hi, false, fn)
+}
+
+func (x *Index) scanEncoded(lo, hi []byte, hiIncl bool, fn func(key []byte, val uint64) bool) int {
+	n := 0
+	x.be.scan(lo, hi, hiIncl, func(k []byte, v uint64) bool {
+		n++
+		return fn(k, v)
+	})
+	return n
+}
+
+// prefixSuccessor returns the smallest byte string greater than every
+// string with the given prefix, or nil if none exists (all-0xff prefixes).
+func prefixSuccessor(p []byte) []byte {
+	i := len(p) - 1
+	for ; i >= 0 && p[i] == 0xff; i-- {
+	}
+	if i < 0 {
+		return nil
+	}
+	s := append([]byte(nil), p[:i+1]...)
+	s[i]++
+	return s
+}
+
+// indexBackend adapts one search tree to the facade. Keys at this layer
+// are already in stored (encoded) form.
+type indexBackend interface {
+	insert(k []byte, v uint64) error
+	bulk(keys [][]byte, vals []uint64) error
+	get(k []byte) (uint64, bool)
+	remove(k []byte) (bool, error)
+	// scan visits stored keys in [lo, hi) byte order ([lo, hi] when
+	// hiIncl; nil hi unbounded) until fn returns false.
+	scan(lo, hi []byte, hiIncl bool, fn func(k []byte, v uint64) bool)
+	memory() int
+	length() int
+}
+
+// insertLoop implements bulk for the mutable trees.
+func insertLoop(be indexBackend, keys [][]byte, vals []uint64) error {
+	for i, k := range keys {
+		if err := be.insert(k, vals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type artBackend struct{ t *art.Tree }
+
+func (b *artBackend) insert(k []byte, v uint64) error     { b.t.Insert(k, v); return nil }
+func (b *artBackend) bulk(ks [][]byte, vs []uint64) error { return insertLoop(b, ks, vs) }
+func (b *artBackend) get(k []byte) (uint64, bool)         { return b.t.Get(k) }
+func (b *artBackend) remove(k []byte) (bool, error)       { return b.t.Delete(k), nil }
+func (b *artBackend) memory() int                         { return b.t.MemoryUsage() }
+func (b *artBackend) length() int                         { return b.t.Len() }
+func (b *artBackend) scan(lo, hi []byte, incl bool, fn func([]byte, uint64) bool) {
+	b.t.Range(lo, hi, incl, fn)
+}
+
+type hotBackend struct{ t *hot.Tree }
+
+func (b *hotBackend) insert(k []byte, v uint64) error     { b.t.Insert(k, v); return nil }
+func (b *hotBackend) bulk(ks [][]byte, vs []uint64) error { return insertLoop(b, ks, vs) }
+func (b *hotBackend) get(k []byte) (uint64, bool)         { return b.t.Get(k) }
+func (b *hotBackend) remove(k []byte) (bool, error)       { return b.t.Delete(k), nil }
+func (b *hotBackend) memory() int                         { return b.t.MemoryUsage() }
+func (b *hotBackend) length() int                         { return b.t.Len() }
+func (b *hotBackend) scan(lo, hi []byte, incl bool, fn func([]byte, uint64) bool) {
+	b.t.Range(lo, hi, incl, fn)
+}
+
+type btreeBackend struct{ t *btree.Tree }
+
+func (b *btreeBackend) insert(k []byte, v uint64) error     { b.t.Insert(k, v); return nil }
+func (b *btreeBackend) bulk(ks [][]byte, vs []uint64) error { return insertLoop(b, ks, vs) }
+func (b *btreeBackend) get(k []byte) (uint64, bool)         { return b.t.Get(k) }
+func (b *btreeBackend) remove(k []byte) (bool, error)       { return b.t.Delete(k), nil }
+func (b *btreeBackend) memory() int                         { return b.t.MemoryUsage() }
+func (b *btreeBackend) length() int                         { return b.t.Len() }
+func (b *btreeBackend) scan(lo, hi []byte, incl bool, fn func([]byte, uint64) bool) {
+	b.t.Range(lo, hi, incl, fn)
+}
+
+type prefixBackend struct{ t *prefixbtree.Tree }
+
+func (b *prefixBackend) insert(k []byte, v uint64) error     { b.t.Insert(k, v); return nil }
+func (b *prefixBackend) bulk(ks [][]byte, vs []uint64) error { return insertLoop(b, ks, vs) }
+func (b *prefixBackend) get(k []byte) (uint64, bool)         { return b.t.Get(k) }
+func (b *prefixBackend) remove(k []byte) (bool, error)       { return b.t.Delete(k), nil }
+func (b *prefixBackend) memory() int                         { return b.t.MemoryUsage() }
+func (b *prefixBackend) length() int                         { return b.t.Len() }
+func (b *prefixBackend) scan(lo, hi []byte, incl bool, fn func([]byte, uint64) bool) {
+	b.t.Range(lo, hi, incl, fn)
+}
+
+// surfBackend is SuRF in its production role: a succinct filter in front
+// of a sorted run (as in an LSM level). Bulk sorts the encoded keys,
+// builds a SuRF-Real8 over them and retains the run; Get consults the
+// filter before binary-searching the run, and scans short-circuit through
+// MayIntersect. The backend is exact (the run is authoritative) and
+// immutable.
+type surfBackend struct {
+	filter *surf.Filter
+	keys   [][]byte
+	vals   []uint64
+}
+
+func (b *surfBackend) insert([]byte, uint64) error { return ErrImmutableBackend }
+func (b *surfBackend) remove([]byte) (bool, error) { return false, ErrImmutableBackend }
+
+func (b *surfBackend) bulk(keys [][]byte, vals []uint64) error {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		return bytes.Compare(keys[idx[i]], keys[idx[j]]) < 0
+	})
+	b.keys = b.keys[:0]
+	b.vals = b.vals[:0]
+	for _, i := range idx {
+		// Last write wins on duplicate stored keys, matching the mutable
+		// backends' overwrite semantics.
+		if n := len(b.keys); n > 0 && bytes.Equal(b.keys[n-1], keys[i]) {
+			b.vals[n-1] = vals[i]
+			continue
+		}
+		b.keys = append(b.keys, keys[i])
+		b.vals = append(b.vals, vals[i])
+	}
+	b.filter = surf.Build(b.keys, surf.Real, 8)
+	return nil
+}
+
+func (b *surfBackend) get(k []byte) (uint64, bool) {
+	if b.filter == nil || !b.filter.MayContain(k) {
+		return 0, false
+	}
+	i := sort.Search(len(b.keys), func(i int) bool { return bytes.Compare(b.keys[i], k) >= 0 })
+	if i < len(b.keys) && bytes.Equal(b.keys[i], k) {
+		return b.vals[i], true
+	}
+	return 0, false
+}
+
+func (b *surfBackend) scan(lo, hi []byte, incl bool, fn func([]byte, uint64) bool) {
+	if b.filter == nil || !b.filter.MayIntersect(lo, hi, incl) {
+		return
+	}
+	i := sort.Search(len(b.keys), func(i int) bool { return bytes.Compare(b.keys[i], lo) >= 0 })
+	for ; i < len(b.keys); i++ {
+		if hi != nil {
+			if c := bytes.Compare(b.keys[i], hi); c > 0 || (c == 0 && !incl) {
+				return
+			}
+		}
+		if !fn(b.keys[i], b.vals[i]) {
+			return
+		}
+	}
+}
+
+func (b *surfBackend) memory() int {
+	m := 0
+	if b.filter != nil {
+		m = b.filter.MemoryUsage()
+	}
+	// The run itself: key bytes plus slice headers and values.
+	for _, k := range b.keys {
+		m += len(k) + 24
+	}
+	return m + len(b.vals)*8
+}
+
+func (b *surfBackend) length() int { return len(b.keys) }

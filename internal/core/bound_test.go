@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// prefixCorpus builds keys with heavy prefix sharing plus adversarial
+// shapes: keys that are prefixes of other keys, an empty key, and 0xff
+// runs.
+func prefixCorpus(rng *rand.Rand) [][]byte {
+	out := [][]byte{
+		{}, // empty key
+		[]byte("a"), []byte("ab"), []byte("abc"), []byte("abcd"),
+		[]byte("app"), []byte("apple"), []byte("applesauce"), []byte("application"),
+		[]byte("com.gmail@"), []byte("com.gmail@alice"), []byte("com.gmail@bob"),
+		[]byte("com.yahoo@carol"), []byte("org.wiki@dave"),
+		{0xff}, {0xff, 0xff}, {0xff, 0xff, 0xff},
+		[]byte("a\xff"), []byte("a\xff\xff"), []byte("a\xffz"),
+		{0x00}, {0x00, 0x01}, []byte("zzz"),
+	}
+	out = append(out, sampleKeys(rng, 200)...)
+	out = append(out, randomBinaryKeys(rng, 200, 12)...)
+	return out
+}
+
+// TestEncodePrefixBrackets checks the bound-encoding contract directly:
+// for every (corpus key, prefix) pair, the key's padded encoding falls
+// inside [lo, hi] exactly when the key carries the prefix (keys that
+// compare equal to a bound under the zero-padding weak order are the
+// documented exception and do not occur in this corpus).
+func TestEncodePrefixBrackets(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	encs := buildAll(t, nil)
+	corpus := prefixCorpus(rng)
+	maxLen := 0
+	for _, k := range corpus {
+		if len(k) > maxLen {
+			maxLen = len(k)
+		}
+	}
+	prefixes := [][]byte{
+		{}, []byte("a"), []byte("ab"), []byte("app"), []byte("apple"),
+		[]byte("com.gmail@"), []byte("com."), {0xff}, {0xff, 0xff},
+		[]byte("a\xff"), {0x00}, []byte("zz"), []byte("nosuchprefix"),
+	}
+	for s, e := range encs {
+		for _, p := range prefixes {
+			lo, hi := e.EncodePrefix(p, maxLen)
+			if bytes.Compare(lo, hi) > 0 {
+				t.Fatalf("%v: prefix %q: lo > hi", s, p)
+			}
+			for _, k := range corpus {
+				ek := e.Encode(k)
+				in := bytes.Compare(lo, ek) <= 0 && bytes.Compare(ek, hi) <= 0
+				want := bytes.HasPrefix(k, p)
+				if in != want {
+					t.Errorf("%v: prefix %q key %q: in-bounds=%v want %v (lo=%x ek=%x hi=%x)",
+						s, p, k, in, want, lo, ek, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodePrefixLowerBoundExact pins the documented property that the
+// lower bound is the exact encoding of the prefix itself.
+func TestEncodePrefixLowerBoundExact(t *testing.T) {
+	encs := buildAll(t, nil)
+	for s, e := range encs {
+		for _, p := range [][]byte{{}, []byte("a"), []byte("com.gmail@"), {0xff}} {
+			lo, _ := e.EncodePrefix(p, 32)
+			if !bytes.Equal(lo, e.Encode(p)) {
+				t.Fatalf("%v: lower bound of %q is not the exact encoding", s, p)
+			}
+		}
+	}
+}
+
+// TestEncodeBound checks the complete-key bound translation, including the
+// nil (unbounded) pass-through.
+func TestEncodeBound(t *testing.T) {
+	encs := buildAll(t, nil)
+	for s, e := range encs {
+		if e.EncodeBound(nil) != nil {
+			t.Fatalf("%v: nil bound must stay nil", s)
+		}
+		k := []byte("com.gmail@alice")
+		if !bytes.Equal(e.EncodeBound(k), e.Encode(k)) {
+			t.Fatalf("%v: bound encoding differs from exact encoding", s)
+		}
+	}
+}
+
+// TestEncodePrefixSeparatesSiblings stresses the interval-ceiling upper
+// bound with keys immediately above the prefix range: the successor of the
+// prefix must encode strictly above hi even when a single dictionary
+// interval spans the prefix boundary.
+func TestEncodePrefixSeparatesSiblings(t *testing.T) {
+	encs := buildAll(t, nil)
+	cases := []struct{ prefix, above []byte }{
+		{[]byte("a"), []byte("b")},
+		{[]byte("ap"), []byte("aq")},
+		{[]byte("app"), []byte("apq")},
+		{[]byte("com.gmail@"), []byte("com.gmailA")},
+		{[]byte("a\xff"), []byte("b")},
+		{[]byte{0x00}, []byte{0x01}},
+	}
+	for s, e := range encs {
+		for _, c := range cases {
+			_, hi := e.EncodePrefix(c.prefix, 24)
+			for _, suffix := range []string{"", "a", "zz", "\x00", "\xff\xff"} {
+				k := append(append([]byte(nil), c.above...), suffix...)
+				if len(k) > 24 {
+					continue
+				}
+				if bytes.Compare(e.Encode(k), hi) <= 0 {
+					t.Errorf("%v: key %q (above prefix %q) not separated by ceiling", s, k, c.prefix)
+				}
+			}
+		}
+	}
+}

@@ -152,6 +152,11 @@ type Encoder struct {
 	// batch encoding (ALM schemes, whose symbols have arbitrary length).
 	lookAhead int
 
+	// maxBoundary is the longest interval boundary, captured at build for
+	// the bound encoder (after that many look-ahead bytes every floor
+	// lookup is fully decided).
+	maxBoundary int
+
 	app appender // reusable encode state
 }
 
@@ -209,11 +214,15 @@ func Build(scheme Scheme, samples [][]byte, opt Options) (*Encoder, error) {
 
 	t2 := time.Now()
 	e.entries = make([]dict.Entry, len(intervals))
+	e.maxBoundary = 1
 	for i, iv := range intervals {
 		e.entries[i] = dict.Entry{
 			Boundary:  iv.Boundary,
 			SymbolLen: uint8(len(iv.Symbol)),
 			Code:      codes[i],
+		}
+		if len(iv.Boundary) > e.maxBoundary {
+			e.maxBoundary = len(iv.Boundary)
 		}
 	}
 	e.dict, err = buildDictionary(scheme, opt, e.entries)

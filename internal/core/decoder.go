@@ -50,8 +50,19 @@ func NewDecoder(e *Encoder) (*Decoder, error) {
 }
 
 // Decode reconstructs the key from bitLen bits of buf (the exact length
-// returned by EncodeBits; the padding bits are ignored).
+// returned by EncodeBits; the padding bits are ignored). On any error —
+// a bit length the buffer cannot hold, a code walking off the trie, or a
+// sequence ending mid-code — the returned output is nil: corrupt input
+// never yields a partially-decoded key.
 func (d *Decoder) Decode(buf []byte, bitLen int) ([]byte, error) {
+	if bitLen < 0 {
+		return nil, fmt.Errorf("core: negative bit length %d", bitLen)
+	}
+	if bitLen > len(buf)*8 {
+		// Compare in bit units: (bitLen+7)/8 would overflow for corrupt
+		// bit lengths near MaxInt and let the guard pass.
+		return nil, fmt.Errorf("core: bit length %d exceeds %d-byte buffer", bitLen, len(buf))
+	}
 	var out []byte
 	cur := int32(0)
 	for i := 0; i < bitLen; i++ {

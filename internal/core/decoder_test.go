@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeCorruptInputAllSchemes feeds every scheme's decoder truncated
+// buffers, over-claimed bit lengths and random garbage. Every error path
+// must return a nil output — a corrupt code never yields a partial key —
+// and no input may panic.
+func TestDecodeCorruptInputAllSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	encs := buildAll(t, nil)
+	for s, e := range encs {
+		d, err := NewDecoder(e)
+		if err != nil {
+			t.Fatalf("%v: decoder: %v", s, err)
+		}
+		out, bits := e.EncodeBits(nil, []byte("com.gmail@alice42"))
+		if bits < 9 {
+			t.Fatalf("%v: fixture too small", s)
+		}
+
+		// Truncated bit length: cutting one bit either errors (mid-code)
+		// or, if it lands on a code boundary, decodes a shorter key; both
+		// are fine, but an error must come with nil output.
+		if got, err := d.Decode(out, bits-1); err != nil && got != nil {
+			t.Fatalf("%v: truncated decode returned partial output %q with error %v", s, got, err)
+		}
+
+		// Bit length exceeding the buffer must error, not read out of
+		// bounds (the buffer genuinely lacks the claimed bits).
+		if got, err := d.Decode(out[:len(out)-1], bits); err == nil {
+			t.Fatalf("%v: over-claimed bit length accepted (%q)", s, got)
+		} else if got != nil {
+			t.Fatalf("%v: over-claimed bit length returned partial output", s)
+		}
+		if got, err := d.Decode(nil, 8); err == nil || got != nil {
+			t.Fatalf("%v: empty buffer with positive bit length accepted", s)
+		}
+		if got, err := d.Decode(out, -3); err == nil || got != nil {
+			t.Fatalf("%v: negative bit length accepted", s)
+		}
+		// A corrupt bit length near MaxInt must not overflow the bounds
+		// check into a pass (and then panic in the decode loop).
+		if got, err := d.Decode(out, math.MaxInt-3); err == nil || got != nil {
+			t.Fatalf("%v: near-MaxInt bit length accepted", s)
+		}
+
+		// Garbage bytes with arbitrary claimed lengths: must never panic,
+		// and every error must carry a nil output.
+		for i := 0; i < 200; i++ {
+			buf := make([]byte, rng.Intn(16))
+			rng.Read(buf)
+			claim := rng.Intn(len(buf)*8 + 24)
+			got, err := d.Decode(buf, claim)
+			if err != nil && got != nil {
+				t.Fatalf("%v: garbage decode returned partial output with error %v", s, err)
+			}
+		}
+	}
+}

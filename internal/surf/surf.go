@@ -15,7 +15,6 @@
 package surf
 
 import (
-	"bytes"
 	"sort"
 
 	"repro/internal/bitops"
@@ -279,32 +278,12 @@ func (f *Filter) FalsePositiveRate(absent [][]byte) float64 {
 }
 
 // MayContainRange reports whether any key in [lo, hi] may be present.
-// One-sided: never false when a stored key is in range.
+// One-sided: never false when a stored key is in range. The stored prefix
+// found by lowerBound truncates some original key K with prefix <= K; if a
+// candidate built from the prefix (extended by Real-suffix bytes up to the
+// first ambiguous zero) already clears hi then K > hi and every later
+// stored key is larger still. MayIntersect generalizes this test to
+// half-open and unbounded ranges.
 func (f *Filter) MayContainRange(lo, hi []byte) bool {
-	if f.numKeys == 0 || bytes.Compare(lo, hi) > 0 {
-		return false
-	}
-	prefix, leafPos, ok := f.lowerBound(lo)
-	if !ok {
-		return false
-	}
-	// The stored prefix truncates some original key K with prefix <= K.
-	// If we can build a candidate cand with cand <= K and cand > hi, then
-	// K > hi, and every later stored key is larger still: definitely out
-	// of range. Otherwise err toward true (false positives are allowed).
-	cand := prefix
-	if f.mode == Real && f.suffixLen >= 8 {
-		// Real suffix bytes extend the known prefix of K — but zero bytes
-		// are ambiguous (they may be padding past K's end, and appending
-		// them could push cand above K); stop at the first zero byte.
-		suffix := f.getSuffix(f.leafIndex(leafPos))
-		for i := uint(0); i+8 <= f.suffixLen; i += 8 {
-			b := byte(suffix >> (f.suffixLen - 8 - i))
-			if b == 0 {
-				break
-			}
-			cand = append(cand, b)
-		}
-	}
-	return bytes.Compare(cand, hi) <= 0
+	return f.MayIntersect(lo, hi, true)
 }
