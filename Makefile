@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint bench bench-tree bench-check figures clean
+.PHONY: all build test lint bench bench-tree bench-ycsb bench-check figures clean
 
 all: lint test build
 
@@ -30,21 +30,33 @@ bench-tree:
 	$(GO) run ./cmd/hopebench -fig tree -dataset email -keys 50000 -ops 50000 \
 		-json BENCH_tree.json
 
-# bench-check is the perf-regression gate: regenerate the encode record at
-# `make bench` parameters and fail on a >15% median regression in any
-# encode figure against the committed BENCH_encode.json baseline.
-# Same-machine only: the baseline must have been recorded by `make bench`
-# on this box, or the comparison measures hardware, not code (CI instead
-# reruns the bench for both the PR head and its merge base on one runner).
+# bench-ycsb records the concurrent serving trajectory: ShardedIndex
+# throughput per YCSB workload (A-F) × backend × scheme × goroutine count,
+# written to BENCH_ycsb.json. Throughput medians are gated by bench-check.
+bench-ycsb:
+	$(GO) run ./cmd/hopebench -fig ycsb -dataset email -keys 30000 -ops 30000 \
+		-threads 1,2,4,8 -json BENCH_ycsb.json
+
+# bench-check is the perf-regression gate: regenerate the encode and YCSB
+# records at their `make bench`/`make bench-ycsb` parameters and fail on a
+# >15% median regression in any encode latency or YCSB throughput figure
+# against the committed baselines. Same-machine only: the baselines must
+# have been recorded on this box, or the comparison measures hardware, not
+# code (CI instead reruns both benches for the PR head and its merge base
+# on one runner).
 bench-check:
 	$(GO) run ./cmd/hopebench -fig encode -dataset email -keys 200000 \
 		-json BENCH_encode.fresh.json
 	$(GO) run ./cmd/benchdiff BENCH_encode.json BENCH_encode.fresh.json
 	@rm -f BENCH_encode.fresh.json
+	$(GO) run ./cmd/hopebench -fig ycsb -dataset email -keys 30000 -ops 30000 \
+		-threads 1,2,4,8 -json BENCH_ycsb.fresh.json
+	$(GO) run ./cmd/benchdiff -mode ycsb BENCH_ycsb.json BENCH_ycsb.fresh.json
+	@rm -f BENCH_ycsb.fresh.json
 
 # figures regenerates the paper's evaluation artifacts at laptop scale.
 figures:
 	$(GO) run ./cmd/hopebench -fig all -dataset email -keys 100000
 
 clean:
-	rm -f BENCH_encode.fresh.json
+	rm -f BENCH_encode.fresh.json BENCH_ycsb.fresh.json

@@ -18,6 +18,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/ycsb"
 )
 
 // memo caches experiment results so timer calibration does not re-run
@@ -239,6 +240,80 @@ func BenchmarkFigTree(b *testing.B) {
 		b.ReportMetric(r.BytesPerKey, tag(fmt.Sprintf("B/key:%s/%s", r.Backend, r.Config)))
 	}
 	spin(b)
+}
+
+// BenchmarkYCSB reports the concurrent serving series: ShardedIndex
+// throughput per YCSB workload × backend × configuration × goroutine
+// count, at CI scale (`hopebench -fig ycsb` runs the full sweep).
+func BenchmarkYCSB(b *testing.B) {
+	cfg := benchCfg(datagen.Email)
+	threads := []int{1, 2, 4}
+	rows := once(b, "ycsb", func() ([]bench.YCSBBenchRow, error) {
+		return bench.RunFigYCSB(cfg, bench.YCSBBackends, ycsb.Kinds, threads)
+	})
+	for _, r := range rows {
+		b.ReportMetric(r.OpsPerSec/1e6,
+			tag(fmt.Sprintf("Mops:%s/%s/%s/t%d", r.Workload, r.Backend, r.Config, r.Threads)))
+	}
+	spin(b)
+}
+
+// BenchmarkShardedIndexGet measures the zero-alloc concurrent read path
+// against the single-threaded Index.Get baseline (allocs/op must be 0 for
+// both; the sharded path adds the hash, the pool round-trip and the read
+// lock).
+func BenchmarkShardedIndexGet(b *testing.B) {
+	keys := datagen.Generate(datagen.Email, 20000, 1)
+	samples := hope.SampleKeys(keys, 0.01, 42)
+	enc := once(b, "enc/"+hope.SingleChar.String(), func() (*hope.Encoder, error) {
+		return hope.Build(hope.SingleChar, samples, hope.Options{DictLimit: 1 << 12})
+	})
+	b.Run("Index", func(b *testing.B) {
+		x, err := hope.NewIndex(hope.ART, enc.Clone())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := x.Bulk(keys, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x.Get(keys[i%len(keys)])
+		}
+	})
+	b.Run("ShardedIndex", func(b *testing.B) {
+		s, err := hope.NewShardedIndex(hope.ART, enc.Clone(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Bulk(keys, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Get(keys[i%len(keys)])
+		}
+	})
+	b.Run("ShardedIndexParallel", func(b *testing.B) {
+		s, err := hope.NewShardedIndex(hope.ART, enc.Clone(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Bulk(keys, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				s.Get(keys[i%len(keys)])
+				i++
+			}
+		})
+	})
 }
 
 // BenchmarkAblationWeighting reports the effect of symbol-length-weighted

@@ -1,19 +1,23 @@
 // Command benchdiff is the CI perf-regression gate: it compares two
-// BENCH_encode.json files (the encode-path perf record `make bench`
-// writes) and fails when the median regression of any latency metric
-// exceeds the threshold.
+// benchmark records of the same kind and fails when the median regression
+// of any gated metric exceeds the threshold.
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.15] baseline.json current.json
+//	benchdiff [-threshold 0.15] [-mode encode|ycsb] baseline.json current.json
 //
-// Rows are matched by (dataset, scheme); for every latency metric the
-// tool collects the per-row current/baseline ratios and compares each
-// metric's median ratio against 1+threshold. The median — not the max —
-// gates the job so a single noisy scheme on shared CI hardware cannot
-// fail the build, while a real encode-path regression (which moves every
-// scheme) reliably does. Exit status: 0 pass, 1 regression, 2 usage or
-// input error.
+// Mode encode compares BENCH_encode.json records (the encode-path latency
+// record `make bench` writes); mode ycsb compares BENCH_ycsb.json records
+// (the concurrent serving throughput record `make bench-ycsb` writes).
+// Rows are matched by identity key — (dataset, scheme) for encode,
+// (dataset, workload, backend, config, threads) for ycsb. For every gated
+// metric the tool collects the per-row current/baseline ratios and
+// compares the metric's median ratio against the threshold: latencies fail
+// above 1+threshold, throughputs fail below 1-threshold. The median — not
+// the max — gates the job so a single noisy row on shared CI hardware
+// cannot fail the build, while a real regression (which moves every row)
+// reliably does. Exit status: 0 pass, 1 regression, 2 usage or input
+// error.
 package main
 
 import (
@@ -26,23 +30,35 @@ import (
 	"repro/internal/bench"
 )
 
-// metrics are the gated figures; every one is a latency (lower is
-// better). Throughput-like columns (speedup, CPR) are reported but not
-// gated: they depend on worker count and dictionary contents rather than
-// the encode hot path alone.
-var metrics = []struct {
-	name string
-	get  func(bench.EncodeBenchRow) float64
-}{
-	{"serial_ns_per_key", func(r bench.EncodeBenchRow) float64 { return r.SerialNsKey }},
-	{"serial_ns_per_char", func(r bench.EncodeBenchRow) float64 { return r.SerialNsChar }},
-	{"bulk_ns_per_key", func(r bench.EncodeBenchRow) float64 { return r.BulkNsKey }},
+// metric is one gated figure of a record. HigherBetter selects the
+// regression direction: latencies regress upward, throughputs downward.
+type metric struct {
+	name         string
+	higherBetter bool
+}
+
+// row is a flattened benchmark row: an identity key plus the gated metric
+// values, the common form both record kinds diff through.
+type row struct {
+	key  string
+	vals map[string]float64
+}
+
+var encodeMetrics = []metric{
+	{name: "serial_ns_per_key"},
+	{name: "serial_ns_per_char"},
+	{name: "bulk_ns_per_key"},
+}
+
+var ycsbMetrics = []metric{
+	{name: "ops_per_sec", higherBetter: true},
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 0.15, "maximum tolerated median regression (0.15 = +15%)")
+	threshold := flag.Float64("threshold", 0.15, "maximum tolerated median regression (0.15 = ±15%)")
+	mode := flag.String("mode", "encode", "record kind: encode (BENCH_encode.json) or ycsb (BENCH_ycsb.json)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] baseline.json current.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] [-mode encode|ycsb] baseline.json current.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,15 +66,29 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	base, err := readRows(flag.Arg(0))
+	var base, cur []row
+	var metrics []metric
+	var err error
+	switch *mode {
+	case "encode":
+		metrics = encodeMetrics
+		base, err = readEncodeRows(flag.Arg(0))
+		if err == nil {
+			cur, err = readEncodeRows(flag.Arg(1))
+		}
+	case "ycsb":
+		metrics = ycsbMetrics
+		base, err = readYCSBRows(flag.Arg(0))
+		if err == nil {
+			cur, err = readYCSBRows(flag.Arg(1))
+		}
+	default:
+		err = fmt.Errorf("unknown -mode %q (want encode or ycsb)", *mode)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	cur, err := readRows(flag.Arg(1))
-	if err != nil {
-		fatal(err)
-	}
-	report, failed, err := diff(base, cur, *threshold)
+	report, failed, err := diffRows(base, cur, metrics, *threshold)
 	if err != nil {
 		fatal(err)
 	}
@@ -75,43 +105,96 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
-func readRows(path string) ([]bench.EncodeBenchRow, error) {
+func readEncodeRows(path string) ([]row, error) {
+	var rows []bench.EncodeBenchRow
+	if err := readJSON(path, &rows); err != nil {
+		return nil, err
+	}
+	return flattenEncode(rows), nil
+}
+
+func flattenEncode(rows []bench.EncodeBenchRow) []row {
+	out := make([]row, len(rows))
+	for i, r := range rows {
+		out[i] = row{
+			key: r.Dataset + "/" + r.Scheme,
+			vals: map[string]float64{
+				"serial_ns_per_key":  r.SerialNsKey,
+				"serial_ns_per_char": r.SerialNsChar,
+				"bulk_ns_per_key":    r.BulkNsKey,
+			},
+		}
+	}
+	return out
+}
+
+func readYCSBRows(path string) ([]row, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var rows []bench.EncodeBenchRow
-	if err := json.NewDecoder(f).Decode(&rows); err != nil {
+	rows, err := bench.ReadYCSBBenchJSON(f)
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return rows, nil
+	return flattenYCSB(rows), nil
 }
 
-func key(r bench.EncodeBenchRow) string { return r.Dataset + "/" + r.Scheme }
+func flattenYCSB(rows []bench.YCSBBenchRow) []row {
+	out := make([]row, len(rows))
+	for i, r := range rows {
+		out[i] = row{
+			key: fmt.Sprintf("%s/%s/%s/%s/t%d", r.Dataset, r.Workload, r.Backend, r.Config, r.Threads),
+			vals: map[string]float64{
+				"ops_per_sec": r.OpsPerSec,
+			},
+		}
+	}
+	return out
+}
 
-// diff builds the human-readable comparison and reports whether any
-// metric's median ratio breaches 1+threshold. A baseline row with no
-// matching current row fails the gate outright: a scheme that stopped
-// being measured is a silent total regression, not a pass. (Current rows
-// without a baseline — newly added schemes — are noted and tolerated.)
+func readJSON(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// diff preserves the original encode-record entry point (tests and older
+// callers); it flattens and delegates to diffRows.
 func diff(base, cur []bench.EncodeBenchRow, threshold float64) (string, bool, error) {
-	baseBy := map[string]bench.EncodeBenchRow{}
+	return diffRows(flattenEncode(base), flattenEncode(cur), encodeMetrics, threshold)
+}
+
+// diffRows builds the human-readable comparison and reports whether any
+// metric's median ratio breaches the threshold in its regression
+// direction. A baseline row with no matching current row fails the gate
+// outright: a configuration that stopped being measured is a silent total
+// regression, not a pass. (Current rows without a baseline — newly added
+// configurations — are noted and tolerated.)
+func diffRows(base, cur []row, metrics []metric, threshold float64) (string, bool, error) {
+	baseBy := map[string]row{}
 	for _, r := range base {
-		baseBy[key(r)] = r
+		baseBy[r.key] = r
 	}
 	curKeys := map[string]bool{}
-	out := fmt.Sprintf("%-28s %-20s %10s %10s %8s\n", "row", "metric", "baseline", "current", "ratio")
+	out := fmt.Sprintf("%-40s %-20s %12s %12s %8s\n", "row", "metric", "baseline", "current", "ratio")
 	failed := false
 	for _, c := range cur {
-		curKeys[key(c)] = true
-		if _, ok := baseBy[key(c)]; !ok {
-			out += fmt.Sprintf("%-28s new row (no baseline), not gated\n", key(c))
+		curKeys[c.key] = true
+		if _, ok := baseBy[c.key]; !ok {
+			out += fmt.Sprintf("%-40s new row (no baseline), not gated\n", c.key)
 		}
 	}
 	for _, b := range base {
-		if !curKeys[key(b)] {
-			out += fmt.Sprintf("%-28s MISSING from current record\n", key(b))
+		if !curKeys[b.key] {
+			out += fmt.Sprintf("%-40s MISSING from current record\n", b.key)
 			failed = true
 		}
 	}
@@ -119,39 +202,48 @@ func diff(base, cur []bench.EncodeBenchRow, threshold float64) (string, bool, er
 	for _, m := range metrics {
 		var ratios []float64
 		for _, c := range cur {
-			b, ok := baseBy[key(c)]
+			b, ok := baseBy[c.key]
 			if !ok {
 				continue
 			}
 			matched++
-			bv, cv := m.get(b), m.get(c)
+			bv, cv := b.vals[m.name], c.vals[m.name]
 			if bv <= 0 {
 				continue // unmeasurable baseline (sub-tick), nothing to gate
 			}
 			ratio := cv / bv
 			ratios = append(ratios, ratio)
 			flag := ""
-			if ratio > 1+threshold {
+			if regressed(ratio, m, threshold) {
 				flag = "  <- above threshold"
 			}
-			out += fmt.Sprintf("%-28s %-20s %10.2f %10.2f %7.2fx%s\n", key(c), m.name, bv, cv, ratio, flag)
+			out += fmt.Sprintf("%-40s %-20s %12.2f %12.2f %7.2fx%s\n", c.key, m.name, bv, cv, ratio, flag)
 		}
 		if len(ratios) == 0 {
 			continue
 		}
 		med := median(ratios)
 		verdict := "ok"
-		if med > 1+threshold {
+		if regressed(med, m, threshold) {
 			verdict = "REGRESSION"
 			failed = true
 		}
-		out += fmt.Sprintf("%-28s %-20s %10s %10s %7.2fx  median: %s\n",
+		out += fmt.Sprintf("%-40s %-20s %12s %12s %7.2fx  median: %s\n",
 			"(median)", m.name, "", "", med, verdict)
 	}
 	if matched == 0 {
-		return "", false, fmt.Errorf("no rows match between baseline and current (different datasets or schemes?)")
+		return "", false, fmt.Errorf("no rows match between baseline and current (different datasets or configurations?)")
 	}
 	return out, failed, nil
+}
+
+// regressed applies the metric's direction: latency ratios fail above
+// 1+threshold, throughput ratios below 1-threshold.
+func regressed(ratio float64, m metric, threshold float64) bool {
+	if m.higherBetter {
+		return ratio < 1-threshold
+	}
+	return ratio > 1+threshold
 }
 
 func median(v []float64) float64 {

@@ -120,6 +120,97 @@ func TestDisjointRowsError(t *testing.T) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// YCSB throughput gating (-mode ycsb): higher is better, so the regression
+// direction flips.
+// ---------------------------------------------------------------------------
+
+func ycsbRows(scale float64) []bench.YCSBBenchRow {
+	var out []bench.YCSBBenchRow
+	for _, wk := range []string{"A", "B", "C", "E"} {
+		for _, th := range []int{1, 4} {
+			out = append(out, bench.YCSBBenchRow{
+				Dataset: "email", Workload: wk, Backend: "ART",
+				Config: "Single-Char", Threads: th,
+				OpsPerSec: 1e6 * scale * float64(th),
+			})
+		}
+	}
+	return out
+}
+
+func diffY(base, cur []bench.YCSBBenchRow, threshold float64) (string, bool, error) {
+	return diffRows(flattenYCSB(base), flattenYCSB(cur), ycsbMetrics, threshold)
+}
+
+// TestYCSBThroughputDropFails: a uniform -20% throughput move must fail a
+// 15% gate (throughput regresses downward, unlike the latency metrics).
+func TestYCSBThroughputDropFails(t *testing.T) {
+	report, failed, err := diffY(ycsbRows(1.0), ycsbRows(0.80), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("synthetic -20%% throughput drop passed the 15%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Fatalf("report does not flag the regression:\n%s", report)
+	}
+}
+
+// TestYCSBThroughputGainPasses: faster must never fail — including the
+// direction that would trip a latency-style gate.
+func TestYCSBThroughputGainPasses(t *testing.T) {
+	_, failed, err := diffY(ycsbRows(1.0), ycsbRows(2.0), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("a 2x throughput gain failed the ycsb gate")
+	}
+}
+
+// TestYCSBWithinThresholdPasses: -10% noise stays under a 15% gate.
+func TestYCSBWithinThresholdPasses(t *testing.T) {
+	_, failed, err := diffY(ycsbRows(1.0), ycsbRows(0.90), 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("-10% throughput move failed a 15% gate")
+	}
+}
+
+// TestYCSBSingleNoisyCellTolerated: one collapsed cell out of eight must
+// not trip the median gate.
+func TestYCSBSingleNoisyCellTolerated(t *testing.T) {
+	cur := ycsbRows(1.0)
+	cur[0].OpsPerSec /= 4
+	_, failed, err := diffY(ycsbRows(1.0), cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("one noisy cell tripped the ycsb median gate")
+	}
+}
+
+// TestYCSBMissingCellFails: a (workload, threads) cell that vanished is a
+// silent total regression.
+func TestYCSBMissingCellFails(t *testing.T) {
+	cur := ycsbRows(1.0)[:5]
+	report, failed, err := diffY(ycsbRows(1.0), cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("dropped ycsb cells passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "MISSING") {
+		t.Fatalf("report does not name the missing cells:\n%s", report)
+	}
+}
+
 // TestZeroBaselineSkipped: sub-tick baseline measurements record 0 and
 // must be skipped rather than dividing by zero.
 func TestZeroBaselineSkipped(t *testing.T) {

@@ -13,25 +13,38 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
+	"strings"
 
 	hope "repro"
 	"repro/internal/bench"
 	"repro/internal/datagen"
+	"repro/internal/ycsb"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: table1, 8, 9, 10, 11, 12, 13, 14, 15, 16, ablation, encode, tree, all")
+	fig := flag.String("fig", "all", "figure to reproduce: table1, 8, 9, 10, 11, 12, 13, 14, 15, 16, ablation, encode, tree, ycsb, all")
 	dataset := flag.String("dataset", "email", "dataset: email, wiki, url, all")
 	keys := flag.Int("keys", 100000, "number of keys (paper: 14-25M)")
 	ops := flag.Int("ops", 100000, "number of workload operations (paper: 10M)")
 	sample := flag.Float64("sample", 0.01, "HOPE build sample fraction (paper: 1%)")
 	seed := flag.Int64("seed", 42, "dataset seed")
 	quick := flag.Bool("quick", false, "shrink dictionary limits for a fast pass")
-	jsonOut := flag.String("json", "", "also write results as JSON to this file (fig=encode and fig=tree)")
+	threads := flag.String("threads", "1,2,4,8", "goroutine sweep for -fig ycsb (comma-separated)")
+	workloads := flag.String("workloads", "A,B,C,D,E,F", "YCSB workloads for -fig ycsb (comma-separated)")
+	jsonOut := flag.String("json", "", "also write results as JSON to this file (fig=encode, tree and ycsb)")
 	flag.Parse()
-	if *jsonOut != "" && *fig != "encode" && *fig != "tree" {
-		fatal(fmt.Errorf("-json only applies to -fig encode and -fig tree"))
+	if *jsonOut != "" && *fig != "encode" && *fig != "tree" && *fig != "ycsb" {
+		fatal(fmt.Errorf("-json only applies to -fig encode, -fig tree and -fig ycsb"))
+	}
+	threadSweep, err := parseThreads(*threads)
+	if err != nil {
+		fatal(err)
+	}
+	workloadSweep, err := parseWorkloads(*workloads)
+	if err != nil {
+		fatal(err)
 	}
 
 	var datasets []datagen.Kind
@@ -49,12 +62,13 @@ func main() {
 	// dataset.
 	var encodeRows []bench.EncodeBenchRow
 	var treeRows []bench.TreeBenchRow
+	var ycsbRows []bench.YCSBBenchRow
 	for _, ds := range datasets {
 		cfg := bench.Config{
 			Dataset: ds, NumKeys: *keys, NumOps: *ops,
 			SampleFrac: *sample, Seed: *seed, Quick: *quick,
 		}
-		if err := run(*fig, cfg, &encodeRows, &treeRows); err != nil {
+		if err := run(*fig, cfg, workloadSweep, threadSweep, &encodeRows, &treeRows, &ycsbRows); err != nil {
 			fatal(err)
 		}
 	}
@@ -65,9 +79,12 @@ func main() {
 		}
 		defer f.Close()
 		var werr error
-		if *fig == "tree" {
+		switch *fig {
+		case "tree":
 			werr = bench.WriteTreeBenchJSON(f, treeRows)
-		} else {
+		case "ycsb":
+			werr = bench.WriteYCSBBenchJSON(f, ycsbRows)
+		default:
 			werr = bench.WriteEncodeBenchJSON(f, encodeRows)
 		}
 		if werr != nil {
@@ -77,16 +94,56 @@ func main() {
 	}
 }
 
+// parseWorkloads parses the -workloads sweep ("A,B,C").
+func parseWorkloads(s string) ([]ycsb.Kind, error) {
+	var out []ycsb.Kind
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := ycsb.ParseKind(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workloads is empty")
+	}
+	return out, nil
+}
+
+// parseThreads parses the -threads sweep ("1,2,4,8").
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -threads value %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-threads is empty")
+	}
+	return out, nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "hopebench:", err)
 	os.Exit(1)
 }
 
-func run(fig string, cfg bench.Config, encodeRows *[]bench.EncodeBenchRow, treeRows *[]bench.TreeBenchRow) error {
+func run(fig string, cfg bench.Config, workloads []ycsb.Kind, threads []int, encodeRows *[]bench.EncodeBenchRow, treeRows *[]bench.TreeBenchRow, ycsbRows *[]bench.YCSBBenchRow) error {
 	switch fig {
 	case "all":
-		for _, f := range []string{"table1", "8", "9", "10", "11", "12", "13", "14", "15", "16", "ablation", "tree"} {
-			if err := run(f, cfg, encodeRows, treeRows); err != nil {
+		for _, f := range []string{"table1", "8", "9", "10", "11", "12", "13", "14", "15", "16", "ablation", "tree", "ycsb"} {
+			if err := run(f, cfg, workloads, threads, encodeRows, treeRows, ycsbRows); err != nil {
 				return err
 			}
 		}
@@ -117,8 +174,29 @@ func run(fig string, cfg bench.Config, encodeRows *[]bench.EncodeBenchRow, treeR
 		return encodeBench(cfg, encodeRows)
 	case "tree":
 		return treeBench(cfg, treeRows)
+	case "ycsb":
+		return ycsbBench(cfg, workloads, threads, ycsbRows)
 	}
 	return fmt.Errorf("unknown figure %q", fig)
+}
+
+func ycsbBench(cfg bench.Config, workloads []ycsb.Kind, threads []int, ycsbRows *[]bench.YCSBBenchRow) error {
+	rows, err := bench.RunFigYCSB(cfg, bench.YCSBBackends, workloads, threads)
+	if err != nil {
+		return err
+	}
+	*ycsbRows = append(*ycsbRows, rows...)
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Workload, r.Backend, r.Config,
+			strconv.Itoa(r.Threads), strconv.Itoa(r.Shards),
+			bench.F(r.OpsPerSec / 1e6 * 1000), // kops/s
+			bench.F3(r.LoadSec)})
+	}
+	bench.Table(os.Stdout, fmt.Sprintf("YCSB A-F (%s): ShardedIndex throughput (GOMAXPROCS=%d)",
+		cfg.Dataset, runtime.GOMAXPROCS(0)),
+		[]string{"Workload", "Backend", "Config", "Threads", "Shards", "kops/s", "Load (s)"}, out)
+	return nil
 }
 
 func treeBench(cfg bench.Config, treeRows *[]bench.TreeBenchRow) error {

@@ -19,9 +19,12 @@
 // The repository also contains the five search trees the paper evaluates
 // (SuRF, ART, HOT, B+tree, Prefix B+tree) under internal/, composed with
 // the encoder by the Index facade (one Put/Get/Delete/Scan/Bulk interface
-// with transparent key compression and encoded range queries), a
-// YCSB-style workload driver, and a benchmark harness regenerating every
-// figure of the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+// with transparent key compression and encoded range queries) and by
+// ShardedIndex, the lock-striped concurrent serving layer over the same
+// backends (shared read-only dictionary, zero-alloc point reads, merged
+// encoded scans), plus a YCSB A-F workload driver and a benchmark harness
+// regenerating every figure of the paper's evaluation; see DESIGN.md and
+// EXPERIMENTS.md.
 package hope
 
 import (

@@ -57,8 +57,8 @@ var ErrImmutableBackend = errors.New("hope: backend is immutable; load it with B
 //
 // An Index is not safe for concurrent use (the underlying trees and the
 // encoder's bit buffer are single-writer); wrap it with external locking,
-// or shard it for concurrent workloads with one encoder per shard (the
-// encoder's point-operation state is as single-writer as the trees).
+// or use ShardedIndex, the lock-striped serving layer that shares the
+// read-only dictionary across shards with one encoder clone per shard.
 type Index struct {
 	backend Backend
 	be      indexBackend
@@ -80,22 +80,29 @@ type Index struct {
 // need one encoder each (dictionaries are read-only, so rebuilding is
 // cheap — or encode externally via a ConcurrentEncoder and use nil).
 func NewIndex(backend Backend, enc *core.Encoder) (*Index, error) {
-	x := &Index{backend: backend, enc: enc}
+	be, err := newIndexBackend(backend)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{backend: backend, be: be, enc: enc}, nil
+}
+
+// newIndexBackend constructs the named search tree; shared by Index and by
+// ShardedIndex (one backend per shard).
+func newIndexBackend(backend Backend) (indexBackend, error) {
 	switch backend {
 	case ART:
-		x.be = &artBackend{t: art.New(art.IndexMode)}
+		return &artBackend{t: art.New(art.IndexMode)}, nil
 	case HOT:
-		x.be = &hotBackend{t: hot.New()}
+		return &hotBackend{t: hot.New()}, nil
 	case SuRF:
-		x.be = &surfBackend{}
+		return &surfBackend{}, nil
 	case BTree:
-		x.be = &btreeBackend{t: btree.New()}
+		return &btreeBackend{t: btree.New()}, nil
 	case PrefixBTree:
-		x.be = &prefixBackend{t: prefixbtree.New()}
-	default:
-		return nil, fmt.Errorf("hope: unknown backend %q", backend)
+		return &prefixBackend{t: prefixbtree.New()}, nil
 	}
-	return x, nil
+	return nil, fmt.Errorf("hope: unknown backend %q", backend)
 }
 
 // Backend returns the wrapped tree's name.
@@ -185,16 +192,23 @@ func (x *Index) Bulk(keys [][]byte, vals []uint64) error {
 	if x.enc != nil {
 		encoded = x.enc.EncodeAll(keys)
 	} else {
-		// Copy: backends retain keys and callers may reuse their buffers.
-		backing := make([]byte, 0, totalLen(keys))
-		encoded = make([][]byte, len(keys))
-		for i, k := range keys {
-			start := len(backing)
-			backing = append(backing, k...)
-			encoded[i] = backing[start:len(backing):len(backing)]
-		}
+		encoded = copyAll(keys)
 	}
 	return x.be.bulk(encoded, vals)
+}
+
+// copyAll deep-copies keys into slices of one backing array — the
+// uncompressed bulk-load path (backends retain keys and callers may reuse
+// their buffers).
+func copyAll(keys [][]byte) [][]byte {
+	backing := make([]byte, 0, totalLen(keys))
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		start := len(backing)
+		backing = append(backing, k...)
+		out[i] = backing[start:len(backing):len(backing)]
+	}
+	return out
 }
 
 func totalLen(keys [][]byte) int {

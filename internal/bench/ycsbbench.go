@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	hope "repro"
+	"repro/internal/core"
+	"repro/internal/ycsb"
+)
+
+// YCSBBenchRow is one cell of the concurrent serving benchmark: a YCSB
+// workload driven against one hope.ShardedIndex configuration from a fixed
+// number of goroutines. `make bench-ycsb` writes the rows to
+// BENCH_ycsb.json — the multi-threaded throughput record successive PRs
+// gate with cmd/benchdiff (-mode ycsb).
+type YCSBBenchRow struct {
+	Dataset   string  `json:"dataset"`
+	Workload  string  `json:"workload"`
+	Backend   string  `json:"backend"`
+	Config    string  `json:"config"`
+	Threads   int     `json:"threads"`
+	Shards    int     `json:"shards"`
+	Keys      int     `json:"keys"` // loaded keys (insert pool excluded)
+	Ops       int     `json:"ops"`  // total ops across all goroutines
+	OpsPerSec float64 `json:"ops_per_sec"`
+	LoadSec   float64 `json:"load_sec"`
+	MaxProcs  int     `json:"maxprocs"` // GOMAXPROCS during the run
+}
+
+// YCSBBackends are the trees the concurrent benchmark drives: the paper's
+// fastest trie (ART) and the classic page-based baseline (B+tree). SuRF is
+// immutable and HOT/Prefix-B+tree add no additional axis to the
+// concurrency story.
+var YCSBBackends = []hope.Backend{hope.ART, hope.BTree}
+
+// YCSBConfigs returns the encoder configurations the concurrent benchmark
+// sweeps: the uncompressed baseline, both FIVC schemes, and 3-Grams as the
+// VIVC representative (the ALM schemes encode an order of magnitude
+// slower and would dominate wall time without adding a concurrency axis).
+func YCSBConfigs(quick bool) []TreeConfig {
+	big := 1 << 16
+	if quick {
+		big = 1 << 12
+	}
+	return []TreeConfig{
+		{Name: "Uncompressed", Plain: true},
+		{Name: "Single-Char", Scheme: core.SingleChar},
+		{Name: "Double-Char", Scheme: core.DoubleChar},
+		{Name: fmt.Sprintf("3-Grams (%s)", sizeName(big)), Scheme: core.ThreeGrams, DictLimit: big},
+	}
+}
+
+// runYCSBOps executes one goroutine's op stream against the index. Scan
+// ops visit op.ScanLen results (YCSB's 1..100) via the callback's early
+// stop, so bound translation and merge setup are still paid per scan op.
+func runYCSBOps(s *hope.ShardedIndex, keys [][]byte, ops []ycsb.Op) {
+	for _, op := range ops {
+		switch op.Kind {
+		case ycsb.Read:
+			s.Get(keys[op.Key])
+		case ycsb.Update:
+			s.Put(keys[op.Key], uint64(op.Key)|1<<32)
+		case ycsb.Insert:
+			s.Put(keys[op.Key], uint64(op.Key))
+		case ycsb.Scan:
+			n := 0
+			s.Scan(keys[op.Key], nil, func([]byte, uint64) bool {
+				n++
+				return n < op.ScanLen
+			})
+		case ycsb.ReadModifyWrite:
+			v, _ := s.Get(keys[op.Key])
+			s.Put(keys[op.Key], v+1)
+		}
+	}
+}
+
+// RunFigYCSB is the concurrent serving figure: the given YCSB workloads
+// over the configured dataset, sweeping goroutine counts × encoder
+// configurations × backends against a hope.ShardedIndex. Every cell loads
+// a fresh index (insert-bearing workloads mutate the key population),
+// splits the op budget evenly across the goroutines — each with its own
+// deterministic op stream and a disjoint insert pool — and reports
+// aggregate throughput.
+//
+// GOMAXPROCS is raised to the largest thread count for the duration of the
+// run so the sweep measures the scheduler the user would see on a machine
+// with that many cores; on smaller machines the high-thread cells measure
+// oversubscription, not parallel speedup (record MaxProcs next to the
+// numbers).
+func RunFigYCSB(cfg Config, backends []hope.Backend, workloads []ycsb.Kind, threads []int) ([]YCSBBenchRow, error) {
+	all := cfg.Keys()
+	maxThreads := 1
+	for _, th := range threads {
+		if th > maxThreads {
+			maxThreads = th
+		}
+	}
+	// Reserve the tail of the dataset as the insert pool. The 5%-insert
+	// workloads draw a binomial insert count per goroutine, and striding
+	// reserves maxPerThreadInserts × threads slots, so the pool needs the
+	// mean (NumOps/10 covers it twice over) plus a tail allowance that
+	// scales with the thread count.
+	pool := cfg.NumOps/10 + 16*maxThreads + 64
+	if pool > len(all)/2 {
+		pool = len(all) / 2
+	}
+	loaded := all[:len(all)-pool]
+	samples := cfg.Sample(loaded)
+
+	if procs := runtime.GOMAXPROCS(0); maxThreads > procs {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(maxThreads))
+	}
+
+	var rows []YCSBBenchRow
+	for _, tc := range YCSBConfigs(cfg.Quick) {
+		template, _, err := tc.BuildEncoder(samples)
+		if err != nil {
+			return nil, err
+		}
+		for _, backend := range backends {
+			for _, wk := range workloads {
+				for _, th := range threads {
+					row, err := runYCSBCell(cfg, backend, tc, template, wk, th, all, loaded)
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, row)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+func runYCSBCell(cfg Config, backend hope.Backend, tc TreeConfig, template *core.Encoder,
+	wk ycsb.Kind, threads int, all, loaded [][]byte) (YCSBBenchRow, error) {
+	var enc *core.Encoder
+	if template != nil {
+		// Fresh clone per index: the template's read-only dictionary is
+		// shared, its mutable state is not.
+		enc = template.Clone()
+	}
+	s, err := hope.NewShardedIndex(backend, enc, 0)
+	if err != nil {
+		return YCSBBenchRow{}, err
+	}
+	t0 := time.Now()
+	if err := s.Bulk(loaded, nil); err != nil {
+		return YCSBBenchRow{}, err
+	}
+	loadSec := time.Since(t0).Seconds()
+
+	// Per-goroutine op streams: same workload, thread-distinct seeds,
+	// disjoint insert strides so no two goroutines insert one key.
+	perThread := cfg.NumOps / threads
+	streams := make([][]ycsb.Op, threads)
+	totalOps := 0
+	for tid := 0; tid < threads; tid++ {
+		w := ycsb.Generate(wk, perThread, len(loaded), cfg.Seed+int64(wk)*131+int64(tid)*7919)
+		w.StrideInserts(len(loaded), tid, threads)
+		if mk := w.MaxKey(); mk >= len(all) {
+			return YCSBBenchRow{}, fmt.Errorf("ycsb %v: insert pool exhausted (need key %d, have %d)",
+				wk, mk, len(all))
+		}
+		streams[tid] = w.Ops
+		totalOps += len(w.Ops)
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(ops []ycsb.Op) {
+			defer wg.Done()
+			<-start
+			runYCSBOps(s, all, ops)
+		}(streams[tid])
+	}
+	t0 = time.Now()
+	close(start)
+	wg.Wait()
+	wall := time.Since(t0).Seconds()
+
+	row := YCSBBenchRow{
+		Dataset:  cfg.Dataset.String(),
+		Workload: wk.String(),
+		Backend:  string(backend),
+		Config:   tc.Name,
+		Threads:  threads,
+		Shards:   s.NumShards(),
+		Keys:     len(loaded),
+		Ops:      totalOps,
+		LoadSec:  loadSec,
+		MaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if wall > 0 {
+		row.OpsPerSec = float64(totalOps) / wall
+	}
+	return row, nil
+}
+
+// WriteYCSBBenchJSON writes the rows as indented JSON (BENCH_ycsb.json).
+func WriteYCSBBenchJSON(w io.Writer, rows []YCSBBenchRow) error {
+	e := json.NewEncoder(w)
+	e.SetIndent("", "  ")
+	return e.Encode(rows)
+}
+
+// ReadYCSBBenchJSON decodes a BENCH_ycsb.json record (cmd/benchdiff).
+func ReadYCSBBenchJSON(r io.Reader) ([]YCSBBenchRow, error) {
+	var rows []YCSBBenchRow
+	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

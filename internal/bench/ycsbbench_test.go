@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	hope "repro"
+	"repro/internal/datagen"
+	"repro/internal/ycsb"
+)
+
+// TestRunFigYCSB runs the concurrent serving harness at smoke scale and
+// checks the grid is complete and internally consistent: one row per
+// workload × config × backend × thread count, full op budgets, sane
+// throughput, shard counts a power of two, and a JSON round trip (the
+// benchdiff gate consumes the serialized form).
+func TestRunFigYCSB(t *testing.T) {
+	cfg := QuickConfig(datagen.Email)
+	cfg.NumKeys = 3000
+	cfg.NumOps = 2000
+	threads := []int{1, 2}
+	rows, err := RunFigYCSB(cfg, YCSBBackends, ycsb.Kinds, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(YCSBConfigs(true)) * len(YCSBBackends) * len(ycsb.Kinds) * len(threads)
+	if len(rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(rows), wantRows)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		key := r.Workload + "/" + r.Backend + "/" + r.Config + "/" + string(rune('0'+r.Threads))
+		if seen[key] {
+			t.Fatalf("duplicate cell %s", key)
+		}
+		seen[key] = true
+		if r.OpsPerSec <= 0 {
+			t.Fatalf("cell %s: non-positive throughput", key)
+		}
+		if r.Shards&(r.Shards-1) != 0 || r.Shards == 0 {
+			t.Fatalf("cell %s: shard count %d not a power of two", key, r.Shards)
+		}
+		// Op budget: threads × (NumOps/threads), so never more than NumOps
+		// and short by at most the integer-division remainder.
+		if r.Ops > cfg.NumOps || r.Ops < cfg.NumOps-r.Threads {
+			t.Fatalf("cell %s: ran %d ops, want ~%d", key, r.Ops, cfg.NumOps)
+		}
+		if r.Keys <= 0 || r.Keys >= cfg.NumKeys {
+			t.Fatalf("cell %s: loaded %d keys of %d (no insert pool reserved?)",
+				key, r.Keys, cfg.NumKeys)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteYCSBBenchJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadYCSBBenchJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) || back[0] != rows[0] {
+		t.Fatal("JSON round trip mutated rows")
+	}
+}
+
+// TestRunYCSBOpsAgainstModel cross-checks the harness op loop itself: the
+// same op stream applied to a ShardedIndex and to a model map must agree
+// on every key's final value (catches op-kind mix-ups like updates hitting
+// the insert pool).
+func TestRunYCSBOpsAgainstModel(t *testing.T) {
+	keys := datagen.Generate(datagen.Email, 2000, 3)
+	loaded := keys[:1500]
+	for _, kind := range ycsb.Kinds {
+		s, err := hope.NewShardedIndex(hope.BTree, nil, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Bulk(loaded, nil); err != nil {
+			t.Fatal(err)
+		}
+		w := ycsb.Generate(kind, 3000, len(loaded), 9)
+		if w.MaxKey() >= len(keys) {
+			t.Fatalf("%v: workload exceeds dataset", kind)
+		}
+		runYCSBOps(s, keys, w.Ops)
+		model := map[string]uint64{}
+		for i, k := range loaded {
+			model[string(k)] = uint64(i)
+		}
+		for _, op := range w.Ops {
+			switch op.Kind {
+			case ycsb.Update:
+				model[string(keys[op.Key])] = uint64(op.Key) | 1<<32
+			case ycsb.Insert:
+				model[string(keys[op.Key])] = uint64(op.Key)
+			case ycsb.ReadModifyWrite:
+				model[string(keys[op.Key])]++
+			}
+		}
+		if s.Len() != len(model) {
+			t.Fatalf("%v: index holds %d keys, model %d", kind, s.Len(), len(model))
+		}
+		for k, want := range model {
+			if got, ok := s.Get([]byte(k)); !ok || got != want {
+				t.Fatalf("%v: Get(%q) = %d,%v want %d,true", kind, k, got, ok, want)
+			}
+		}
+	}
+}

@@ -257,6 +257,18 @@ func buildDictionary(scheme Scheme, opt Options, entries []dict.Entry) (dict.Dic
 	}
 }
 
+// Clone returns an encoder that shares the read-only build artifacts (the
+// dictionary, its entries and the captured kernel) but owns fresh
+// point-encode state. Dictionary lookups are immutable after Build, so
+// clones are independent single-writer encoders over one dictionary —
+// the per-shard encoder a concurrent serving layer needs (see
+// hope.ShardedIndex). Cloning is O(1); no dictionary is rebuilt.
+func (e *Encoder) Clone() *Encoder {
+	c := *e
+	c.app = appender{}
+	return &c
+}
+
 // Scheme returns the encoder's compression scheme.
 func (e *Encoder) Scheme() Scheme { return e.scheme }
 

@@ -9,6 +9,20 @@ import (
 // below it the spawn/join overhead exceeds the encode work.
 const encodeAllMinShard = 256
 
+// encodeWorker carries the transient per-worker state of the parallel
+// EncodeAll path: the appender's backing buffer and the offset table. Both
+// are merged into the caller-visible result and then become garbage, so
+// they are recycled through encodeWorkerPool — steady-state EncodeAll
+// performs a bounded number of allocations (the returned result plus
+// per-call bookkeeping), independent of key count and chunk count
+// (TestEncodeAllSteadyStateAllocs asserts this).
+type encodeWorker struct {
+	buf  []byte
+	offs []int
+}
+
+var encodeWorkerPool = sync.Pool{New: func() any { return new(encodeWorker) }}
+
 // EncodeAll bulk-encodes keys and returns their padded encodings. The work
 // is sharded into contiguous runs across up to GOMAXPROCS workers — bulk
 // inputs are typically sorted loads, and contiguous shards keep each
@@ -17,7 +31,7 @@ const encodeAllMinShard = 256
 // key order; on the parallel path that layout costs a final merge copy of
 // the worker buffers (transiently ~2x the encoded size), the price of
 // handing callers a single contiguous allocation instead of one buffer
-// per worker.
+// per worker. Worker-side buffers are pooled and reused across calls.
 //
 // Unlike the other Encoder methods, EncodeAll is safe for concurrent use:
 // it touches only the read-only dictionary, never the Encoder's embedded
@@ -31,64 +45,69 @@ func (e *Encoder) EncodeAll(keys [][]byte) [][]byte {
 	if max := len(keys) / encodeAllMinShard; workers > max {
 		workers = max // every shard gets at least encodeAllMinShard keys
 	}
-	if workers < 1 {
-		workers = 1
-	}
 	if workers <= 1 {
+		// Serial: encode straight into the final backing (no merge copy,
+		// nothing worth pooling — backing and offsets are the result).
 		backing, offs := e.encodeShard(nil, keys, make([]int, len(keys)+1))
 		return carve(out, backing, offs)
 	}
-	// Shard boundaries: contiguous, near-equal key counts.
-	bounds := make([]int, workers+1)
-	for w := 0; w <= workers; w++ {
-		bounds[w] = w * len(keys) / workers
-	}
-	backings := make([][]byte, workers)
-	offsets := make([][]int, workers)
+	// Shard boundaries: contiguous, near-equal key counts; worker w owns
+	// keys[w*len/workers : (w+1)*len/workers].
+	ws := make([]*encodeWorker, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			shard := keys[bounds[w]:bounds[w+1]]
-			backings[w], offsets[w] = e.encodeShard(nil, shard, make([]int, len(shard)+1))
+			shard := keys[w*len(keys)/workers : (w+1)*len(keys)/workers]
+			ew := encodeWorkerPool.Get().(*encodeWorker)
+			if cap(ew.offs) < len(shard)+1 {
+				ew.offs = make([]int, len(shard)+1)
+			}
+			ew.buf, ew.offs = e.encodeShard(ew.buf, shard, ew.offs[:len(shard)+1])
+			ws[w] = ew
 		}(w)
 	}
 	wg.Wait()
-	// Merge the worker buffers into one backing array and carve results.
+	// Merge the worker buffers into one backing array, carve results, and
+	// recycle the workers (their buffers were copied, not retained).
 	total := 0
-	for _, b := range backings {
-		total += len(b)
+	for _, ew := range ws {
+		total += len(ew.buf)
 	}
 	backing := make([]byte, 0, total)
-	for w := 0; w < workers; w++ {
+	for w, ew := range ws {
 		base := len(backing)
-		backing = append(backing, backings[w]...)
-		offs := offsets[w]
-		for i := bounds[w]; i < bounds[w+1]; i++ {
-			j := i - bounds[w]
-			lo, hi := base+offs[j], base+offs[j+1]
-			out[i] = backing[lo:hi:hi]
+		backing = append(backing, ew.buf...)
+		lo := w * len(keys) / workers
+		hi := (w + 1) * len(keys) / workers
+		for i := lo; i < hi; i++ {
+			j := i - lo
+			o1, o2 := base+ew.offs[j], base+ew.offs[j+1]
+			out[i] = backing[o1:o2:o2]
 		}
+		encodeWorkerPool.Put(ew)
 	}
 	return out
 }
 
 // encodeShard encodes a contiguous run of keys back to back into one
 // growing buffer, recording the byte offset of each encoding in offs
-// (offs[i]..offs[i+1] is key i's padded encoding). The buffer is
-// pre-sized to the shard's source byte count — compression rates are ≥ 1
-// on workload-like keys, so this usually avoids regrowth entirely (it is
-// a hint, not a bound: adversarial bytes can encode to more bits than
-// they occupy, and append still grows then).
+// (offs[i]..offs[i+1] is key i's padded encoding). buf's storage is reused
+// when its capacity suffices; otherwise the buffer is pre-sized to the
+// shard's source byte count — compression rates are ≥ 1 on workload-like
+// keys, so this usually avoids regrowth entirely (it is a hint, not a
+// bound: adversarial bytes can encode to more bits than they occupy, and
+// append still grows then).
 func (e *Encoder) encodeShard(buf []byte, keys [][]byte, offs []int) ([]byte, []int) {
-	if buf == nil {
-		hint := 0
-		for _, k := range keys {
-			hint += len(k)
-		}
+	hint := 0
+	for _, k := range keys {
+		hint += len(k)
+	}
+	if cap(buf) < hint+8 {
 		buf = make([]byte, 0, hint+8)
 	}
+	buf = buf[:0]
 	var a appender
 	a.Reset(buf)
 	offs[0] = 0

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestEncodeAllSteadyStateAllocs asserts the parallel EncodeAll path
+// performs a bounded number of allocations per call once the worker pool
+// is warm: the returned result (out slice + backing) plus per-call
+// bookkeeping (worker list, goroutine closures), but nothing proportional
+// to the key count — the per-worker appender buffers and offset tables
+// must be reused across calls.
+func TestEncodeAllSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := sampleKeys(rng, 1000)
+	enc, err := Build(DoubleChar, samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the parallel path even on single-core machines: 4 workers
+	// over 4*encodeAllMinShard keys.
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	keys := sampleKeys(rng, 4*encodeAllMinShard)
+	enc.EncodeAll(keys) // warm the worker pool
+
+	for _, n := range []int{len(keys) / 2, len(keys)} {
+		sub := keys[:n]
+		allocs := testing.AllocsPerRun(20, func() {
+			enc.EncodeAll(sub)
+		})
+		// Budget: out + backing + worker list + (closure + pool-miss
+		// slack) per worker. The essential property is independence from
+		// the key count: ~1k keys stay within the same constant budget.
+		const budget = 24
+		if allocs > budget {
+			t.Fatalf("EncodeAll(%d keys): %.1f allocs/op, want <= %d (per-worker buffers not reused?)",
+				n, allocs, budget)
+		}
+	}
+}
+
+// TestEncodeAllPooledMatchesSerial cross-checks the pooled parallel path
+// against the serial path: reused worker buffers must never leak bytes
+// between calls or shards.
+func TestEncodeAllPooledMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	samples := sampleKeys(rng, 1000)
+	for _, scheme := range []Scheme{SingleChar, ThreeGrams} {
+		enc, err := Build(scheme, samples, Options{DictLimit: 2048, MaxPatternLen: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := runtime.GOMAXPROCS(4)
+		// Two differently-sized batches so pooled buffers are first grown,
+		// then reused partially filled.
+		big := sampleKeys(rng, 4*encodeAllMinShard)
+		small := sampleKeys(rng, 2*encodeAllMinShard)
+		for _, keys := range [][][]byte{big, small, big} {
+			got := enc.EncodeAll(keys)
+			runtime.GOMAXPROCS(1)
+			want := enc.EncodeAll(keys)
+			runtime.GOMAXPROCS(4)
+			if len(got) != len(want) {
+				t.Fatalf("%v: length mismatch", scheme)
+			}
+			for i := range got {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("%v: key %d: parallel %x != serial %x", scheme, i, got[i], want[i])
+				}
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}

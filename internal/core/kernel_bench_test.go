@@ -57,6 +57,7 @@ func BenchmarkEncodeKernel(b *testing.B) {
 			e := encs[s]
 			var buf []byte
 			chars := 0
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				k := keys[i%len(keys)]
@@ -107,6 +108,9 @@ func BenchmarkEncodeAll(b *testing.B) {
 				defer runtime.GOMAXPROCS(prev)
 				e := encs[s]
 				b.SetBytes(int64(chars))
+				// allocs/op here is the pooling satellite's proof: it must
+				// stay O(workers), never O(keys) or O(chunks).
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					e.EncodeAll(keys)

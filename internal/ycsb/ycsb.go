@@ -1,8 +1,8 @@
-// Package ycsb implements the workload driver of the paper's Section 7:
-// YCSB-style workloads C (point lookups) and E (range scans with inserts)
-// with the standard scrambled-Zipfian popularity distribution, remapped
-// one-to-one onto the string-key datasets so the Zipf skew is preserved
-// (paper Section 7.1).
+// Package ycsb implements a YCSB-style workload driver: the six core
+// workloads A-F with the standard scrambled-Zipfian, skewed-latest and
+// uniform popularity distributions, remapped one-to-one onto the string-key
+// datasets so the skew is preserved (paper Section 7.1 uses workloads C
+// and E; the concurrent serving benchmarks sweep all six).
 package ycsb
 
 import (
@@ -83,30 +83,103 @@ func fnv64(x uint64) uint64 {
 	return h
 }
 
+// Latest draws recency-skewed items: the most recently inserted key is the
+// most popular, with Zipf-decaying popularity into the past — YCSB's
+// SkewedLatest distribution (workload D's read side). The Zipf basis is
+// unscrambled (scrambling would destroy the recency correlation) and spans
+// a fixed window; YCSB proper re-derives zeta as the item count grows,
+// which converges to the same shape for windows this size.
+type Latest struct {
+	z *Zipfian
+}
+
+// NewLatest returns a skewed-latest generator whose recency decay is
+// Zipfian over a window of the given size.
+func NewLatest(window uint64, rng *rand.Rand) *Latest {
+	z := NewZipfian(window, DefaultTheta, rng)
+	z.scramble = false
+	return &Latest{z: z}
+}
+
+// Next draws an item in [0, max]: max (the latest insert) with the highest
+// probability, decaying Zipf-fashion toward 0.
+func (l *Latest) Next(max uint64) uint64 {
+	d := l.z.Next()
+	if d > max {
+		d %= max + 1
+	}
+	return max - d
+}
+
 // OpKind is a workload operation type.
 type OpKind int
 
 const (
-	// Read is a point lookup (workload C).
+	// Read is a point lookup.
 	Read OpKind = iota
-	// Scan is a range scan from a start key (workload E).
-	Scan
-	// Insert adds a new key (workload E).
+	// Update overwrites the value under an existing key.
+	Update
+	// Insert adds a previously unseen key.
 	Insert
+	// Scan is a range scan from a start key.
+	Scan
+	// ReadModifyWrite reads a key then writes it back (workload F).
+	ReadModifyWrite
 )
 
-// Op is one workload operation. Key indexes the dataset: for Read/Scan it
-// selects an existing (loaded) key; for Insert it selects from the insert
-// pool beyond the loaded range.
+// Op is one workload operation. Key indexes the dataset: for
+// Read/Update/Scan/ReadModifyWrite it selects an existing (loaded or
+// already-inserted) key; for Insert it selects the next key from the
+// insert pool beyond the loaded range.
 type Op struct {
 	Kind    OpKind
 	Key     int
 	ScanLen int
 }
 
+// Kind names one of the six core YCSB workloads.
+type Kind int
+
+const (
+	// A is the update-heavy mix: 50% reads, 50% updates, Zipfian.
+	A Kind = iota
+	// B is the read-mostly mix: 95% reads, 5% updates, Zipfian.
+	B
+	// C is read-only: 100% Zipfian point lookups.
+	C
+	// D is read-latest: 95% reads skewed to recent inserts, 5% inserts.
+	D
+	// E is scan-heavy: 95% range scans (Zipfian start, uniform length
+	// 1..MaxScanLen), 5% inserts.
+	E
+	// F is read-modify-write: 50% reads, 50% RMW, Zipfian.
+	F
+)
+
+// Kinds lists the six workloads in YCSB order.
+var Kinds = []Kind{A, B, C, D, E, F}
+
+func (k Kind) String() string {
+	if k < A || k > F {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return string(rune('A' + int(k)))
+}
+
+// ParseKind resolves a workload name ("A".."F", case-sensitive).
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("ycsb: unknown workload %q (want A..F)", s)
+}
+
 // Workload is a generated operation sequence over a dataset of nKeys
-// loaded keys; inserts (workload E) consume keys nKeys..nKeys+inserts-1.
+// loaded keys; inserts consume keys nKeys..nKeys+Inserts-1, in order.
 type Workload struct {
+	Kind    Kind
 	Ops     []Op
 	NumKeys int
 	Inserts int
@@ -115,48 +188,126 @@ type Workload struct {
 // MaxScanLen is YCSB's default maximum scan length for workload E.
 const MaxScanLen = 100
 
-// GenerateC builds workload C: 100% Zipf-distributed point lookups.
-func GenerateC(nOps, nKeys int, seed int64) Workload {
+// mix is a workload's operation composition as cumulative probabilities.
+type mix struct {
+	read, update, insert, scan, rmw float64
+	latestReads                     bool
+}
+
+var mixes = map[Kind]mix{
+	A: {read: 0.5, update: 0.5},
+	B: {read: 0.95, update: 0.05},
+	C: {read: 1.0},
+	D: {read: 0.95, insert: 0.05, latestReads: true},
+	E: {scan: 0.95, insert: 0.05},
+	F: {read: 0.5, rmw: 0.5},
+}
+
+// Generate builds the named workload: nOps operations over nKeys loaded
+// keys, deterministic in the seed. Workloads D and E insert fresh keys;
+// the dataset must contain at least nKeys + ceil(nOps*0.05)+1 keys.
+func Generate(kind Kind, nOps, nKeys int, seed int64) Workload {
+	m := mixes[kind]
 	rng := rand.New(rand.NewSource(seed))
 	z := NewZipfian(uint64(nKeys), DefaultTheta, rng)
-	ops := make([]Op, nOps)
-	for i := range ops {
-		ops[i] = Op{Kind: Read, Key: int(z.Next())}
+	var latest *Latest
+	if m.latestReads {
+		latest = NewLatest(uint64(nKeys), rng)
 	}
-	return Workload{Ops: ops, NumKeys: nKeys}
+	ops := make([]Op, nOps)
+	inserts := 0
+	// A single-op mix needs no type draw; skipping it also keeps workload
+	// C's op stream byte-identical to earlier revisions at a given seed
+	// (recorded figures depend on the stream).
+	pureRead := m.read == 1 && !m.latestReads
+	for i := range ops {
+		var u float64
+		if !pureRead {
+			u = rng.Float64()
+		} else {
+			u = 1 // falls through to the read branch
+		}
+		switch {
+		case u < m.insert:
+			ops[i] = Op{Kind: Insert, Key: nKeys + inserts}
+			inserts++
+		case u < m.insert+m.scan:
+			ops[i] = Op{Kind: Scan, Key: int(z.Next()), ScanLen: 1 + rng.Intn(MaxScanLen)}
+		case u < m.insert+m.scan+m.update:
+			ops[i] = Op{Kind: Update, Key: int(z.Next())}
+		case u < m.insert+m.scan+m.update+m.rmw:
+			ops[i] = Op{Kind: ReadModifyWrite, Key: int(z.Next())}
+		default: // read
+			if latest != nil {
+				// Read over everything inserted so far, skewed to the
+				// most recent insert.
+				ops[i] = Op{Kind: Read, Key: int(latest.Next(uint64(nKeys + inserts - 1)))}
+			} else {
+				ops[i] = Op{Kind: Read, Key: int(z.Next())}
+			}
+		}
+	}
+	return Workload{Kind: kind, Ops: ops, NumKeys: nKeys, Inserts: inserts}
+}
+
+// GenerateC builds workload C: 100% Zipf-distributed point lookups.
+func GenerateC(nOps, nKeys int, seed int64) Workload {
+	return Generate(C, nOps, nKeys, seed)
 }
 
 // GenerateE builds workload E: 95% range scans (Zipf start key, uniform
 // scan length 1..MaxScanLen) and 5% inserts of previously unseen keys.
 // The dataset must contain at least nKeys + ceil(nOps*0.05) keys.
 func GenerateE(nOps, nKeys int, seed int64) Workload {
-	rng := rand.New(rand.NewSource(seed))
-	z := NewZipfian(uint64(nKeys), DefaultTheta, rng)
-	ops := make([]Op, nOps)
-	inserts := 0
-	for i := range ops {
-		if rng.Float64() < 0.05 {
-			ops[i] = Op{Kind: Insert, Key: nKeys + inserts}
-			inserts++
-			continue
+	return Generate(E, nOps, nKeys, seed)
+}
+
+// StrideInserts remaps every fresh-key reference (dataset index >=
+// NumKeys) to the arithmetic sequence base + ord*stride + offset, giving
+// concurrent workload streams disjoint insert pools: stream t of n uses
+// offset=t, stride=n and a shared base, so no two streams ever insert the
+// same dataset key. The generator numbers its m-th insert NumKeys+m, so
+// the remap is positional — and it is applied to *all* op kinds, not just
+// Insert: workload D's latest-skewed reads reference fresh keys by the
+// same numbering, and remapping them identically keeps each read aimed at
+// the very key its stream's m-th insert produced, preserving the recency
+// correlation per stream (YCSB's per-thread read-latest behaviour).
+func (w *Workload) StrideInserts(base, offset, stride int) {
+	for i := range w.Ops {
+		if m := w.Ops[i].Key - w.NumKeys; m >= 0 {
+			w.Ops[i].Key = base + m*stride + offset
 		}
-		ops[i] = Op{Kind: Scan, Key: int(z.Next()), ScanLen: 1 + rng.Intn(MaxScanLen)}
 	}
-	return Workload{Ops: ops, NumKeys: nKeys, Inserts: inserts}
+}
+
+// MaxKey returns the largest dataset index the workload references — the
+// minimum dataset size is MaxKey()+1.
+func (w *Workload) MaxKey() int {
+	max := w.NumKeys - 1
+	for _, op := range w.Ops {
+		if op.Key > max {
+			max = op.Key
+		}
+	}
+	return max
 }
 
 // Mix reports the operation counts, a readability aid for harness output.
 func (w Workload) Mix() string {
-	var r, s, ins int
+	var r, u, s, ins, rmw int
 	for _, op := range w.Ops {
 		switch op.Kind {
 		case Read:
 			r++
+		case Update:
+			u++
 		case Scan:
 			s++
 		case Insert:
 			ins++
+		case ReadModifyWrite:
+			rmw++
 		}
 	}
-	return fmt.Sprintf("reads=%d scans=%d inserts=%d", r, s, ins)
+	return fmt.Sprintf("reads=%d updates=%d scans=%d inserts=%d rmw=%d", r, u, s, ins, rmw)
 }

@@ -126,6 +126,193 @@ func TestGenerateEMixAndInsertKeys(t *testing.T) {
 	}
 }
 
+// TestGenerateDeterministic: every workload is byte-identical under a
+// fixed seed — the property the concurrent harness and the perf gate rely
+// on for comparable runs.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, kind := range Kinds {
+		a := Generate(kind, 8000, 1000, 21)
+		b := Generate(kind, 8000, 1000, 21)
+		if a.Kind != kind || len(a.Ops) != 8000 {
+			t.Fatalf("%v: malformed workload", kind)
+		}
+		for i := range a.Ops {
+			if a.Ops[i] != b.Ops[i] {
+				t.Fatalf("%v: op %d differs between same-seed runs", kind, i)
+			}
+		}
+		if a.Inserts != b.Inserts {
+			t.Fatalf("%v: insert counts differ", kind)
+		}
+	}
+}
+
+// TestWorkloadMixes pins each workload's operation composition to the
+// YCSB definition (within sampling tolerance) and its key-range contract.
+func TestWorkloadMixes(t *testing.T) {
+	const nOps, nKeys = 40000, 1000
+	wants := map[Kind]map[OpKind]float64{
+		A: {Read: 0.5, Update: 0.5},
+		B: {Read: 0.95, Update: 0.05},
+		C: {Read: 1.0},
+		D: {Read: 0.95, Insert: 0.05},
+		E: {Scan: 0.95, Insert: 0.05},
+		F: {Read: 0.5, ReadModifyWrite: 0.5},
+	}
+	for _, kind := range Kinds {
+		w := Generate(kind, nOps, nKeys, 31)
+		counts := map[OpKind]int{}
+		nextInsert := nKeys
+		maxKey := w.MaxKey()
+		for _, op := range w.Ops {
+			counts[op.Kind]++
+			switch op.Kind {
+			case Insert:
+				if op.Key != nextInsert {
+					t.Fatalf("%v: insert keys must be sequential fresh keys: got %d want %d",
+						kind, op.Key, nextInsert)
+				}
+				nextInsert++
+			case Scan:
+				if op.ScanLen < 1 || op.ScanLen > MaxScanLen {
+					t.Fatalf("%v: scan len %d", kind, op.ScanLen)
+				}
+				fallthrough
+			default:
+				if op.Key < 0 || op.Key > maxKey {
+					t.Fatalf("%v: key %d out of range", kind, op.Key)
+				}
+				if kind != D && op.Kind == Read && op.Key >= nKeys {
+					t.Fatalf("%v: read of uninserted key %d", kind, op.Key)
+				}
+			}
+		}
+		want := wants[kind]
+		for opk, frac := range want {
+			got := float64(counts[opk]) / float64(nOps)
+			if got < frac-0.02 || got > frac+0.02 {
+				t.Fatalf("%v: op %v fraction %.3f, want ~%.2f (mix: %s)",
+					kind, opk, got, frac, w.Mix())
+			}
+		}
+		for opk, n := range counts {
+			if _, ok := want[opk]; !ok && n > 0 {
+				t.Fatalf("%v: unexpected op kind %v (%d ops)", kind, opk, n)
+			}
+		}
+		if w.Inserts != counts[Insert] {
+			t.Fatalf("%v: Inserts=%d but %d insert ops", kind, w.Inserts, counts[Insert])
+		}
+	}
+}
+
+// TestLatestRecency: the skewed-latest distribution must concentrate its
+// mass near max (the most recent insert) — the defining recency property —
+// and never draw outside [0, max].
+func TestLatestRecency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const window = 10000
+	l := NewLatest(window, rng)
+	const max = 7500
+	const draws = 200000
+	recent, older := 0, 0 // last 1% of the range vs the rest
+	cut := uint64(max) - max/100
+	for i := 0; i < draws; i++ {
+		v := l.Next(max)
+		if v > max {
+			t.Fatalf("draw %d beyond latest %d", v, max)
+		}
+		if v >= cut {
+			recent++
+		} else {
+			older++
+		}
+	}
+	share := float64(recent) / draws
+	// A uniform draw would put 1% here; Zipf recency concentrates far
+	// more. Use a conservative floor so the test is not brittle.
+	if share < 0.25 {
+		t.Fatalf("last-1%% share %.3f too small; latest distribution lost its recency skew", share)
+	}
+	// The single most likely value must be max itself.
+	if l.Next(0) != 0 {
+		t.Fatal("Next(0) must return 0")
+	}
+}
+
+// TestLatestTracksInsertsInD: in workload D the read population follows
+// the insert frontier — reads drawn late in the op stream must reference
+// keys inserted during the run (indexes >= nKeys) far more often than an
+// insert-blind distribution would.
+func TestLatestTracksInsertsInD(t *testing.T) {
+	const nOps, nKeys = 50000, 2000
+	w := Generate(D, nOps, nKeys, 17)
+	if w.Inserts == 0 {
+		t.Fatal("workload D generated no inserts")
+	}
+	lateReads, lateFresh := 0, 0
+	for _, op := range w.Ops[nOps/2:] {
+		if op.Kind != Read {
+			continue
+		}
+		lateReads++
+		if op.Key >= nKeys {
+			lateFresh++
+		}
+	}
+	frac := float64(lateFresh) / float64(lateReads)
+	// In the second half ~625 of 2625 reachable keys are fresh (~24% of
+	// the space); recency skew should push the read share well above a
+	// tenth even though fresh keys are the *newest* fraction.
+	if frac < 0.10 {
+		t.Fatalf("late reads hit fresh keys %.3f of the time; recency not tracking inserts", frac)
+	}
+	// And D must stay deterministic like the rest (regression guard for
+	// the stateful latest generator).
+	w2 := Generate(D, nOps, nKeys, 17)
+	for i := range w.Ops {
+		if w.Ops[i] != w2.Ops[i] {
+			t.Fatal("workload D non-deterministic")
+		}
+	}
+}
+
+// TestStrideInserts: concurrent streams get disjoint insert pools, and
+// fresh-key reads (workload D) stay aimed at keys the same stream already
+// inserted — the recency correlation must survive the remap.
+func TestStrideInserts(t *testing.T) {
+	const streams = 4
+	seen := map[int]int{}
+	for tid := 0; tid < streams; tid++ {
+		for _, kind := range []Kind{D, E} {
+			w := Generate(kind, 10000, 500, int64(100+tid))
+			w.StrideInserts(500, tid, streams)
+			inserted := map[int]bool{}
+			for _, op := range w.Ops {
+				switch {
+				case op.Kind == Insert:
+					if (op.Key-500-tid)%streams != 0 {
+						t.Fatalf("%v stream %d inserted key %d outside its stride", kind, tid, op.Key)
+					}
+					if prev, dup := seen[op.Key]; dup && prev != tid {
+						t.Fatalf("key %d inserted by streams %d and %d", op.Key, prev, tid)
+					}
+					seen[op.Key] = tid
+					inserted[op.Key] = true
+				case op.Key >= 500: // fresh-key read (workload D)
+					if kind != D {
+						t.Fatalf("%v: non-insert op on fresh key %d", kind, op.Key)
+					}
+					if !inserted[op.Key] {
+						t.Fatalf("D stream %d reads fresh key %d before its own insert — recency correlation broken",
+							tid, op.Key)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestZipfianPanicsOnEmpty(t *testing.T) {
 	defer func() {
 		if recover() == nil {

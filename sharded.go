@@ -1,0 +1,507 @@
+package hope
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// ShardedIndex is the concurrent serving layer over the compressed-index
+// facade: N lock-striped shards, each wrapping one search tree
+// (indexBackend) behind its own RWMutex, hash-partitioned on the original
+// key bytes. The expensive build artifact — the HOPE dictionary — is built
+// once and shared read-only by every shard; what is duplicated per shard
+// is only the mutable point-encode state (an O(1) Encoder clone, see
+// core.Encoder.Clone), so memory overhead versus a single Index is a few
+// hundred bytes per shard, not a dictionary per shard.
+//
+// Concurrency model:
+//
+//   - Put/Get/Delete hash the original key to one shard. Writers take that
+//     shard's exclusive lock; Get encodes outside any lock through a
+//     pooled scratch buffer (core.ConcurrentEncoder) and holds only the
+//     shard's read lock for the tree probe, so read-mostly workloads scale
+//     with the shard count and Get is allocation-free in steady state.
+//   - Scan/ScanPrefix translate bounds once (through the concurrent
+//     encoder) and k-way-merge the per-shard encoded iterators: each shard
+//     is drained in chunks under its read lock, and the merge interleaves
+//     chunks by encoded-byte order, which is original-key order. A merged
+//     scan is *per-shard* consistent, not a point-in-time snapshot across
+//     shards: keys inserted or deleted while the scan runs may or may not
+//     appear, exactly as in any lock-striped map.
+//   - Bulk partitions the keys once by shard and loads all shards in
+//     parallel, each shard running the bulk-encode pipeline over its
+//     partition.
+//
+// The callback contract differs from Index in one respect: the stored
+// (encoded) key passed to a scan callback is only valid for the duration
+// of the callback (it lives in a reused merge buffer).
+type ShardedIndex struct {
+	backend Backend
+	enc     *core.Encoder           // build-phase template; nil = uncompressed
+	cenc    *core.ConcurrentEncoder // pooled encode state for the read path
+	shards  []*indexShard
+	mask    uint64
+
+	// maxKeyLen tracks the longest original key ever stored (monotonic;
+	// ScanPrefix feeds it to the encoder's interval-ceiling bound).
+	maxKeyLen atomic.Int64
+
+	scratch sync.Pool // *pointScratch; Get's zero-alloc encode buffers
+}
+
+// indexShard is one lock stripe: a search tree plus the shard-owned
+// point-encode state. enc is guarded by mu (write lock) — it is the
+// single-writer encoder used for Put's owned encodes, cloned from the
+// shared template so all shards read one dictionary.
+type indexShard struct {
+	mu  sync.RWMutex
+	be  indexBackend
+	enc *core.Encoder // nil when uncompressed
+}
+
+// pointScratch is a pooled encode destination for the lock-free read path.
+type pointScratch struct{ buf []byte }
+
+// DefaultShards returns the default shard count: the smallest power of two
+// at or above 4x GOMAXPROCS (striping beyond the parallelism level keeps
+// hash collisions from serializing unrelated keys), clamped to [1, 256].
+func DefaultShards() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n > 256 {
+		n = 256
+	}
+	return ceilPow2(n)
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NewShardedIndex builds a concurrent index of nShards lock-striped shards
+// (rounded up to a power of two; <= 0 selects DefaultShards) over the
+// named backend. enc may be nil for an uncompressed index; otherwise it is
+// the build-phase template: its read-only dictionary is shared by every
+// shard and by the pooled read-path encoder, and the template must not be
+// used directly afterwards (clone it first if independent use is needed).
+func NewShardedIndex(backend Backend, enc *core.Encoder, nShards int) (*ShardedIndex, error) {
+	if nShards <= 0 {
+		nShards = DefaultShards()
+	}
+	nShards = ceilPow2(nShards)
+	s := &ShardedIndex{
+		backend: backend,
+		enc:     enc,
+		shards:  make([]*indexShard, nShards),
+		mask:    uint64(nShards - 1),
+	}
+	if enc != nil {
+		s.cenc = core.NewConcurrentEncoder(enc)
+	}
+	for i := range s.shards {
+		be, err := newIndexBackend(backend)
+		if err != nil {
+			return nil, err
+		}
+		sh := &indexShard{be: be}
+		if enc != nil {
+			sh.enc = enc.Clone()
+		}
+		s.shards[i] = sh
+	}
+	s.scratch.New = func() any { return new(pointScratch) }
+	return s, nil
+}
+
+// Backend returns the wrapped tree's name.
+func (s *ShardedIndex) Backend() Backend { return s.backend }
+
+// Encoder returns the shared build-phase encoder template (nil when
+// uncompressed). It must not be used for point encodes while the index is
+// serving; clone it first.
+func (s *ShardedIndex) Encoder() *core.Encoder { return s.enc }
+
+// NumShards returns the shard count (a power of two).
+func (s *ShardedIndex) NumShards() int { return len(s.shards) }
+
+// shardOf routes an original key to its lock stripe (see shardIdx).
+func (s *ShardedIndex) shardOf(key []byte) *indexShard {
+	return s.shards[s.shardIdx(key)]
+}
+
+func (s *ShardedIndex) trackLen(n int) {
+	for {
+		cur := s.maxKeyLen.Load()
+		if int64(n) <= cur || s.maxKeyLen.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// Put inserts or overwrites one key. The owned encode (backends retain the
+// stored key) runs on the shard's private encoder under the shard's write
+// lock, so concurrent writers to different shards never share bit-buffer
+// state.
+func (s *ShardedIndex) Put(key []byte, val uint64) error {
+	s.trackLen(len(key))
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	var ek []byte
+	if sh.enc != nil {
+		ek = sh.enc.Encode(key)
+	} else {
+		ek = append([]byte(nil), key...)
+	}
+	err := sh.be.insert(ek, val)
+	sh.mu.Unlock()
+	return err
+}
+
+// Get returns the value stored under key. Zero allocations in steady
+// state: the encode destination comes from a pool, the shard probe runs
+// under a read lock, and the buffer returns to the pool afterwards.
+func (s *ShardedIndex) Get(key []byte) (uint64, bool) {
+	sh := s.shardOf(key)
+	if s.cenc == nil {
+		sh.mu.RLock()
+		v, ok := sh.be.get(key)
+		sh.mu.RUnlock()
+		return v, ok
+	}
+	sc := s.scratch.Get().(*pointScratch)
+	ek, _ := s.cenc.EncodeBits(sc.buf, key)
+	sh.mu.RLock()
+	v, ok := sh.be.get(ek)
+	sh.mu.RUnlock()
+	sc.buf = ek[:0]
+	s.scratch.Put(sc)
+	return v, ok
+}
+
+// Delete removes key, reporting whether it was present. Like Get it
+// encodes through the pooled scratch (backends do not retain point-op
+// buffers — see TestPointOpScratchNotRetained), but holds the shard's
+// write lock for the tree mutation.
+func (s *ShardedIndex) Delete(key []byte) (bool, error) {
+	sh := s.shardOf(key)
+	if s.cenc == nil {
+		sh.mu.Lock()
+		ok, err := sh.be.remove(key)
+		sh.mu.Unlock()
+		return ok, err
+	}
+	sc := s.scratch.Get().(*pointScratch)
+	ek, _ := s.cenc.EncodeBits(sc.buf, key)
+	sh.mu.Lock()
+	ok, err := sh.be.remove(ek)
+	sh.mu.Unlock()
+	sc.buf = ek[:0]
+	s.scratch.Put(sc)
+	return ok, err
+}
+
+// Bulk loads keys[i] -> vals[i]: the keys are partitioned once by shard
+// hash, then every shard loads its partition in parallel, each running the
+// parallel bulk-encode pipeline over its own slice of the shared
+// dictionary. A nil vals assigns each key its position. For the SuRF
+// backend this is the only way to populate the index (each shard builds
+// its own filter over its partition).
+func (s *ShardedIndex) Bulk(keys [][]byte, vals []uint64) error {
+	if vals != nil && len(vals) != len(keys) {
+		return fmt.Errorf("hope: %d keys but %d values", len(keys), len(vals))
+	}
+	n := len(s.shards)
+	parts := make([][][]byte, n)
+	pvals := make([][]uint64, n)
+	// Pre-size from an even split; skew is bounded by the hash.
+	for i := range parts {
+		parts[i] = make([][]byte, 0, len(keys)/n+1)
+		pvals[i] = make([]uint64, 0, len(keys)/n+1)
+	}
+	for i, k := range keys {
+		s.trackLen(len(k))
+		w := s.shardIdx(k)
+		parts[w] = append(parts[w], k)
+		if vals != nil {
+			pvals[w] = append(pvals[w], vals[i])
+		} else {
+			pvals[w] = append(pvals[w], uint64(i))
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for w := 0; w < n; w++ {
+		if len(parts[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := s.shards[w]
+			var encoded [][]byte
+			if s.enc != nil {
+				// EncodeAll is safe for concurrent use (read-only
+				// dictionary, private appenders), so shards share the
+				// template directly.
+				encoded = s.enc.EncodeAll(parts[w])
+			} else {
+				encoded = copyAll(parts[w])
+			}
+			sh.mu.Lock()
+			errs[w] = sh.be.bulk(encoded, pvals[w])
+			sh.mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardIdx maps an original key to its lock stripe: FNV-1a over the key
+// bytes, high half folded in (FNV's low bits alone mix short keys
+// poorly), masked to the power-of-two shard count. Hashing the *original*
+// bytes (not the encoding) keeps routing independent of the dictionary,
+// so a rebuilt encoder never re-partitions live data. This is the single
+// routing function — point ops and Bulk partitioning must agree exactly.
+func (s *ShardedIndex) shardIdx(key []byte) int {
+	h := uint64(0xcbf29ce484222325)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	return int((h ^ h>>32) & s.mask)
+}
+
+// Len returns the number of stored keys (summed over shards; a moment's
+// snapshot under concurrent writers).
+func (s *ShardedIndex) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.be.length()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// MemoryUsage returns the modeled footprint in bytes: all shard trees plus
+// the shared dictionary once.
+func (s *ShardedIndex) MemoryUsage() int {
+	m := s.TreeMemoryUsage()
+	if s.enc != nil {
+		m += s.enc.MemoryUsage()
+	}
+	return m
+}
+
+// TreeMemoryUsage returns the shard trees' modeled footprint alone.
+func (s *ShardedIndex) TreeMemoryUsage() int {
+	m := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		m += sh.be.memory()
+		sh.mu.RUnlock()
+	}
+	return m
+}
+
+// Scan visits, in ascending original-key order, every stored key k with
+// lo <= k < hi (bounds in original key space; nil hi is unbounded) and
+// returns how many keys it visited. fn receives the stored (encoded) key —
+// valid only during the callback — and may stop the scan by returning
+// false. See the type comment for the cross-shard consistency contract.
+func (s *ShardedIndex) Scan(lo, hi []byte, fn func(key []byte, val uint64) bool) int {
+	var loEnc, hiEnc []byte
+	if s.cenc != nil {
+		loEnc = s.cenc.EncodeBound(lo)
+		if loEnc == nil {
+			loEnc = []byte{}
+		}
+		hiEnc = s.cenc.EncodeBound(hi)
+	} else {
+		loEnc, hiEnc = lo, hi
+	}
+	return s.mergeScan(loEnc, hiEnc, false, fn)
+}
+
+// ScanPrefix visits every stored key that starts with prefix, in ascending
+// order, and returns how many keys it visited. Bound translation follows
+// Index.ScanPrefix (exact lower bound, interval-ceiling upper bound).
+func (s *ShardedIndex) ScanPrefix(prefix []byte, fn func(key []byte, val uint64) bool) int {
+	if s.cenc != nil {
+		maxLen := int(s.maxKeyLen.Load())
+		if len(prefix) > maxLen {
+			maxLen = len(prefix)
+		}
+		lo, hi := s.cenc.EncodePrefix(prefix, maxLen)
+		return s.mergeScan(lo, hi, true, fn)
+	}
+	hi := prefixSuccessor(prefix)
+	return s.mergeScan(prefix, hi, false, fn)
+}
+
+// Shard-cursor chunk sizing: each lock acquisition drains one chunk. The
+// first chunk is small — most range queries stop after a handful of
+// results, and with S shards a scan pre-drains up to S chunks before the
+// merge emits anything — then doubles per refill so long scans amortize
+// the lock and resume cost. scanChunk caps the growth to bound writer
+// latency impact and early-stop over-scan.
+const (
+	scanChunkInit = 8
+	scanChunk     = 64
+)
+
+// shardCursor drains one shard's stored keys in [next, hi) (or [next, hi]
+// when hiIncl) in chunks. Keys are copied into a reused arena so the
+// cursor never retains tree memory across lock releases; the resume point
+// after a chunk is lastKey+0x00, the smallest stored key strictly above
+// lastKey in byte order.
+type shardCursor struct {
+	sh     *indexShard
+	order  int    // shard index; deterministic tie-break in the merge heap
+	next   []byte // inclusive resume bound (owned)
+	hi     []byte // shared, read-only
+	hiIncl bool
+
+	arena []byte
+	keys  [][]byte
+	vals  []uint64
+	i     int
+	chunk int
+	done  bool // underlying shard exhausted; current chunk is the last
+}
+
+func (c *shardCursor) fill() {
+	c.arena = c.arena[:0]
+	c.keys = c.keys[:0]
+	c.vals = c.vals[:0]
+	c.i = 0
+	if c.done {
+		return
+	}
+	if c.chunk == 0 {
+		c.chunk = scanChunkInit
+	}
+	n := 0
+	c.sh.mu.RLock()
+	c.sh.be.scan(c.next, c.hi, c.hiIncl, func(k []byte, v uint64) bool {
+		start := len(c.arena)
+		c.arena = append(c.arena, k...)
+		c.keys = append(c.keys, c.arena[start:len(c.arena):len(c.arena)])
+		c.vals = append(c.vals, v)
+		n++
+		return n < c.chunk
+	})
+	c.sh.mu.RUnlock()
+	if n < c.chunk {
+		c.done = true
+		return
+	}
+	c.next = append(append(c.next[:0], c.keys[n-1]...), 0x00)
+	if c.chunk < scanChunk {
+		c.chunk *= 2
+	}
+}
+
+// peek returns the cursor's current key, refilling from the shard when the
+// chunk is consumed; ok is false when the shard is exhausted.
+func (c *shardCursor) peek() (key []byte, ok bool) {
+	if c.i >= len(c.keys) {
+		if c.done {
+			return nil, false
+		}
+		c.fill()
+		if c.i >= len(c.keys) {
+			return nil, false
+		}
+	}
+	return c.keys[c.i], true
+}
+
+func (c *shardCursor) pop() (key []byte, val uint64) {
+	key, val = c.keys[c.i], c.vals[c.i]
+	c.i++
+	return key, val
+}
+
+// mergeScan k-way-merges the per-shard encoded iterators over [lo, hi).
+// Encoded byte order is original-key order (HOPE's invariant), so merging
+// per-shard runs by encoded bytes yields the global ascending order
+// regardless of how the hash scattered the keys. The cursors sit in a
+// binary min-heap keyed by their current encoded key, so each emission
+// costs O(log shards) comparisons rather than a linear sweep (at the
+// 4×GOMAXPROCS default shard count of a large machine the difference is
+// ~30× on the scan hot path).
+func (s *ShardedIndex) mergeScan(lo, hi []byte, hiIncl bool, fn func(key []byte, val uint64) bool) int {
+	heap := make([]*shardCursor, 0, len(s.shards))
+	for order, sh := range s.shards {
+		// Each cursor owns its resume buffer; lo's backing is shared and
+		// must not be appended to.
+		c := &shardCursor{sh: sh, order: order, next: append([]byte(nil), lo...), hi: hi, hiIncl: hiIncl}
+		if _, ok := c.peek(); ok {
+			heap = append(heap, c)
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(heap, i)
+	}
+	count := 0
+	for len(heap) > 0 {
+		k, v := heap[0].pop()
+		count++
+		if !fn(k, v) {
+			return count
+		}
+		if _, ok := heap[0].peek(); ok {
+			siftDown(heap, 0)
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+			if len(heap) > 0 {
+				siftDown(heap, 0)
+			}
+		}
+	}
+	return count
+}
+
+// cursorLess orders heap cursors by current encoded key, breaking ties by
+// shard order so the merge is deterministic when distinct originals share
+// a padded encoding (the zero-padding edge). Both cursors must have a
+// current item.
+func cursorLess(a, b *shardCursor) bool {
+	if c := bytes.Compare(a.keys[a.i], b.keys[b.i]); c != 0 {
+		return c < 0
+	}
+	return a.order < b.order
+}
+
+func siftDown(h []*shardCursor, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && cursorLess(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && cursorLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
