@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint bench bench-tree bench-ycsb bench-check figures clean
+.PHONY: all build test lint bench bench-tree bench-ycsb bench-drift bench-check figures clean
 
 all: lint test build
 
@@ -37,6 +37,14 @@ bench-ycsb:
 	$(GO) run ./cmd/hopebench -fig ycsb -dataset email -keys 30000 -ops 30000 \
 		-threads 1,2,4,8 -json BENCH_ycsb.json
 
+# bench-drift records the dictionary-drift adaptation trajectory:
+# AdaptiveIndex throughput + rolling CPR across a distribution shift,
+# with and without adaptation, written to BENCH_drift.json. The summary
+# rows carry the post-adaptation CPR and its recovery ratio against a
+# from-scratch dictionary; benchdiff -mode drift gates both.
+bench-drift:
+	$(GO) run ./cmd/hopebench -fig drift -keys 50000 -json BENCH_drift.json
+
 # bench-check is the perf-regression gate: regenerate the encode and YCSB
 # records at their `make bench`/`make bench-ycsb` parameters and fail on a
 # >15% median regression in any encode latency or YCSB throughput figure
@@ -53,10 +61,13 @@ bench-check:
 		-threads 1,2,4,8 -json BENCH_ycsb.fresh.json
 	$(GO) run ./cmd/benchdiff -mode ycsb BENCH_ycsb.json BENCH_ycsb.fresh.json
 	@rm -f BENCH_ycsb.fresh.json
+	$(GO) run ./cmd/hopebench -fig drift -keys 50000 -json BENCH_drift.fresh.json
+	$(GO) run ./cmd/benchdiff -mode drift BENCH_drift.json BENCH_drift.fresh.json
+	@rm -f BENCH_drift.fresh.json
 
 # figures regenerates the paper's evaluation artifacts at laptop scale.
 figures:
 	$(GO) run ./cmd/hopebench -fig all -dataset email -keys 100000
 
 clean:
-	rm -f BENCH_encode.fresh.json BENCH_ycsb.fresh.json
+	rm -f BENCH_encode.fresh.json BENCH_ycsb.fresh.json BENCH_drift.fresh.json

@@ -1,0 +1,976 @@
+package hope
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/lifecycle"
+)
+
+// AdaptiveIndex automates the full dictionary lifecycle the paper leaves
+// to the application (Section 5 / Appendix C): it wraps a sharded
+// compressed index and (1) reservoir-samples live write traffic while
+// tracking a rolling compression rate, (2) builds a new-generation
+// dictionary in the background when the rate drifts below the build-time
+// baseline (or on an explicit Rebuild), and (3) migrates the stored
+// entries into the new generation incrementally — per-shard, per-batch —
+// while reads and writes keep flowing. The lifecycle state machine
+// (Sampling → Building → Migrating → Steady, with drift rebuilds looping
+// back through Building) lives in internal/lifecycle; this type is the
+// data plane.
+//
+// # Record store
+//
+// Search trees store only the padded encodings, and paddings make decoding
+// ambiguous, so re-encoding under a new dictionary needs the original
+// keys. The AdaptiveIndex therefore owns a per-shard, per-generation
+// record store: trees map encoded keys to record ids, records hold the
+// original key bytes and the caller's value. This mirrors how a DBMS
+// integrates HOPE — the index entry points at a record that contains the
+// full key — and it is what makes background re-encode and
+// cross-generation scan merging possible at all. The memory cost (the
+// original key bytes, retained) is the price of adaptivity; a DBMS would
+// source them from its base table instead.
+//
+// Because the index owns original keys, scan callbacks receive the
+// *original* key — unlike Index and ShardedIndex, which hand out stored
+// encodings. Keys passed to callbacks are only valid during the callback.
+//
+// # Migration protocol
+//
+// Shard routing hashes original key bytes (see shardHash), so every
+// generation with the same shard count routes a key identically, and one
+// generation map per shard suffices:
+//
+//   - Rebuild builds the new dictionary from a reservoir snapshot with no
+//     locks held, then enters migration: every shard starts dual-writing
+//     (writes apply to the old and new generations; reads stay on the
+//     old).
+//   - A background pass copies each shard's live records into the new
+//     generation in bounded batches under the shard lock (writers to that
+//     shard wait for at most one batch; all other shards flow). Records
+//     appended after migration start need no copy — dual-writing already
+//     landed them in both generations.
+//   - As each shard finishes, its reads flip to the new generation; both
+//     generations keep receiving writes, so a mid-migration index serves
+//     some shards from each generation and scans merge old- and
+//     new-generation cursors (the record store supplies original keys, the
+//     only order the two dictionaries share).
+//   - When every shard has flipped, the cutover drops the old generation.
+//     Until that instant the old generation has seen every write, so an
+//     abort — a failed build, a fault injected by tests — simply points
+//     every shard back at it, intact.
+//
+// The bulk-only SuRF backend cannot dual-write; its rebuild takes the
+// stop-the-world path: all shards lock, live records bulk-load into the
+// new generation, and the swap is atomic.
+//
+// All methods are safe for concurrent use.
+type AdaptiveIndex struct {
+	backend Backend
+	opts    AdaptiveOptions
+	ctl     *lifecycle.Controller
+	mask    uint64
+	shards  []*adaptiveShard
+
+	maxKeyLen atomic.Int64
+
+	// rebuildMu serializes rebuilds and excludes Bulk's stop-the-world
+	// load from overlapping a migration; rebuilding dedupes async
+	// triggers.
+	rebuildMu  sync.Mutex
+	rebuilding atomic.Bool
+
+	// genMu guards the generation pointers (ops never touch them — they
+	// go through the per-shard generation map).
+	genMu sync.Mutex
+	cur   *generation
+	next  *generation
+
+	migrated atomic.Int32 // shards flipped in the current migration
+
+	// migrationHook, when set (tests only), runs at migration checkpoints;
+	// returning an error aborts the rebuild at that point. Set it before
+	// any traffic and do not change it while a rebuild may be running.
+	migrationHook func(stage string, shard int) error
+}
+
+// AdaptiveOptions configures an AdaptiveIndex. The zero value serves
+// uncompressed while sampling, then builds a Single-Char dictionary after
+// lifecycle defaults; set Scheme (and Build) for stronger compression.
+type AdaptiveOptions struct {
+	// Scheme is the compression scheme rebuilt dictionaries use.
+	Scheme core.Scheme
+	// Build tunes HOPE's build phase for every generation.
+	Build core.Options
+	// Encoder, when non-nil, is the generation-0 dictionary: the index
+	// starts Steady and compressed instead of Sampling (generations count
+	// completed rebuilds). The encoder is
+	// captured as the build template (like NewShardedIndex) and must not
+	// be used directly afterwards. Its drift baseline self-calibrates
+	// from the first full window of live traffic.
+	Encoder *core.Encoder
+	// Shards is the shard count (rounded up to a power of two; <= 0
+	// selects DefaultShards). Every generation uses the same count.
+	Shards int
+	// MigrationBatch bounds how many records one migration step copies
+	// while holding a shard's lock (default 512) — the writer-visible
+	// pause ceiling.
+	MigrationBatch int
+	// Manual disables automatic rebuilds: the lifecycle still samples and
+	// tracks drift, but only an explicit Rebuild call acts on it.
+	Manual bool
+	// Lifecycle tunes the sampling and drift policy (zero fields take
+	// lifecycle defaults).
+	Lifecycle lifecycle.Config
+}
+
+// Re-exported lifecycle states, so callers can switch on
+// AdaptiveIndex.State without importing an internal package.
+type LifecycleState = lifecycle.State
+
+const (
+	StateSampling  = lifecycle.Sampling
+	StateSteady    = lifecycle.Steady
+	StateBuilding  = lifecycle.Building
+	StateMigrating = lifecycle.Migrating
+)
+
+// AdaptiveStats is a point-in-time snapshot of the lifecycle and
+// migration progress.
+type AdaptiveStats struct {
+	lifecycle.Stats
+	Backend        Backend
+	Shards         int
+	MigratedShards int // shards flipped in the in-flight migration (0 when steady)
+}
+
+// generation is one dictionary era: a sharded tree whose values are
+// record ids, plus the per-shard record stores those ids resolve through.
+type generation struct {
+	idx  *ShardedIndex
+	enc  *core.Encoder            // build template (nil = uncompressed)
+	cenc *core.ConcurrentEncoder  // bound translation for scans (nil = uncompressed)
+	recs []generationShardRecords // one per shard, guarded by the adaptiveShard lock
+}
+
+type generationShardRecords struct {
+	recs []record
+	live int
+}
+
+// record holds one original key and the caller's value. Slots are
+// append-only within a generation (ids stored in trees stay valid); dead
+// slots are reclaimed when their generation is dropped at cutover — a
+// rebuild doubles as compaction.
+type record struct {
+	key  []byte
+	val  uint64
+	dead bool
+}
+
+// adaptiveShard is one stripe of the generation map: which generation
+// serves this shard's reads, and which generation(s) — old first — its
+// writes apply to. The lock also guards both generations' record stores
+// for this shard. Lock order: adaptiveShard.mu before any tree lock.
+type adaptiveShard struct {
+	mu    sync.RWMutex
+	read  *generation
+	write []*generation
+}
+
+func recordID(shard, slot int) uint64 { return uint64(shard)<<32 | uint64(uint32(slot)) }
+func slotOf(id uint64) int            { return int(uint32(id)) }
+
+// NewAdaptiveIndex builds an adaptive index over the named backend. With
+// opts.Encoder nil the index starts in the Sampling state, serving
+// uncompressed until enough keys arrived for the first dictionary.
+func NewAdaptiveIndex(backend Backend, opts AdaptiveOptions) (*AdaptiveIndex, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards()
+	}
+	opts.Shards = ceilPow2(opts.Shards)
+	if opts.MigrationBatch <= 0 {
+		opts.MigrationBatch = 512
+	}
+	a := &AdaptiveIndex{
+		backend: backend,
+		opts:    opts,
+		mask:    uint64(opts.Shards - 1),
+		shards:  make([]*adaptiveShard, opts.Shards),
+	}
+	initial := lifecycle.Sampling
+	if opts.Encoder != nil {
+		initial = lifecycle.Steady
+	}
+	a.ctl = lifecycle.NewController(opts.Lifecycle, initial)
+	gen, err := a.newGeneration(opts.Encoder)
+	if err != nil {
+		return nil, err
+	}
+	a.cur = gen
+	for i := range a.shards {
+		a.shards[i] = &adaptiveShard{read: gen, write: []*generation{gen}}
+	}
+	return a, nil
+}
+
+func (a *AdaptiveIndex) newGeneration(enc *core.Encoder) (*generation, error) {
+	idx, err := NewShardedIndex(a.backend, enc, a.opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	g := &generation{idx: idx, enc: enc, recs: make([]generationShardRecords, a.opts.Shards)}
+	if enc != nil {
+		g.cenc = core.NewConcurrentEncoder(enc.Clone())
+	}
+	return g, nil
+}
+
+// Backend returns the wrapped tree's name.
+func (a *AdaptiveIndex) Backend() Backend { return a.backend }
+
+// NumShards returns the shard count (a power of two, fixed for life).
+func (a *AdaptiveIndex) NumShards() int { return len(a.shards) }
+
+// State returns the lifecycle state.
+func (a *AdaptiveIndex) State() LifecycleState { return a.ctl.State() }
+
+// Generation returns the serving dictionary generation — the number of
+// completed rebuilds (generation 0 is the initial era: uncompressed, or
+// opts.Encoder when one was supplied).
+func (a *AdaptiveIndex) Generation() int { return a.ctl.Generation() }
+
+// Encoder returns the serving generation's build template (nil while
+// uncompressed). During a migration this is still the old generation's
+// encoder — the one every shard's authoritative writes run through.
+func (a *AdaptiveIndex) Encoder() *core.Encoder {
+	a.genMu.Lock()
+	defer a.genMu.Unlock()
+	return a.cur.enc
+}
+
+// Stats snapshots the lifecycle counters and migration progress.
+func (a *AdaptiveIndex) Stats() AdaptiveStats {
+	return AdaptiveStats{
+		Stats:          a.ctl.Stats(),
+		Backend:        a.backend,
+		Shards:         len(a.shards),
+		MigratedShards: int(a.migrated.Load()),
+	}
+}
+
+func (a *AdaptiveIndex) shardIdx(key []byte) int { return int(shardHash(key) & a.mask) }
+
+func (a *AdaptiveIndex) trackLen(n int) {
+	for {
+		cur := a.maxKeyLen.Load()
+		if int64(n) <= cur || a.maxKeyLen.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// Put inserts or overwrites one key. An overwrite only updates the record
+// (both generations' trees already point at it); an insert appends a
+// record and inserts into every write generation, so a migration in
+// flight never loses it.
+func (a *AdaptiveIndex) Put(key []byte, val uint64) error {
+	if a.backend == SuRF {
+		return ErrImmutableBackend
+	}
+	a.trackLen(len(key))
+	i := a.shardIdx(key)
+	sh := a.shards[i]
+	storedLen, inserted := 0, false
+	sh.mu.Lock()
+	for gi, g := range sh.write {
+		id, ok := g.idx.getShard(i, key)
+		if ok {
+			g.recs[i].recs[slotOf(id)].val = val
+			continue
+		}
+		slot := len(g.recs[i].recs)
+		g.recs[i].recs = append(g.recs[i].recs, record{key: append([]byte(nil), key...), val: val})
+		g.recs[i].live++
+		n, err := g.idx.putShard(i, key, recordID(i, slot))
+		if err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		if gi == 0 {
+			storedLen, inserted = n, true
+		}
+	}
+	sh.mu.Unlock()
+	if inserted {
+		if sig := a.ctl.Observe(key, storedLen); sig != lifecycle.None && !a.opts.Manual {
+			a.triggerAsync()
+		}
+	} else {
+		// Overwrites are traffic for the reservoir but do not change the
+		// stored bytes the rolling CPR measures.
+		a.ctl.ObserveBulk(key)
+	}
+	return nil
+}
+
+// Get returns the value stored under key, consulting the shard's read
+// generation.
+func (a *AdaptiveIndex) Get(key []byte) (uint64, bool) {
+	i := a.shardIdx(key)
+	sh := a.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	g := sh.read
+	id, ok := g.idx.getShard(i, key)
+	if !ok {
+		return 0, false
+	}
+	r := &g.recs[i].recs[slotOf(id)]
+	if r.dead {
+		return 0, false
+	}
+	return r.val, true
+}
+
+// Delete removes key from every write generation, reporting whether it
+// was present.
+func (a *AdaptiveIndex) Delete(key []byte) (bool, error) {
+	if a.backend == SuRF {
+		return false, ErrImmutableBackend
+	}
+	i := a.shardIdx(key)
+	sh := a.shards[i]
+	found := false
+	sh.mu.Lock()
+	for gi, g := range sh.write {
+		id, ok := g.idx.getShard(i, key)
+		if ok {
+			g.recs[i].recs[slotOf(id)].dead = true
+			g.recs[i].live--
+			if _, err := g.idx.deleteShard(i, key); err != nil {
+				sh.mu.Unlock()
+				return false, err
+			}
+		}
+		if gi == 0 {
+			found = ok
+		}
+	}
+	sh.mu.Unlock()
+	return found, nil
+}
+
+// Len returns the number of live keys (authoritative generation).
+func (a *AdaptiveIndex) Len() int {
+	n := 0
+	for i, sh := range a.shards {
+		sh.mu.RLock()
+		n += sh.write[0].recs[i].live
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// MemoryUsage returns the modeled footprint in bytes: every serving
+// generation's trees and dictionary, plus the record store (original keys
+// and per-record overhead) — the honest total, since the record store is
+// what buys background re-encode.
+func (a *AdaptiveIndex) MemoryUsage() int {
+	a.genMu.Lock()
+	gens := []*generation{a.cur}
+	if a.next != nil {
+		gens = append(gens, a.next)
+	}
+	a.genMu.Unlock()
+	m := 0
+	for _, g := range gens {
+		m += g.idx.MemoryUsage()
+	}
+	for i, sh := range a.shards {
+		sh.mu.RLock()
+		for _, g := range gens {
+			for _, r := range g.recs[i].recs {
+				m += len(r.key) + 33 // slice header + val + dead + padding
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return m
+}
+
+// Bulk loads keys[i] -> vals[i] (nil vals assigns positions). It is the
+// only way to populate a SuRF-backed index, and the fast path for an
+// initial load elsewhere; on a non-empty mutable index it degrades to a
+// Put loop (overwrite semantics). Bulk excludes rebuilds for its
+// duration and must not run concurrently with other writers.
+func (a *AdaptiveIndex) Bulk(keys [][]byte, vals []uint64) error {
+	if vals != nil && len(vals) != len(keys) {
+		return fmt.Errorf("hope: %d keys but %d values", len(keys), len(vals))
+	}
+	viaPuts, err := a.bulkLoad(keys, vals)
+	if err != nil {
+		return err
+	}
+	if !viaPuts {
+		// The stop-the-world path bypasses Put, so the lifecycle has not
+		// seen these keys yet; the Put-loop path already observed each one.
+		for _, k := range keys {
+			a.ctl.ObserveBulk(k)
+		}
+	}
+	if !a.opts.Manual && a.ctl.Check() != lifecycle.None {
+		a.triggerAsync()
+	}
+	return nil
+}
+
+// bulkLoad performs the load and reports whether it went through the Put
+// loop (which feeds the lifecycle tracker itself).
+func (a *AdaptiveIndex) bulkLoad(keys [][]byte, vals []uint64) (viaPuts bool, err error) {
+	a.rebuildMu.Lock()
+	defer a.rebuildMu.Unlock()
+	if a.backend != SuRF && a.Len() > 0 {
+		for i, k := range keys {
+			v := uint64(i)
+			if vals != nil {
+				v = vals[i]
+			}
+			if err := a.Put(k, v); err != nil {
+				return true, err
+			}
+		}
+		return true, nil
+	}
+	// Stop-the-world load: lock every shard, append records, bulk-load the
+	// trees through the parallel encode pipeline, release. For SuRF this
+	// replaces the whole contents (the backend rebuilds its filter over
+	// exactly the new run).
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range a.shards {
+			sh.mu.Unlock()
+		}
+	}()
+	g := a.shards[0].write[0]
+	if a.backend == SuRF {
+		for i := range g.recs {
+			g.recs[i] = generationShardRecords{}
+		}
+	}
+	// Last write wins on duplicate keys, matching Put-loop semantics.
+	lastIdx := make(map[string]int, len(keys))
+	for i, k := range keys {
+		lastIdx[string(k)] = i
+	}
+	var loadKeys [][]byte
+	var ids []uint64
+	for i, k := range keys {
+		if lastIdx[string(k)] != i {
+			continue
+		}
+		a.trackLen(len(k))
+		v := uint64(i)
+		if vals != nil {
+			v = vals[i]
+		}
+		w := a.shardIdx(k)
+		slot := len(g.recs[w].recs)
+		g.recs[w].recs = append(g.recs[w].recs, record{key: append([]byte(nil), k...), val: v})
+		g.recs[w].live++
+		loadKeys = append(loadKeys, k)
+		ids = append(ids, recordID(w, slot))
+	}
+	return false, g.idx.Bulk(loadKeys, ids)
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild: build → migrate → cutover (or abort).
+// ---------------------------------------------------------------------------
+
+// Rebuild forces a full dictionary rebuild and migration now, blocking
+// until the cutover (or the abort) completes. Traffic keeps flowing on
+// mutable backends; the SuRF backend rebuilds stop-the-world. The drift
+// detector triggers this same path automatically unless opts.Manual.
+func (a *AdaptiveIndex) Rebuild() error {
+	a.rebuildMu.Lock()
+	defer a.rebuildMu.Unlock()
+	return a.rebuildLocked()
+}
+
+// Quiesce blocks until any in-flight background rebuild completes.
+func (a *AdaptiveIndex) Quiesce() {
+	a.rebuildMu.Lock()
+	defer a.rebuildMu.Unlock()
+}
+
+// triggerAsync starts one background rebuild; concurrent signals collapse
+// into it.
+func (a *AdaptiveIndex) triggerAsync() {
+	if !a.rebuilding.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		a.rebuildMu.Lock()
+		defer a.rebuildMu.Unlock()
+		defer a.rebuilding.Store(false)
+		// Re-validate under the lock: an explicit Rebuild may have
+		// serviced the signal while this goroutine waited.
+		if a.ctl.Check() == lifecycle.None {
+			return
+		}
+		// The error is reflected in Stats().Aborts; background failures
+		// have no caller to return to.
+		_ = a.rebuildLocked()
+	}()
+}
+
+// sampleRecords draws up to capacity live original keys from the
+// authoritative generation's record store, striding evenly so one shard's
+// keys cannot dominate the sample.
+func (a *AdaptiveIndex) sampleRecords(capacity int) [][]byte {
+	live := a.Len()
+	if live == 0 || capacity <= 0 {
+		return nil
+	}
+	stride := (live + capacity - 1) / capacity
+	var out [][]byte
+	seen := 0
+	for i, sh := range a.shards {
+		sh.mu.RLock()
+		for _, r := range sh.write[0].recs[i].recs {
+			if r.dead {
+				continue
+			}
+			if seen%stride == 0 && len(out) < capacity {
+				out = append(out, append([]byte(nil), r.key...))
+			}
+			seen++
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+func (a *AdaptiveIndex) hookErr(stage string, shard int) error {
+	if a.migrationHook == nil {
+		return nil
+	}
+	return a.migrationHook(stage, shard)
+}
+
+func (a *AdaptiveIndex) rebuildLocked() (err error) {
+	if err := a.ctl.BeginBuild(); err != nil {
+		return err
+	}
+	// Any failure from here on rolls the lifecycle back.
+	defer func() {
+		if err != nil {
+			_ = a.ctl.Abort()
+		}
+	}()
+	if err := a.hookErr("build-start", -1); err != nil {
+		return err
+	}
+	samples := a.ctl.SampleSnapshot()
+	if len(samples) == 0 {
+		// A cutover resets the reservoir, so an explicit Rebuild issued
+		// before new traffic arrives would have nothing to build from;
+		// fall back to sampling the live records themselves.
+		samples = a.sampleRecords(a.ctl.Config().ReservoirSize)
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("hope: rebuild of an empty index with an empty reservoir")
+	}
+	enc, err := core.Build(a.opts.Scheme, samples, a.opts.Build)
+	if err != nil {
+		return err
+	}
+	buildCPR := enc.CompressionRate(samples)
+	next, err := a.newGeneration(enc)
+	if err != nil {
+		return err
+	}
+	if err := a.ctl.BeginMigration(); err != nil {
+		return err
+	}
+	if a.backend == SuRF {
+		err = a.migrateStopTheWorld(next)
+	} else {
+		err = a.migrateConcurrent(next)
+	}
+	if err != nil {
+		return err
+	}
+	return a.ctl.Cutover(buildCPR)
+}
+
+// migrateConcurrent runs the incremental protocol described on the type:
+// dual-write everywhere, copy per shard in batches, flip reads per shard,
+// cut over when all shards flipped. Any error aborts by pointing every
+// shard back at the old generation, which saw every write throughout.
+func (a *AdaptiveIndex) migrateConcurrent(next *generation) error {
+	a.genMu.Lock()
+	old := a.cur
+	a.next = next
+	a.genMu.Unlock()
+	a.migrated.Store(0)
+
+	abort := func() {
+		for _, sh := range a.shards {
+			sh.mu.Lock()
+			sh.read = old
+			sh.write = []*generation{old}
+			sh.mu.Unlock()
+		}
+		a.genMu.Lock()
+		a.next = nil
+		a.genMu.Unlock()
+		a.migrated.Store(0)
+	}
+
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		sh.write = []*generation{old, next}
+		sh.mu.Unlock()
+	}
+	for i := range a.shards {
+		if err := a.migrateShard(i, old, next); err != nil {
+			abort()
+			return err
+		}
+		sh := a.shards[i]
+		sh.mu.Lock()
+		sh.read = next
+		sh.mu.Unlock()
+		a.migrated.Add(1)
+		if err := a.hookErr("shard-flipped", i); err != nil {
+			abort()
+			return err
+		}
+	}
+	if err := a.hookErr("cutover", -1); err != nil {
+		abort()
+		return err
+	}
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		sh.read = next
+		sh.write = []*generation{next}
+		sh.mu.Unlock()
+	}
+	a.genMu.Lock()
+	a.cur = next
+	a.next = nil
+	a.genMu.Unlock()
+	a.migrated.Store(0)
+	return nil
+}
+
+// migrateShard copies one shard's live records into the next generation in
+// MigrationBatch-bounded steps. Slots at or above the horizon snapshot
+// were appended after dual-writing began and are already in both
+// generations; slots below it that the dual-writer races in are caught by
+// the presence probe.
+func (a *AdaptiveIndex) migrateShard(shard int, old, next *generation) error {
+	sh := a.shards[shard]
+	sh.mu.Lock()
+	horizon := len(old.recs[shard].recs)
+	sh.mu.Unlock()
+	for start := 0; start < horizon; start += a.opts.MigrationBatch {
+		end := start + a.opts.MigrationBatch
+		if end > horizon {
+			end = horizon
+		}
+		sh.mu.Lock()
+		for slot := start; slot < end; slot++ {
+			r := &old.recs[shard].recs[slot]
+			if r.dead {
+				continue
+			}
+			if _, ok := next.idx.getShard(shard, r.key); ok {
+				continue // dual-written (or re-inserted) since the snapshot
+			}
+			nslot := len(next.recs[shard].recs)
+			next.recs[shard].recs = append(next.recs[shard].recs, record{key: r.key, val: r.val})
+			next.recs[shard].live++
+			if _, err := next.idx.putShard(shard, r.key, recordID(shard, nslot)); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+		}
+		sh.mu.Unlock()
+		if err := a.hookErr("batch", shard); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrateStopTheWorld is the bulk-only fallback (SuRF): with every shard
+// locked, live records bulk-load into the next generation through the
+// parallel encode pipeline and the swap is atomic. Reads and writes wait
+// for the duration; nothing can race, so an error simply discards next.
+func (a *AdaptiveIndex) migrateStopTheWorld(next *generation) error {
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range a.shards {
+			sh.mu.Unlock()
+		}
+	}()
+	old := a.shards[0].write[0]
+	var keys [][]byte
+	var ids []uint64
+	for i := range a.shards {
+		for _, r := range old.recs[i].recs {
+			if r.dead {
+				continue
+			}
+			slot := len(next.recs[i].recs)
+			next.recs[i].recs = append(next.recs[i].recs, record{key: r.key, val: r.val})
+			next.recs[i].live++
+			keys = append(keys, r.key)
+			ids = append(ids, recordID(i, slot))
+		}
+	}
+	if err := next.idx.Bulk(keys, ids); err != nil {
+		return err
+	}
+	for _, sh := range a.shards {
+		sh.read = next
+		sh.write = []*generation{next}
+	}
+	a.genMu.Lock()
+	a.cur = next
+	a.genMu.Unlock()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Scans: per-shard cursors over each shard's read generation, merged in
+// original-key order (the only order two dictionaries share).
+// ---------------------------------------------------------------------------
+
+// genBounds caches one generation's encoded translation of a scan's
+// bounds; mid-migration a scan needs one per generation in play.
+type genBounds struct {
+	lo, hi []byte
+	hiIncl bool
+}
+
+// Scan visits, in ascending original-key order, every stored key k with
+// lo <= k < hi (bounds in original key space; nil hi is unbounded) and
+// returns how many keys it visited. fn receives the original key — valid
+// only during the callback — and may stop the scan by returning false.
+// Like ShardedIndex, a scan is per-shard consistent (chunk snapshots)
+// rather than a global snapshot. A scan overlapping a cutover keeps its
+// per-generation cursors but re-validates every later chunk against the
+// new serving generation — deletes and overwrites issued after the
+// cutover are honored (TestAdaptiveScanSurvivesCutover); only keys
+// *inserted* after the cutover may be missed for shards not yet reached,
+// matching the insert semantics of any chunked concurrent scan.
+func (a *AdaptiveIndex) Scan(lo, hi []byte, fn func(key []byte, val uint64) bool) int {
+	bounds := func(g *generation) genBounds {
+		if g.cenc == nil {
+			return genBounds{lo: lo, hi: hi}
+		}
+		loEnc := g.cenc.EncodeBound(lo)
+		if loEnc == nil {
+			loEnc = []byte{}
+		}
+		return genBounds{lo: loEnc, hi: g.cenc.EncodeBound(hi)}
+	}
+	return a.mergeScan(bounds, fn)
+}
+
+// ScanPrefix visits every stored key that starts with prefix, in
+// ascending original-key order (see Scan for the callback contract).
+// Bound translation follows Index.ScanPrefix per generation: exact lower
+// bound, interval-ceiling upper bound.
+func (a *AdaptiveIndex) ScanPrefix(prefix []byte, fn func(key []byte, val uint64) bool) int {
+	maxLen := int(a.maxKeyLen.Load())
+	if len(prefix) > maxLen {
+		maxLen = len(prefix)
+	}
+	bounds := func(g *generation) genBounds {
+		if g.cenc == nil {
+			return genBounds{lo: prefix, hi: prefixSuccessor(prefix)}
+		}
+		lo, hi := g.cenc.EncodePrefix(prefix, maxLen)
+		return genBounds{lo: lo, hi: hi, hiIncl: true}
+	}
+	return a.mergeScan(bounds, fn)
+}
+
+func (a *AdaptiveIndex) mergeScan(bounds func(*generation) genBounds, fn func(key []byte, val uint64) bool) int {
+	cache := map[*generation]genBounds{}
+	heap := make([]*adaptiveCursor, 0, len(a.shards))
+	for i, sh := range a.shards {
+		sh.mu.RLock()
+		g := sh.read
+		sh.mu.RUnlock()
+		b, ok := cache[g]
+		if !ok {
+			b = bounds(g)
+			cache[g] = b
+		}
+		c := &adaptiveCursor{
+			a: a, shard: i, g: g,
+			from: append([]byte(nil), b.lo...), hi: b.hi, hiIncl: b.hiIncl,
+		}
+		if _, ok := c.peek(); ok {
+			heap = append(heap, c)
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(heap, i, adaptiveCursorLess)
+	}
+	count := 0
+	for len(heap) > 0 {
+		k, v := heap[0].pop()
+		count++
+		if !fn(k, v) {
+			return count
+		}
+		if _, ok := heap[0].peek(); ok {
+			siftDown(heap, 0, adaptiveCursorLess)
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+			if len(heap) > 0 {
+				siftDown(heap, 0, adaptiveCursorLess)
+			}
+		}
+	}
+	return count
+}
+
+// adaptiveCursor drains one shard from its pinned generation in chunks,
+// resolving record ids to (original key, live value) at fill time under
+// the shard lock — so the merge can compare keys across generations
+// without further locking. Dead records are skipped; the encoded resume
+// key (lastKey+0x00) tracks tree positions, including ones whose records
+// died mid-scan.
+type adaptiveCursor struct {
+	a      *AdaptiveIndex
+	shard  int
+	g      *generation
+	from   []byte // inclusive encoded resume bound (owned)
+	hi     []byte // shared, read-only
+	hiIncl bool
+
+	arena   []byte
+	keys    [][]byte // original keys, copied into arena
+	vals    []uint64
+	i       int
+	chunk   int
+	done    bool
+	lastEnc []byte // reused resume scratch
+}
+
+func (c *adaptiveCursor) fill() {
+	c.arena, c.keys, c.vals, c.i = c.arena[:0], c.keys[:0], c.vals[:0], 0
+	if c.done {
+		return
+	}
+	if c.chunk == 0 {
+		c.chunk = scanChunkInit
+	}
+	sh := c.a.shards[c.shard]
+	n := 0
+	last := c.lastEnc[:0]
+	sh.mu.RLock()
+	gr := &c.g.recs[c.shard]
+	c.g.idx.scanShard(c.shard, c.from, c.hi, c.hiIncl, func(ek []byte, id uint64) bool {
+		n++
+		last = append(last[:0], ek...)
+		r := &gr.recs[slotOf(id)]
+		if !r.dead {
+			start := len(c.arena)
+			c.arena = append(c.arena, r.key...)
+			c.keys = append(c.keys, c.arena[start:len(c.arena):len(c.arena)])
+			c.vals = append(c.vals, r.val)
+		}
+		return n < c.chunk
+	})
+	// If the pinned generation no longer receives writes — a cutover (or
+	// an abort of the generation this cursor pinned) completed mid-scan —
+	// its trees and records are frozen, so deletes and overwrites land
+	// only in the serving generation. Re-validate the chunk against the
+	// shard's current read generation: drop keys it no longer holds and
+	// take its values, so the merge never resurrects a deleted key or
+	// emits a stale value. (Entries already buffered in a previous chunk
+	// are a snapshot, the same per-chunk semantics as ShardedIndex.)
+	live := false
+	for _, g := range sh.write {
+		if g == c.g {
+			live = true
+			break
+		}
+	}
+	if !live {
+		cur := sh.read
+		w := 0
+		for i, k := range c.keys {
+			id, ok := cur.idx.getShard(c.shard, k)
+			if !ok {
+				continue
+			}
+			r := &cur.recs[c.shard].recs[slotOf(id)]
+			if r.dead {
+				continue
+			}
+			c.keys[w] = c.keys[i]
+			c.vals[w] = r.val
+			w++
+		}
+		c.keys, c.vals = c.keys[:w], c.vals[:w]
+	}
+	sh.mu.RUnlock()
+	c.lastEnc = last
+	if n < c.chunk {
+		c.done = true
+		return
+	}
+	c.from = append(append(c.from[:0], last...), 0x00)
+	if c.chunk < scanChunk {
+		c.chunk *= 2
+	}
+}
+
+// peek returns the cursor's current original key, refilling (and skipping
+// all-dead chunks) as needed; ok is false when the shard is exhausted.
+func (c *adaptiveCursor) peek() ([]byte, bool) {
+	for c.i >= len(c.keys) {
+		if c.done {
+			return nil, false
+		}
+		c.fill()
+	}
+	return c.keys[c.i], true
+}
+
+func (c *adaptiveCursor) pop() ([]byte, uint64) {
+	k, v := c.keys[c.i], c.vals[c.i]
+	c.i++
+	return k, v
+}
+
+// adaptiveCursorLess orders cursors by current original key — valid
+// across generations, unlike encoded keys — breaking ties by shard for
+// determinism (ties cannot occur between live cursors: shards partition
+// the original key space).
+func adaptiveCursorLess(a, b *adaptiveCursor) bool {
+	if c := bytes.Compare(a.keys[a.i], b.keys[b.i]); c != 0 {
+		return c < 0
+	}
+	return a.shard < b.shard
+}

@@ -1,0 +1,731 @@
+package hope
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lifecycle"
+)
+
+// ---------------------------------------------------------------------------
+// Helpers: a model-backed differential harness. The reference for every
+// comparison is an uncompressed Index rebuilt from the model — its scan
+// callbacks hand out original keys, exactly AdaptiveIndex's contract, so
+// result streams must be byte-identical.
+// ---------------------------------------------------------------------------
+
+type kv struct {
+	k string
+	v uint64
+}
+
+func referenceIndex(t *testing.T, backend Backend, model map[string]uint64) *Index {
+	t.Helper()
+	ref, err := NewIndex(backend, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend == SuRF {
+		keys := make([][]byte, 0, len(model))
+		vals := make([]uint64, 0, len(model))
+		for k, v := range model {
+			keys = append(keys, []byte(k))
+			vals = append(vals, v)
+		}
+		if err := ref.Bulk(keys, vals); err != nil {
+			t.Fatal(err)
+		}
+		return ref
+	}
+	for k, v := range model {
+		if err := ref.Put([]byte(k), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ref
+}
+
+func collectAdaptiveScan(a *AdaptiveIndex, lo, hi []byte) []kv {
+	var out []kv
+	a.Scan(lo, hi, func(k []byte, v uint64) bool {
+		out = append(out, kv{string(k), v})
+		return true
+	})
+	return out
+}
+
+func collectIndexScan(x *Index, lo, hi []byte) []kv {
+	var out []kv
+	x.Scan(lo, hi, func(k []byte, v uint64) bool {
+		out = append(out, kv{string(k), v})
+		return true
+	})
+	return out
+}
+
+func equalKV(a, b []kv) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDifferential compares the adaptive index against an uncompressed
+// reference rebuilt from the model: every Get (present and absent), every
+// Scan over the bound sweep, and every ScanPrefix.
+func checkDifferential(t *testing.T, label string, a *AdaptiveIndex, model map[string]uint64) {
+	t.Helper()
+	ref := referenceIndex(t, BTree, model)
+	if a.Len() != len(model) {
+		t.Fatalf("%s: Len %d want %d", label, a.Len(), len(model))
+	}
+	probes := make([][]byte, 0, len(model)+4)
+	for k := range model {
+		probes = append(probes, []byte(k))
+	}
+	probes = append(probes, []byte("absent"), []byte("zzzzzz"), []byte{0x03, 0x80}, []byte("com.gmail@nobody"))
+	for _, k := range probes {
+		wantV, wantOK := model[string(k)]
+		gotV, gotOK := a.Get(k)
+		if gotOK != wantOK || (wantOK && gotV != wantV) {
+			t.Fatalf("%s: Get(%q) = %d,%v want %d,%v", label, k, gotV, gotOK, wantV, wantOK)
+		}
+	}
+	bounds := scanBounds()
+	pairs := [][2][]byte{{nil, nil}}
+	for _, b := range bounds {
+		pairs = append(pairs, [2][]byte{b, nil}, [2][]byte{nil, b})
+	}
+	for _, lo := range bounds {
+		for _, hi := range bounds {
+			pairs = append(pairs, [2][]byte{lo, hi})
+		}
+	}
+	for _, p := range pairs {
+		want := collectIndexScan(ref, p[0], p[1])
+		got := collectAdaptiveScan(a, p[0], p[1])
+		if !equalKV(want, got) {
+			t.Fatalf("%s: Scan(%q, %q): ref %v != adaptive %v", label, p[0], p[1], want, got)
+		}
+	}
+	prefixes := [][]byte{
+		{}, []byte("a"), []byte("ap"), []byte("app"), []byte("apple"),
+		[]byte("com."), []byte("com.gmail@"), []byte("com.gmail@bob"),
+		{0x00}, {0xff}, {0xff, 0xff}, []byte("a\xff"), []byte("nosuchprefix"), []byte("z"),
+	}
+	for _, p := range prefixes {
+		var want, got []kv
+		ref.ScanPrefix(p, func(k []byte, v uint64) bool {
+			want = append(want, kv{string(k), v})
+			return true
+		})
+		a.ScanPrefix(p, func(k []byte, v uint64) bool {
+			got = append(got, kv{string(k), v})
+			return true
+		})
+		if !equalKV(want, got) {
+			t.Fatalf("%s: ScanPrefix(%q): ref %v != adaptive %v", label, p, want, got)
+		}
+	}
+}
+
+// seedAdaptive puts the corpus with val i for key i and returns the model.
+func seedAdaptive(t *testing.T, a *AdaptiveIndex, keys [][]byte) map[string]uint64 {
+	t.Helper()
+	model := map[string]uint64{}
+	for i, k := range keys {
+		if err := a.Put(k, uint64(i)); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+		model[string(k)] = uint64(i)
+	}
+	return model
+}
+
+// manualOpts returns options that never auto-rebuild, with a reservoir
+// large enough to hold the whole corpus so rebuilt dictionaries see the
+// same keys the original encoders were built from.
+func manualOpts(scheme core.Scheme, enc *core.Encoder) AdaptiveOptions {
+	opt := core.Options{DictLimit: 1 << 10, MaxPatternLen: 16}
+	if scheme == core.DoubleChar {
+		opt = core.Options{}
+	}
+	return AdaptiveOptions{
+		Scheme:         scheme,
+		Build:          opt,
+		Encoder:        enc,
+		Shards:         8,
+		MigrationBatch: 16, // small batches: many checkpoints per shard
+		Manual:         true,
+		Lifecycle:      lifecycle.Config{ReservoirSize: 4096, Seed: 7},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle basics.
+// ---------------------------------------------------------------------------
+
+// From empty: Sampling serves uncompressed and correct; an explicit
+// rebuild moves to generation 1 and compresses; everything stays correct.
+func TestAdaptiveSamplingToSteady(t *testing.T) {
+	keys := adversarialCorpus()
+	a, err := NewAdaptiveIndex(BTree, AdaptiveOptions{
+		Scheme: core.DoubleChar, Shards: 4, Manual: true,
+		Lifecycle: lifecycle.Config{ReservoirSize: 4096, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != StateSampling || a.Generation() != 0 || a.Encoder() != nil {
+		t.Fatalf("fresh index not Sampling/gen0: %v gen %d", a.State(), a.Generation())
+	}
+	model := seedAdaptive(t, a, keys)
+	checkDifferential(t, "sampling", a, model)
+
+	if err := a.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != StateSteady || a.Generation() != 1 || a.Encoder() == nil {
+		t.Fatalf("after rebuild: %v gen %d", a.State(), a.Generation())
+	}
+	if s := a.Stats(); s.Rebuilds != 1 || s.BuildCPR <= 1 {
+		t.Fatalf("stats after rebuild: %+v", s)
+	}
+	checkDifferential(t, "steady gen1", a, model)
+
+	// Post-rebuild traffic: overwrites, deletes, fresh inserts.
+	for i, k := range keys {
+		switch i % 3 {
+		case 0:
+			a.Put(k, uint64(i)+5000)
+			model[string(k)] = uint64(i) + 5000
+		case 1:
+			a.Delete(k)
+			delete(model, string(k))
+		}
+	}
+	for i := 0; i < 40; i++ {
+		k := []byte(fmt.Sprintf("post-rebuild-%03d", i))
+		a.Put(k, uint64(9000+i))
+		model[string(k)] = uint64(9000 + i)
+	}
+	checkDifferential(t, "steady gen1 after churn", a, model)
+}
+
+// Starting from a pre-built encoder: Steady at once, still rebuildable.
+func TestAdaptivePrebuiltEncoderStart(t *testing.T) {
+	keys := adversarialCorpus()
+	encs := testEncoders(t)
+	a, err := NewAdaptiveIndex(ART, manualOpts(core.ThreeGrams, encs[core.ThreeGrams].Clone()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != StateSteady || a.Encoder() == nil {
+		t.Fatalf("prebuilt start: %v", a.State())
+	}
+	model := seedAdaptive(t, a, keys)
+	checkDifferential(t, "prebuilt", a, model)
+	if err := a.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Generation() != 1 {
+		t.Fatalf("generation %d", a.Generation())
+	}
+	checkDifferential(t, "prebuilt rebuilt", a, model)
+}
+
+func TestAdaptiveBulkAndLen(t *testing.T) {
+	keys := adversarialCorpus()
+	a, err := NewAdaptiveIndex(BTree, AdaptiveOptions{Scheme: core.SingleChar, Shards: 4, Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Bulk(keys, make([]uint64, 1)); err == nil {
+		t.Fatal("mismatched vals length accepted")
+	}
+	if err := a.Bulk(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	model := map[string]uint64{}
+	for i, k := range keys {
+		model[string(k)] = uint64(i)
+	}
+	checkDifferential(t, "bulk", a, model)
+	// Non-empty bulk degrades to the Put loop with overwrite semantics.
+	extra := [][]byte{[]byte("bulk-x"), keys[3], []byte("bulk-y")}
+	if err := a.Bulk(extra, []uint64{100, 101, 102}); err != nil {
+		t.Fatal(err)
+	}
+	model["bulk-x"], model[string(keys[3])], model["bulk-y"] = 100, 101, 102
+	checkDifferential(t, "bulk-overwrite", a, model)
+}
+
+// ---------------------------------------------------------------------------
+// Mid-migration differential: the acceptance test. Migration pauses at a
+// checkpoint with half the shards flipped to the new generation; Gets,
+// Scans and prefix scans must be byte-identical to a plain rebuilt index,
+// including for writes issued *during* the pause (dual-write protocol).
+// ---------------------------------------------------------------------------
+
+func TestAdaptiveMidMigrationDifferential(t *testing.T) {
+	keys := adversarialCorpus()
+	encs := testEncoders(t)
+	for _, backend := range Backends {
+		if backend == SuRF {
+			continue // bulk-only: covered by TestAdaptiveSuRFStopTheWorld
+		}
+		for _, scheme := range testSchemes {
+			a, err := NewAdaptiveIndex(backend, manualOpts(scheme, encs[scheme].Clone()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := seedAdaptive(t, a, keys)
+
+			pause := make(chan struct{})
+			resume := make(chan struct{})
+			half := a.NumShards() / 2
+			a.migrationHook = func(stage string, shard int) error {
+				if stage == "shard-flipped" && shard == half {
+					close(pause)
+					<-resume
+				}
+				return nil
+			}
+			done := make(chan error, 1)
+			go func() { done <- a.Rebuild() }()
+			<-pause
+
+			label := fmt.Sprintf("%s/%v mid-migration", backend, scheme)
+			if a.State() != StateMigrating {
+				t.Fatalf("%s: state %v", label, a.State())
+			}
+			if got := a.Stats().MigratedShards; got != half+1 {
+				t.Fatalf("%s: %d shards flipped, want %d", label, got, half+1)
+			}
+			checkDifferential(t, label, a, model)
+
+			// Mutations while paused must land in both generations.
+			for i, k := range keys {
+				switch i % 5 {
+				case 0:
+					a.Put(k, uint64(i)+7000)
+					model[string(k)] = uint64(i) + 7000
+				case 1:
+					a.Delete(k)
+					delete(model, string(k))
+				}
+			}
+			for i := 0; i < 30; i++ {
+				k := []byte(fmt.Sprintf("mid-mig-%s-%03d", scheme, i))
+				a.Put(k, uint64(8000+i))
+				model[string(k)] = uint64(8000 + i)
+			}
+			checkDifferential(t, label+" after churn", a, model)
+
+			close(resume)
+			if err := <-done; err != nil {
+				t.Fatalf("%s: rebuild: %v", label, err)
+			}
+			if a.Generation() != 1 || a.State() != StateSteady {
+				t.Fatalf("%s: post-rebuild gen %d state %v", label, a.Generation(), a.State())
+			}
+			checkDifferential(t, label+" post-cutover", a, model)
+		}
+	}
+}
+
+// SuRF cannot dual-write; its rebuild is stop-the-world and must still be
+// exact before and after.
+func TestAdaptiveSuRFStopTheWorld(t *testing.T) {
+	keys := adversarialCorpus()
+	a, err := NewAdaptiveIndex(SuRF, AdaptiveOptions{
+		Scheme: core.DoubleChar, Shards: 4, Manual: true,
+		Lifecycle: lifecycle.Config{ReservoirSize: 4096, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put([]byte("k"), 1); err != ErrImmutableBackend {
+		t.Fatalf("SuRF Put: %v", err)
+	}
+	if _, err := a.Delete([]byte("k")); err != ErrImmutableBackend {
+		t.Fatalf("SuRF Delete: %v", err)
+	}
+	if err := a.Bulk(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	model := map[string]uint64{}
+	for i, k := range keys {
+		model[string(k)] = uint64(i)
+	}
+	checkDifferential(t, "surf gen0", a, model)
+	if err := a.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Generation() != 1 {
+		t.Fatalf("generation %d", a.Generation())
+	}
+	checkDifferential(t, "surf gen1", a, model)
+}
+
+// ---------------------------------------------------------------------------
+// Abort: a rebuild that dies at any checkpoint must leave the old
+// generation serving, intact, and a later rebuild must succeed.
+// ---------------------------------------------------------------------------
+
+func TestAdaptiveAbortRestoresOldGeneration(t *testing.T) {
+	keys := adversarialCorpus()
+	encs := testEncoders(t)
+	stages := []struct {
+		stage string
+		shard int
+	}{
+		{"build-start", -1},
+		{"batch", 0},
+		{"batch", 3},
+		{"shard-flipped", 2},
+		{"shard-flipped", 7},
+		{"cutover", -1},
+	}
+	for _, st := range stages {
+		a, err := NewAdaptiveIndex(ART, manualOpts(core.DoubleChar, encs[core.DoubleChar].Clone()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := seedAdaptive(t, a, keys)
+		encBefore := a.Encoder()
+		boom := fmt.Errorf("injected at %s/%d", st.stage, st.shard)
+		a.migrationHook = func(stage string, shard int) error {
+			if stage == st.stage && (st.shard < 0 || shard == st.shard) {
+				return boom
+			}
+			return nil
+		}
+		if err := a.Rebuild(); err != boom {
+			t.Fatalf("%s/%d: Rebuild returned %v, want injected error", st.stage, st.shard, err)
+		}
+		if a.State() != StateSteady || a.Generation() != 0 {
+			t.Fatalf("%s/%d: state %v gen %d after abort", st.stage, st.shard, a.State(), a.Generation())
+		}
+		if a.Encoder() != encBefore {
+			t.Fatalf("%s/%d: serving encoder changed across abort", st.stage, st.shard)
+		}
+		if s := a.Stats(); s.Aborts != 1 || s.Rebuilds != 0 || s.MigratedShards != 0 {
+			t.Fatalf("%s/%d: stats %+v", st.stage, st.shard, s)
+		}
+		checkDifferential(t, fmt.Sprintf("aborted at %s/%d", st.stage, st.shard), a, model)
+
+		// Writes after the abort, then a clean rebuild.
+		for i := 0; i < 20; i++ {
+			k := []byte(fmt.Sprintf("post-abort-%02d", i))
+			a.Put(k, uint64(i))
+			model[string(k)] = uint64(i)
+		}
+		a.migrationHook = nil
+		if err := a.Rebuild(); err != nil {
+			t.Fatalf("%s/%d: clean rebuild after abort: %v", st.stage, st.shard, err)
+		}
+		if a.Generation() != 1 {
+			t.Fatalf("%s/%d: generation %d after clean rebuild", st.stage, st.shard, a.Generation())
+		}
+		checkDifferential(t, fmt.Sprintf("recovered from %s/%d", st.stage, st.shard), a, model)
+	}
+}
+
+// An abort before the first dictionary returns to Sampling, and an
+// empty-reservoir rebuild fails cleanly.
+func TestAdaptiveAbortBeforeFirstBuild(t *testing.T) {
+	a, err := NewAdaptiveIndex(BTree, AdaptiveOptions{Scheme: core.SingleChar, Shards: 2, Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Rebuild(); err == nil {
+		t.Fatal("rebuild with empty reservoir succeeded")
+	}
+	if a.State() != StateSampling || a.Generation() != 0 {
+		t.Fatalf("state %v gen %d", a.State(), a.Generation())
+	}
+	a.Put([]byte("now-there-is-data"), 1)
+	if err := a.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Generation() != 1 {
+		t.Fatalf("generation %d", a.Generation())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: rebuilds racing live traffic under the race detector.
+// ---------------------------------------------------------------------------
+
+func TestAdaptiveRebuildRaceStress(t *testing.T) {
+	const (
+		writers   = 4
+		readers   = 2
+		opsPerG   = 1500
+		keySpace  = 600
+		rebuilds  = 3
+		keyFormat = "stress-%d-%04d"
+	)
+	a, err := NewAdaptiveIndex(ART, AdaptiveOptions{
+		Scheme: core.DoubleChar, Shards: 8, MigrationBatch: 32, Manual: true,
+		Lifecycle: lifecycle.Config{ReservoirSize: 2048, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up so the first rebuild has a reservoir.
+	for g := 0; g < writers; g++ {
+		for i := 0; i < 50; i++ {
+			a.Put([]byte(fmt.Sprintf(keyFormat, g, i)), uint64(i))
+		}
+	}
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		writeWG.Add(1)
+		go func(g int) {
+			defer writeWG.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < opsPerG; i++ {
+				k := []byte(fmt.Sprintf(keyFormat, g, rng.Intn(keySpace)))
+				switch rng.Intn(10) {
+				case 0:
+					a.Delete(k)
+				default:
+					a.Put(k, uint64(i))
+				}
+			}
+		}(g)
+	}
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func(r int) {
+			defer readWG.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := []byte(fmt.Sprintf(keyFormat, rng.Intn(writers), rng.Intn(keySpace)))
+				a.Get(k)
+				prev := ""
+				n := 0
+				a.Scan([]byte("stress-"), nil, func(key []byte, _ uint64) bool {
+					s := string(key)
+					if prev != "" && s <= prev {
+						t.Errorf("scan order violated: %q after %q", s, prev)
+						return false
+					}
+					prev = s
+					n++
+					return n < 50
+				})
+				a.ScanPrefix([]byte(fmt.Sprintf("stress-%d-", rng.Intn(writers))), func([]byte, uint64) bool {
+					return true
+				})
+			}
+		}(r)
+	}
+	for i := 0; i < rebuilds; i++ {
+		if err := a.Rebuild(); err != nil {
+			t.Fatalf("rebuild %d: %v", i, err)
+		}
+	}
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	if a.Generation() != rebuilds {
+		t.Fatalf("generation %d want %d", a.Generation(), rebuilds)
+	}
+	// Settled state must be internally consistent: every key a scan
+	// reports must Get to the same value.
+	n := 0
+	a.Scan(nil, nil, func(k []byte, v uint64) bool {
+		n++
+		if got, ok := a.Get(append([]byte(nil), k...)); !ok || got != v {
+			t.Fatalf("scan/get mismatch for %q: %d,%v vs %d", k, got, ok, v)
+		}
+		return true
+	})
+	if n != a.Len() {
+		t.Fatalf("full scan saw %d keys, Len %d", n, a.Len())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Drift: degraded traffic triggers an automatic background rebuild that
+// restores the compression rate.
+// ---------------------------------------------------------------------------
+
+func TestAdaptiveAutoDriftRebuild(t *testing.T) {
+	a, err := NewAdaptiveIndex(BTree, AdaptiveOptions{
+		Scheme: core.ThreeGrams,
+		Build:  core.Options{DictLimit: 1 << 10},
+		Shards: 4,
+		Lifecycle: lifecycle.Config{
+			ReservoirSize: 1024, Seed: 11, BuildAfter: 400,
+			WindowSize: 256, CheckEvery: 64, Cooldown: 512, DriftThreshold: 0.15,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseKey := func(i int) []byte {
+		return []byte(fmt.Sprintf("com.gmail@user.%04d.mailbox", i%800))
+	}
+	rng := rand.New(rand.NewSource(13))
+	shiftKey := func() []byte {
+		k := make([]byte, 24)
+		for j := range k {
+			k[j] = byte(0x80 + rng.Intn(0x70)) // byte range the base never uses
+		}
+		return k
+	}
+	// Phase 1: base distribution until the first build fires. The trigger
+	// is asynchronous, so keep traffic flowing until the generation flips
+	// (bounded by a deadline, not an iteration count).
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; a.Generation() == 0; i++ {
+		a.Put(baseKey(i), uint64(i))
+		if i%2000 == 1999 {
+			a.Quiesce()
+			if time.Now().After(deadline) {
+				t.Fatalf("first build never fired: gen %d state %v stats %+v",
+					a.Generation(), a.State(), a.Stats())
+			}
+		}
+	}
+	a.Quiesce()
+	// Keep the base flowing so the baseline window fills, then shift.
+	for i := 0; i < 1000; i++ {
+		a.Put(baseKey(i), uint64(i))
+	}
+	degraded := a.Stats().RecentCPR
+	for i := 0; a.Generation() < 2; i++ {
+		a.Put(shiftKey(), uint64(i))
+		if i == 600 {
+			degraded = a.Stats().RecentCPR // window now mostly shifted keys
+		}
+		if i%2000 == 1999 {
+			a.Quiesce()
+			if time.Now().After(deadline) {
+				t.Fatalf("drift rebuild never fired: gen %d, stats %+v", a.Generation(), a.Stats())
+			}
+		}
+	}
+	a.Quiesce()
+	// Post-rebuild, shifted traffic must compress better than it did on
+	// the stale dictionary.
+	for i := 0; i < 600; i++ {
+		a.Put(shiftKey(), uint64(i))
+	}
+	if rec := a.Stats().RecentCPR; rec <= degraded {
+		t.Fatalf("CPR did not recover: %.3f (degraded) -> %.3f (post-rebuild)", degraded, rec)
+	}
+}
+
+// A scan that overlaps a full cutover must honor deletes and overwrites
+// issued after the cutover: the cursors stay pinned to the dropped
+// generation's trees (the resume tokens live in its encoded space), but
+// every chunk filled after the cutover is re-validated against the new
+// serving generation. The mutation happens inside the scan callback, so
+// the interleaving is deterministic.
+func TestAdaptiveScanSurvivesCutover(t *testing.T) {
+	a, err := NewAdaptiveIndex(BTree, AdaptiveOptions{
+		Scheme: core.DoubleChar, Shards: 8, MigrationBatch: 16, Manual: true,
+		Lifecycle: lifecycle.Config{ReservoirSize: 4096, Seed: 21},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 low keys ("a-...") and 200 high keys ("z-..."): every shard's
+	// prefetched first chunk (scanChunkInit entries) is all low keys, so
+	// mutating only high keys after the first emission is deterministic.
+	var lows, highs [][]byte
+	for i := 0; i < 200; i++ {
+		lows = append(lows, []byte(fmt.Sprintf("a-%03d", i)))
+		highs = append(highs, []byte(fmt.Sprintf("z-%03d", i)))
+	}
+	model := map[string]uint64{}
+	for i, k := range append(append([][]byte{}, lows...), highs...) {
+		if err := a.Put(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		model[string(k)] = uint64(i)
+	}
+	// Precondition for determinism: each shard holds at least
+	// scanChunkInit low keys (fixed hash, fixed key set — stable).
+	perShard := map[int]int{}
+	for _, k := range lows {
+		perShard[a.shardIdx(k)]++
+	}
+	for s := 0; s < a.NumShards(); s++ {
+		if perShard[s] < scanChunkInit {
+			t.Fatalf("shard %d holds only %d low keys; test precondition broken", s, perShard[s])
+		}
+	}
+
+	var got []kv
+	mutated := false
+	n := a.Scan(nil, nil, func(k []byte, v uint64) bool {
+		if !mutated {
+			mutated = true
+			if err := a.Rebuild(); err != nil { // full cutover mid-scan
+				t.Fatalf("rebuild inside scan: %v", err)
+			}
+			for i, hk := range highs {
+				if i%2 == 0 {
+					if _, err := a.Delete(hk); err != nil {
+						t.Fatal(err)
+					}
+					delete(model, string(hk))
+				} else {
+					if err := a.Put(hk, uint64(i)+50000); err != nil {
+						t.Fatal(err)
+					}
+					model[string(hk)] = uint64(i) + 50000
+				}
+			}
+		}
+		got = append(got, kv{string(k), v})
+		return true
+	})
+	want := make([]kv, 0, len(model))
+	for _, k := range lows {
+		want = append(want, kv{string(k), model[string(k)]})
+	}
+	for i, hk := range highs {
+		if i%2 == 1 {
+			want = append(want, kv{string(hk), model[string(hk)]})
+		}
+	}
+	if !equalKV(want, got) {
+		t.Fatalf("scan across cutover: want %d rows, got %d; first divergence: %v",
+			len(want), len(got), firstDiff(want, got))
+	}
+	if n != len(want) {
+		t.Fatalf("Scan reported %d visits, want %d", n, len(want))
+	}
+}
+
+func firstDiff(a, b []kv) string {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("index %d: want %v got %v", i, a[i], b[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d", len(a), len(b))
+}

@@ -359,3 +359,23 @@ func BenchmarkAblationCoder(b *testing.B) {
 }
 
 var _ = core.Schemes // the façade aliases core's scheme type; keep the link explicit
+
+// BenchmarkFigDrift reports the dictionary-drift adaptation series at CI
+// scale: rolling CPR and recovery ratio for the adaptive index against
+// the frozen-dictionary control (`hopebench -fig drift` runs full scale).
+func BenchmarkFigDrift(b *testing.B) {
+	cfg := benchCfg(datagen.Email)
+	cfg.NumKeys = 16000
+	rows := once(b, "drift", func() ([]bench.DriftBenchRow, error) {
+		return bench.RunFigDrift(cfg)
+	})
+	for _, r := range rows {
+		if r.Window == -1 {
+			b.ReportMetric(r.CPRRecent, tag(fmt.Sprintf("CPR:%s/final", r.Config)))
+			if r.RecoveryRatio > 0 {
+				b.ReportMetric(r.RecoveryRatio, tag(fmt.Sprintf("recovery:%s", r.Config)))
+			}
+		}
+	}
+	spin(b)
+}

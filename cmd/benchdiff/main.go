@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.15] [-mode encode|ycsb] baseline.json current.json
+//	benchdiff [-threshold 0.15] [-mode encode|ycsb|drift] baseline.json current.json
 //
 // Mode encode compares BENCH_encode.json records (the encode-path latency
 // record `make bench` writes); mode ycsb compares BENCH_ycsb.json records
-// (the concurrent serving throughput record `make bench-ycsb` writes).
-// Rows are matched by identity key — (dataset, scheme) for encode,
-// (dataset, workload, backend, config, threads) for ycsb. For every gated
+// (the concurrent serving throughput record `make bench-ycsb` writes);
+// mode drift compares BENCH_drift.json records (the dictionary-drift
+// adaptation record `make bench-drift` writes, gating post-adaptation CPR
+// and throughput). Rows are matched by identity key — (dataset, scheme)
+// for encode, (dataset, workload, backend, config, threads) for ycsb,
+// (dataset, config, window) for drift. For every gated
 // metric the tool collects the per-row current/baseline ratios and
 // compares the metric's median ratio against the threshold: latencies fail
 // above 1+threshold, throughputs fail below 1-threshold. The median — not
@@ -54,11 +57,22 @@ var ycsbMetrics = []metric{
 	{name: "ops_per_sec", higherBetter: true},
 }
 
+// Drift gates both axes of adaptation: the rolling/post-adaptation
+// compression rate and the serving throughput under lifecycle overhead.
+// recovery_ratio appears only on the adaptive summary row, so its median
+// IS that row — a direct gate on how close the rebuilt dictionary gets to
+// a from-scratch one.
+var driftMetrics = []metric{
+	{name: "ops_per_sec", higherBetter: true},
+	{name: "cpr_recent", higherBetter: true},
+	{name: "recovery_ratio", higherBetter: true},
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.15, "maximum tolerated median regression (0.15 = ±15%)")
-	mode := flag.String("mode", "encode", "record kind: encode (BENCH_encode.json) or ycsb (BENCH_ycsb.json)")
+	mode := flag.String("mode", "encode", "record kind: encode (BENCH_encode.json), ycsb (BENCH_ycsb.json) or drift (BENCH_drift.json)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] [-mode encode|ycsb] baseline.json current.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] [-mode encode|ycsb|drift] baseline.json current.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,8 +96,14 @@ func main() {
 		if err == nil {
 			cur, err = readYCSBRows(flag.Arg(1))
 		}
+	case "drift":
+		metrics = driftMetrics
+		base, err = readDriftRows(flag.Arg(0))
+		if err == nil {
+			cur, err = readDriftRows(flag.Arg(1))
+		}
 	default:
-		err = fmt.Errorf("unknown -mode %q (want encode or ycsb)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want encode, ycsb or drift)", *mode)
 	}
 	if err != nil {
 		fatal(err)
@@ -148,6 +168,38 @@ func flattenYCSB(rows []bench.YCSBBenchRow) []row {
 			key: fmt.Sprintf("%s/%s/%s/%s/t%d", r.Dataset, r.Workload, r.Backend, r.Config, r.Threads),
 			vals: map[string]float64{
 				"ops_per_sec": r.OpsPerSec,
+			},
+		}
+	}
+	return out
+}
+
+func readDriftRows(path string) ([]row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := bench.ReadDriftBenchJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return flattenDrift(rows), nil
+}
+
+func flattenDrift(rows []bench.DriftBenchRow) []row {
+	out := make([]row, len(rows))
+	for i, r := range rows {
+		key := fmt.Sprintf("%s/%s/w%d", r.Dataset, r.Config, r.Window)
+		if r.Window < 0 {
+			key = fmt.Sprintf("%s/%s/summary", r.Dataset, r.Config)
+		}
+		out[i] = row{
+			key: key,
+			vals: map[string]float64{
+				"ops_per_sec":    r.OpsPerSec,
+				"cpr_recent":     r.CPRRecent,
+				"recovery_ratio": r.RecoveryRatio,
 			},
 		}
 	}

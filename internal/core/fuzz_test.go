@@ -102,3 +102,67 @@ func FuzzOrderPreservation(f *testing.F) {
 		}
 	})
 }
+
+// FuzzEncodedBounds: bound translation preserves the range-query
+// invariants on arbitrary (prefix, key) pairs. For lo, hi :=
+// EncodePrefix(p, maxLen) and any key k with len(k) <= maxLen, under
+// byte-wise comparison of the padded encodings (the form the search trees
+// store and compare):
+//
+//   - k carries p            =>  lo <= Encode(k) <= hi
+//   - k < p (not carrying)   =>  Encode(k) <= lo
+//   - k > p (not carrying)   =>  Encode(k) >= hi
+//
+// and complete-key bounds never invert: a <= b implies
+// EncodeBound(a) <= EncodeBound(b). All comparisons are non-strict because
+// the documented zero-padding edge may collapse distinct keys to equal
+// padded encodings — collapse is allowed, inversion is a bug.
+func FuzzEncodedBounds(f *testing.F) {
+	encs, _ := fuzzEncoders(f)
+	f.Add([]byte("com.gmail@"), []byte("com.gmail@alice"))
+	f.Add([]byte("a"), []byte("a\x00"))
+	f.Add([]byte{}, []byte{0x00})
+	f.Add([]byte{0xff}, []byte{0xff, 0xff})
+	f.Add([]byte("app"), []byte("apz"))
+	f.Add([]byte("zz"), []byte("aa"))
+	f.Fuzz(func(t *testing.T, p, k []byte) {
+		if len(p) > 64 {
+			p = p[:64]
+		}
+		if len(k) > 128 {
+			k = k[:128]
+		}
+		maxLen := len(k)
+		if len(p) > maxLen {
+			maxLen = len(p)
+		}
+		for _, e := range encs {
+			lo, hi := e.EncodePrefix(p, maxLen)
+			ek := e.Encode(k)
+			switch {
+			case bytes.HasPrefix(k, p):
+				if bytes.Compare(ek, lo) < 0 || bytes.Compare(ek, hi) > 0 {
+					t.Fatalf("scheme %v: carrier %q of prefix %q escapes [lo, hi]",
+						e.Scheme(), k, p)
+				}
+			case bytes.Compare(k, p) < 0:
+				if bytes.Compare(ek, lo) > 0 {
+					t.Fatalf("scheme %v: %q < prefix %q but Encode(k) > lo",
+						e.Scheme(), k, p)
+				}
+			default:
+				if bytes.Compare(ek, hi) < 0 {
+					t.Fatalf("scheme %v: %q > prefix %q but Encode(k) < hi",
+						e.Scheme(), k, p)
+				}
+			}
+			// Complete-key bounds: order may collapse, never invert.
+			ba, bb := e.EncodeBound(p), e.EncodeBound(k)
+			if c := bytes.Compare(p, k); c < 0 && bytes.Compare(ba, bb) > 0 ||
+				c > 0 && bytes.Compare(ba, bb) < 0 {
+				t.Fatalf("scheme %v: EncodeBound inverted order of %q and %q",
+					e.Scheme(), p, k)
+			}
+		}
+	})
+}

@@ -46,6 +46,25 @@ func (s *Sampler) Len() int { return len(s.keys) }
 // Samples returns the reservoir contents (read-only view).
 func (s *Sampler) Samples() [][]byte { return s.keys }
 
+// Snapshot returns a deep copy of the reservoir, safe to hand to a
+// background dictionary build while the caller keeps Adding (under its own
+// synchronization — the Sampler itself is not goroutine-safe).
+func (s *Sampler) Snapshot() [][]byte {
+	out := make([][]byte, len(s.keys))
+	for i, k := range s.keys {
+		out[i] = append([]byte(nil), k...)
+	}
+	return out
+}
+
+// Reset empties the reservoir and the seen counter, keeping the capacity
+// and the RNG stream. The adaptive lifecycle resets at every dictionary
+// cutover so the next rebuild reflects only post-cutover traffic.
+func (s *Sampler) Reset() {
+	s.keys = s.keys[:0]
+	s.seen = 0
+}
+
 // Build runs HOPE's build phase over the reservoir.
 func (s *Sampler) Build(scheme Scheme, opt Options) (*Encoder, error) {
 	return Build(scheme, s.keys, opt)

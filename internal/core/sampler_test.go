@@ -86,6 +86,82 @@ func TestEmptyTreeIntegrationFlow(t *testing.T) {
 	}
 }
 
+// Determinism: a fixed seed and input stream must produce an identical
+// reservoir — the adaptive lifecycle relies on this for reproducible
+// dictionary rebuilds in tests and benchmarks.
+func TestSamplerDeterministic(t *testing.T) {
+	build := func() [][]byte {
+		s := NewSampler(64, 77)
+		for i := 0; i < 5000; i++ {
+			s.Add([]byte(fmt.Sprintf("key-%05d", i*13%5000)))
+		}
+		return s.Snapshot()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("reservoir sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("slot %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// Chi-square smoke test for uniform inclusion: over many trials, the
+// per-position inclusion counts must be consistent with the uniform k/n
+// inclusion probability a correct reservoir guarantees. The statistic is
+// compared against a generous critical value so the test only catches
+// gross bias (e.g. favoring early or late arrivals), not RNG noise.
+func TestSamplerInclusionChiSquare(t *testing.T) {
+	const n, k, trials = 200, 40, 500
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		s := NewSampler(k, int64(1000+trial))
+		for i := 0; i < n; i++ {
+			s.Add([]byte{byte(i >> 8), byte(i)})
+		}
+		for _, key := range s.Samples() {
+			counts[int(key[0])<<8|int(key[1])]++
+		}
+	}
+	expected := float64(trials) * k / n // 100 inclusions per position
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 199 degrees of freedom: mean 199, stddev ~20. Accept within ±6σ so
+	// only a structurally biased reservoir fails.
+	if chi2 > 199+6*20 || chi2 < 199-6*20 {
+		t.Fatalf("chi-square statistic %.1f outside [79, 319] for df=199", chi2)
+	}
+}
+
+func TestSamplerSnapshotAndReset(t *testing.T) {
+	s := NewSampler(8, 3)
+	for i := 0; i < 100; i++ {
+		s.Add([]byte{byte(i)})
+	}
+	snap := s.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot size %d", len(snap))
+	}
+	// Snapshot must not alias reservoir storage.
+	snap[0][0] ^= 0xff
+	if s.Samples()[0][0] == snap[0][0] {
+		t.Fatal("snapshot aliases reservoir storage")
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Seen() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	s.Add([]byte("after"))
+	if s.Len() != 1 || s.Seen() != 1 {
+		t.Fatal("sampler unusable after Reset")
+	}
+}
+
 func TestSamplerDefaultCapacity(t *testing.T) {
 	s := NewSampler(0, 1)
 	for i := 0; i < 100; i++ {

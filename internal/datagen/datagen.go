@@ -101,6 +101,73 @@ func SplitEmailByProvider(keys [][]byte) (a, b [][]byte) {
 	return a, b
 }
 
+// DriftStream synthesizes a key stream whose distribution shifts from one
+// population to another — the workload that erodes a frozen dictionary's
+// compression rate and that the adaptive lifecycle exists to absorb. The
+// stream has n keys; a draw at stream position p comes from shifted with
+// probability 0 before rampStart·n, 1 after rampEnd·n, ramping linearly in
+// between. Draws are without replacement within each pool (shuffled
+// copies), so a stream over unique pools stays unique; a pool that runs
+// dry hands its remaining draws to the other. Deterministic in seed.
+//
+// It replaces the ad-hoc two-phase split previously hand-rolled from
+// SplitEmailByProvider: the same (base, shifted) halves plug in directly,
+// but the mix ramp is explicit and shared by the streamingindex example,
+// the drift benchmark figure, and the lifecycle tests.
+func DriftStream(base, shifted [][]byte, n int, rampStart, rampEnd float64, seed int64) [][]byte {
+	if n <= 0 {
+		return nil
+	}
+	if rampStart < 0 {
+		rampStart = 0
+	}
+	if rampEnd < rampStart {
+		rampEnd = rampStart
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bq := shuffled(base, rng)
+	sq := shuffled(shifted, rng)
+	out := make([][]byte, 0, n)
+	lo, hi := rampStart*float64(n), rampEnd*float64(n)
+	for i := 0; len(out) < n; i++ {
+		if len(bq) == 0 && len(sq) == 0 {
+			break // both pools dry: the stream is as long as it can be
+		}
+		var pShift float64
+		switch {
+		case float64(i) < lo:
+			pShift = 0
+		case float64(i) >= hi:
+			pShift = 1
+		default:
+			pShift = (float64(i) - lo) / (hi - lo)
+		}
+		fromShift := rng.Float64() < pShift
+		if fromShift && len(sq) == 0 {
+			fromShift = false
+		}
+		if !fromShift && len(bq) == 0 {
+			fromShift = true
+		}
+		if fromShift {
+			out = append(out, sq[len(sq)-1])
+			sq = sq[:len(sq)-1]
+		} else {
+			out = append(out, bq[len(bq)-1])
+			bq = bq[:len(bq)-1]
+		}
+	}
+	return out
+}
+
+// shuffled returns a shuffled shallow copy (key bytes are shared).
+func shuffled(keys [][]byte, rng *rand.Rand) [][]byte {
+	out := make([][]byte, len(keys))
+	copy(out, keys)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
 func hasAnyPrefix(s string, prefixes ...string) bool {
 	for _, p := range prefixes {
 		if len(s) >= len(p) && s[:len(p)] == p {

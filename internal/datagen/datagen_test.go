@@ -180,3 +180,99 @@ func lcpLen(a, b []byte) int {
 	}
 	return i
 }
+
+func TestDriftStreamDeterministicAndComplete(t *testing.T) {
+	keys := Generate(Email, 4000, 7)
+	base, shifted := SplitEmailByProvider(keys)
+	n := len(keys)
+	a := DriftStream(base, shifted, n, 0.3, 0.7, 11)
+	b := DriftStream(base, shifted, n, 0.3, 0.7, 11)
+	if len(a) != n {
+		t.Fatalf("stream length %d want %d", len(a), n)
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+	// Without replacement over unique pools: the stream is a permutation.
+	seen := map[string]bool{}
+	for _, k := range a {
+		if seen[string(k)] {
+			t.Fatalf("duplicate %q", k)
+		}
+		seen[string(k)] = true
+	}
+	if c := DriftStream(base, shifted, n, 0.3, 0.7, 12); streamEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func streamEqual(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// The shifted fraction must ramp: ~0 before rampStart, ~1 after rampEnd,
+// monotone-ish in between.
+func TestDriftStreamRamp(t *testing.T) {
+	keys := Generate(Email, 6000, 8)
+	base, shifted := SplitEmailByProvider(keys)
+	isShifted := map[string]bool{}
+	for _, k := range shifted {
+		isShifted[string(k)] = true
+	}
+	n := 5000
+	s := DriftStream(base, shifted, n, 0.4, 0.6, 21)
+	frac := func(lo, hi int) float64 {
+		c := 0
+		for _, k := range s[lo:hi] {
+			if isShifted[string(k)] {
+				c++
+			}
+		}
+		return float64(c) / float64(hi-lo)
+	}
+	if f := frac(0, n*3/10); f > 0.05 {
+		t.Fatalf("pre-ramp shifted fraction %.2f", f)
+	}
+	if f := frac(n*7/10, n); f < 0.95 {
+		t.Fatalf("post-ramp shifted fraction %.2f", f)
+	}
+	mid := frac(n*45/100, n*55/100)
+	if mid < 0.2 || mid > 0.8 {
+		t.Fatalf("mid-ramp shifted fraction %.2f", mid)
+	}
+}
+
+// Degenerate parameters must not panic or stall: empty pools, zero n,
+// inverted ramp.
+func TestDriftStreamEdgeCases(t *testing.T) {
+	keys := Generate(Email, 200, 9)
+	base, shifted := SplitEmailByProvider(keys)
+	if got := DriftStream(base, shifted, 0, 0.2, 0.8, 1); got != nil {
+		t.Fatal("n=0 should yield nil")
+	}
+	// Inverted ramp clamps to a step at rampStart.
+	s := DriftStream(base, shifted, 100, 0.5, 0.2, 1)
+	if len(s) != 100 {
+		t.Fatalf("inverted ramp length %d", len(s))
+	}
+	// Only one pool: the stream drains it regardless of the ramp.
+	s = DriftStream(base, nil, len(base), 0, 1, 1)
+	if len(s) != len(base) {
+		t.Fatalf("base-only stream %d want %d", len(s), len(base))
+	}
+	// n beyond both pools: stream stops when dry.
+	s = DriftStream(base, shifted, len(keys)+500, 0.2, 0.8, 1)
+	if len(s) != len(keys) {
+		t.Fatalf("overlong stream %d want %d", len(s), len(keys))
+	}
+}

@@ -1,0 +1,342 @@
+// Package lifecycle is the control plane of the adaptive dictionary
+// lifecycle: the state machine an adaptive index moves through
+// (Sampling → Building → Migrating → Steady, with rebuilds looping
+// Steady → Building → Migrating → Steady), and the drift tracker that
+// decides *when* to move — a reservoir sample of live write traffic plus a
+// rolling compression-rate (CPR) estimate compared against the rate the
+// serving dictionary achieved on its own build sample.
+//
+// The package is deliberately index-agnostic: it never touches trees or
+// encoders beyond reading lengths and handing out sample snapshots, so the
+// same controller could drive any order-preserving-encoded store. The
+// mechanism — generation maps, dual-writes, per-shard copy batches — lives
+// with the data plane in the hope package (adaptive.go); the policy lives
+// here.
+package lifecycle
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// State is one phase of the dictionary lifecycle.
+type State int32
+
+const (
+	// Sampling: no dictionary yet — the index serves uncompressed while
+	// the reservoir accumulates enough keys for the first build (the
+	// paper's Section 5 empty-tree integration path).
+	Sampling State = iota
+	// Steady: a dictionary is serving and no rebuild is in flight.
+	Steady
+	// Building: a background goroutine is running HOPE's build phase over
+	// a reservoir snapshot; traffic is unaffected.
+	Building
+	// Migrating: a new-generation index exists and entries are being
+	// re-encoded into it; writes land in both generations and reads
+	// consult the per-shard generation map.
+	Migrating
+)
+
+func (s State) String() string {
+	switch s {
+	case Sampling:
+		return "Sampling"
+	case Steady:
+		return "Steady"
+	case Building:
+		return "Building"
+	case Migrating:
+		return "Migrating"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Signal is the tracker's per-observation verdict.
+type Signal int
+
+const (
+	// None: keep serving.
+	None Signal = iota
+	// FirstBuild: enough samples accumulated for the initial dictionary.
+	FirstBuild
+	// Drift: the rolling CPR has fallen below the build-time CPR by more
+	// than the configured threshold.
+	Drift
+)
+
+// Config tunes the lifecycle policy. The zero value is filled with
+// defaults by Fill.
+type Config struct {
+	// ReservoirSize caps the sample the next dictionary is built from
+	// (default 4096; 10K–100K saturates CPR per paper Appendix A, smaller
+	// keeps rebuild cost low at serving time).
+	ReservoirSize int
+	// Seed drives the reservoir's RNG (default 1).
+	Seed int64
+	// BuildAfter is the number of keys observed before the first
+	// dictionary build fires in the Sampling state (default 10000).
+	BuildAfter int
+	// WindowSize is the rolling CPR window in keys (default 8192).
+	WindowSize int
+	// DriftThreshold is the relative CPR degradation that arms a rebuild:
+	// recent < build × (1 − threshold) (default 0.10).
+	DriftThreshold float64
+	// CheckEvery is how many observations pass between drift evaluations
+	// (default 512; checks are cheap but not free).
+	CheckEvery int
+	// Cooldown is the minimum number of observations between a cutover
+	// and the next drift-triggered rebuild, so a rebuild whose sample
+	// still reflects a moving distribution cannot thrash (default
+	// 2 × WindowSize).
+	Cooldown int
+}
+
+// Fill populates zero fields with defaults and returns the config.
+func (c Config) Fill() Config {
+	if c.ReservoirSize <= 0 {
+		c.ReservoirSize = 4096
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BuildAfter <= 0 {
+		c.BuildAfter = 10000
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = 8192
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = 0.10
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 512
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * c.WindowSize
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the controller.
+type Stats struct {
+	State      State
+	Generation int   // serving dictionary generation (0 = uncompressed)
+	Seen       int64 // keys observed since the last cutover (or start)
+	Reservoir  int   // current reservoir occupancy
+	BuildCPR   float64
+	RecentCPR  float64
+	Rebuilds   int // completed cutovers
+	Aborts     int // rebuilds that rolled back
+}
+
+// Controller combines the state machine and the drift tracker. All methods
+// are safe for concurrent use. Transition methods return an error when the
+// move is not legal from the current state, which serializes rebuilds: only
+// one goroutine can win the Steady/Sampling → Building edge.
+type Controller struct {
+	cfg Config
+
+	mu         sync.Mutex
+	state      State
+	serving    State // the state the in-flight rebuild started from
+	generation int
+	sampler    *core.Sampler
+	window     *core.CPRWindow
+	buildCPR   float64 // CPR of the serving dictionary on its build sample
+	sinceCut   int64   // observations since last cutover
+	rebuilds   int
+	aborts     int
+}
+
+// NewController returns a controller in the given initial serving state
+// (Sampling when no dictionary exists yet, Steady when the index starts
+// with a pre-built encoder).
+func NewController(cfg Config, initial State) *Controller {
+	cfg = cfg.Fill()
+	return &Controller{
+		cfg:     cfg,
+		state:   initial,
+		sampler: core.NewSampler(cfg.ReservoirSize, cfg.Seed),
+		window:  core.NewCPRWindow(cfg.WindowSize),
+	}
+}
+
+// Config returns the filled configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// State returns the current lifecycle state.
+func (c *Controller) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Generation returns the serving dictionary generation (0 before the first
+// build).
+func (c *Controller) Generation() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.generation
+}
+
+// Observe feeds one written key into the reservoir and the CPR window and
+// returns the policy verdict. storedLen is the stored (encoded, padded)
+// length; pass the raw length again while serving uncompressed. The
+// verdict is advisory — acting on it still has to win BeginBuild.
+func (c *Controller) Observe(key []byte, storedLen int) Signal {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sampler.Add(key)
+	c.window.Observe(len(key), storedLen)
+	c.sinceCut++
+	if c.sinceCut%int64(c.cfg.CheckEvery) != 0 {
+		return None
+	}
+	return c.checkLocked()
+}
+
+// Check evaluates the policy immediately, without the CheckEvery cadence
+// gate — the post-bulk-load probe and an async trigger's re-validation
+// (after winning the rebuild lock the world may have moved) use it.
+func (c *Controller) Check() Signal {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checkLocked()
+}
+
+func (c *Controller) checkLocked() Signal {
+	switch c.state {
+	case Sampling:
+		if c.sampler.Seen() >= int64(c.cfg.BuildAfter) {
+			return FirstBuild
+		}
+	case Steady:
+		if c.buildCPR == 0 {
+			// An index that started from a pre-built encoder has no build
+			// sample to baseline against; adopt the first full window of
+			// live traffic as the baseline (self-calibration).
+			if c.window.Full() {
+				c.buildCPR = c.window.Rate()
+			}
+			return None
+		}
+		if c.sinceCut >= int64(c.cfg.Cooldown) && c.window.Full() &&
+			c.window.Rate() < c.buildCPR*(1-c.cfg.DriftThreshold) {
+			return Drift
+		}
+	}
+	return None
+}
+
+// ObserveBulk feeds a bulk-loaded key into the reservoir only (bulk loads
+// bypass the rolling window: their encode lengths are produced inside the
+// parallel pipeline, and a bulk load is a deliberate act, not drift).
+func (c *Controller) ObserveBulk(key []byte) {
+	c.mu.Lock()
+	c.sampler.Add(key)
+	c.sinceCut++
+	c.mu.Unlock()
+}
+
+// SampleSnapshot deep-copies the reservoir for a background build.
+func (c *Controller) SampleSnapshot() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sampler.Snapshot()
+}
+
+// Seen returns how many keys the reservoir has been offered since the last
+// cutover or start.
+func (c *Controller) Seen() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sampler.Seen()
+}
+
+// RecentCPR returns the rolling compression rate (0 while uncompressed or
+// before any observation).
+func (c *Controller) RecentCPR() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.window.Rate()
+}
+
+// Stats returns a consistent snapshot.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		State:      c.state,
+		Generation: c.generation,
+		Seen:       c.sinceCut,
+		Reservoir:  c.sampler.Len(),
+		BuildCPR:   c.buildCPR,
+		RecentCPR:  c.window.Rate(),
+		Rebuilds:   c.rebuilds,
+		Aborts:     c.aborts,
+	}
+}
+
+// BeginBuild moves Sampling/Steady → Building. Exactly one caller wins;
+// losers get an error naming the state that blocked them.
+func (c *Controller) BeginBuild() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != Sampling && c.state != Steady {
+		return fmt.Errorf("lifecycle: cannot start a build while %v", c.state)
+	}
+	c.serving = c.state
+	c.state = Building
+	return nil
+}
+
+// BeginMigration moves Building → Migrating.
+func (c *Controller) BeginMigration() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != Building {
+		return fmt.Errorf("lifecycle: cannot start migrating while %v", c.state)
+	}
+	c.state = Migrating
+	return nil
+}
+
+// Cutover completes a rebuild: Building or Migrating → Steady (a build
+// may cut over directly when the index was empty and there was nothing to
+// migrate). buildCPR is the new dictionary's compression rate on its own
+// build sample — the drift baseline until the next cutover. The reservoir
+// and the rolling window reset so the next rebuild reflects only
+// post-cutover traffic.
+func (c *Controller) Cutover(buildCPR float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != Building && c.state != Migrating {
+		return fmt.Errorf("lifecycle: cannot cut over while %v", c.state)
+	}
+	c.state = Steady
+	c.generation++
+	c.buildCPR = buildCPR
+	c.sinceCut = 0
+	c.rebuilds++
+	c.sampler.Reset()
+	c.window.Reset()
+	return nil
+}
+
+// Abort rolls a failed build or migration back to the serving state the
+// rebuild started from (Sampling before the first cutover, Steady after).
+// The reservoir and window are kept: the traffic they describe is still
+// the traffic being served.
+func (c *Controller) Abort() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != Building && c.state != Migrating {
+		return fmt.Errorf("lifecycle: cannot abort while %v", c.state)
+	}
+	c.state = c.serving
+	c.aborts++
+	return nil
+}

@@ -1,0 +1,208 @@
+package lifecycle
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Fill()
+	if c.ReservoirSize <= 0 || c.BuildAfter <= 0 || c.WindowSize <= 0 ||
+		c.DriftThreshold <= 0 || c.CheckEvery <= 0 || c.Cooldown < c.WindowSize {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+	// Explicit values survive.
+	c = Config{ReservoirSize: 7, BuildAfter: 9, WindowSize: 11, DriftThreshold: 0.5, CheckEvery: 13, Cooldown: 17}.Fill()
+	if c.ReservoirSize != 7 || c.BuildAfter != 9 || c.WindowSize != 11 ||
+		c.DriftThreshold != 0.5 || c.CheckEvery != 13 || c.Cooldown != 17 {
+		t.Fatalf("explicit values clobbered: %+v", c)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		Sampling: "Sampling", Steady: "Steady", Building: "Building", Migrating: "Migrating",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d: %q", s, s.String())
+		}
+	}
+}
+
+// The canonical path: Sampling → Building → Migrating → Steady, then a
+// drift rebuild Steady → Building → Migrating → Steady.
+func TestTransitionPath(t *testing.T) {
+	c := NewController(Config{}, Sampling)
+	if c.State() != Sampling || c.Generation() != 0 {
+		t.Fatal("bad initial state")
+	}
+	steps := []func() error{c.BeginBuild, c.BeginMigration, func() error { return c.Cutover(2.0) }}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if c.State() != Steady || c.Generation() != 1 {
+		t.Fatalf("after first cutover: %v gen %d", c.State(), c.Generation())
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("rebuild step %d: %v", i, err)
+		}
+	}
+	if c.Generation() != 2 || c.Stats().Rebuilds != 2 {
+		t.Fatalf("after second cutover: %+v", c.Stats())
+	}
+}
+
+func TestIllegalTransitions(t *testing.T) {
+	c := NewController(Config{}, Steady)
+	if err := c.BeginMigration(); err == nil {
+		t.Fatal("Steady → Migrating allowed")
+	}
+	if err := c.Cutover(1); err == nil {
+		t.Fatal("Steady → Cutover allowed")
+	}
+	if err := c.Abort(); err == nil {
+		t.Fatal("Steady → Abort allowed")
+	}
+	if err := c.BeginBuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BeginBuild(); err == nil {
+		t.Fatal("double BeginBuild allowed")
+	}
+}
+
+// Only one of many racing goroutines may win the → Building edge.
+func TestBeginBuildSerializes(t *testing.T) {
+	c := NewController(Config{}, Steady)
+	var wg sync.WaitGroup
+	wins := make(chan struct{}, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c.BeginBuild() == nil {
+				wins <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	n := 0
+	for range wins {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("%d goroutines won BeginBuild", n)
+	}
+}
+
+// Abort returns to the state the rebuild started from: Sampling before the
+// first cutover, Steady after.
+func TestAbortRestoresServingState(t *testing.T) {
+	c := NewController(Config{}, Sampling)
+	c.BeginBuild()
+	if err := c.Abort(); err != nil || c.State() != Sampling {
+		t.Fatalf("abort from gen 0: %v, state %v", err, c.State())
+	}
+	c.BeginBuild()
+	c.BeginMigration()
+	c.Cutover(2.0)
+	c.BeginBuild()
+	c.BeginMigration()
+	if err := c.Abort(); err != nil || c.State() != Steady {
+		t.Fatalf("abort from gen 1: %v, state %v", err, c.State())
+	}
+	if s := c.Stats(); s.Aborts != 2 || s.Generation != 1 {
+		t.Fatalf("stats after aborts: %+v", s)
+	}
+}
+
+// In Sampling, Observe signals FirstBuild once BuildAfter keys passed; in
+// Steady, it signals Drift only after cooldown, with a full window, below
+// the threshold.
+func TestObserveSignals(t *testing.T) {
+	cfg := Config{BuildAfter: 100, CheckEvery: 10, WindowSize: 50, Cooldown: 100, DriftThreshold: 0.2}
+	c := NewController(cfg, Sampling)
+	sig := None
+	for i := 0; i < 100; i++ {
+		if s := c.Observe([]byte(fmt.Sprintf("k%03d", i)), 4); s != None {
+			sig = s
+			break
+		}
+	}
+	if sig != FirstBuild {
+		t.Fatalf("no FirstBuild after BuildAfter keys: %v", sig)
+	}
+
+	// Steady at 2.0 build CPR: drift must not fire while recent ≈ build.
+	c = NewController(cfg, Steady)
+	c.BeginBuild()
+	c.Cutover(2.0)
+	for i := 0; i < 200; i++ {
+		if s := c.Observe([]byte("eightby8"), 4); s != None { // CPR 2.0
+			t.Fatalf("false drift at observation %d: %v", i, s)
+		}
+	}
+	// Degrade to CPR 1.0; after the window rolls over, Drift fires.
+	fired := false
+	for i := 0; i < 200; i++ {
+		if s := c.Observe([]byte("eightby8"), 8); s == Drift {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("drift never fired after CPR halved")
+	}
+}
+
+// Cooldown suppresses drift right after a cutover even when the window
+// looks degraded.
+func TestDriftCooldown(t *testing.T) {
+	cfg := Config{BuildAfter: 10, CheckEvery: 5, WindowSize: 20, Cooldown: 1000, DriftThreshold: 0.1}
+	c := NewController(cfg, Steady)
+	c.BeginBuild()
+	c.Cutover(3.0)
+	for i := 0; i < 500; i++ { // all badly compressed, but inside cooldown
+		if s := c.Observe([]byte("eightby8"), 8); s != None {
+			t.Fatalf("drift fired during cooldown at %d", i)
+		}
+	}
+}
+
+func TestCutoverResetsTracking(t *testing.T) {
+	c := NewController(Config{WindowSize: 8}, Steady)
+	for i := 0; i < 50; i++ {
+		c.Observe([]byte("someklongkey"), 3)
+	}
+	if c.Seen() != 50 || c.RecentCPR() == 0 {
+		t.Fatalf("pre-cutover tracking: seen %d cpr %f", c.Seen(), c.RecentCPR())
+	}
+	c.BeginBuild()
+	if err := c.Cutover(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seen() != 0 || c.RecentCPR() != 0 {
+		t.Fatalf("cutover did not reset: seen %d cpr %f", c.Seen(), c.RecentCPR())
+	}
+	if s := c.Stats(); s.BuildCPR != 2.5 || s.Generation != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestObserveBulkFeedsReservoirOnly(t *testing.T) {
+	c := NewController(Config{}, Sampling)
+	for i := 0; i < 30; i++ {
+		c.ObserveBulk([]byte{byte(i)})
+	}
+	if c.Seen() != 30 {
+		t.Fatalf("seen %d", c.Seen())
+	}
+	if c.RecentCPR() != 0 {
+		t.Fatal("bulk observations must not touch the CPR window")
+	}
+}

@@ -132,11 +132,6 @@ func (s *ShardedIndex) Encoder() *core.Encoder { return s.enc }
 // NumShards returns the shard count (a power of two).
 func (s *ShardedIndex) NumShards() int { return len(s.shards) }
 
-// shardOf routes an original key to its lock stripe (see shardIdx).
-func (s *ShardedIndex) shardOf(key []byte) *indexShard {
-	return s.shards[s.shardIdx(key)]
-}
-
 func (s *ShardedIndex) trackLen(n int) {
 	for {
 		cur := s.maxKeyLen.Load()
@@ -151,8 +146,19 @@ func (s *ShardedIndex) trackLen(n int) {
 // lock, so concurrent writers to different shards never share bit-buffer
 // state.
 func (s *ShardedIndex) Put(key []byte, val uint64) error {
+	_, err := s.putShard(s.shardIdx(key), key, val)
+	return err
+}
+
+// putShard is Put routed to a known shard, reporting the stored (encoded)
+// key length — the per-shard migration hook AdaptiveIndex drives: the
+// caller has already routed the original key (routing is
+// dictionary-independent, so every generation agrees on the shard), and
+// the returned length feeds the lifecycle tracker's rolling
+// compression-rate estimate without a second encode.
+func (s *ShardedIndex) putShard(shard int, key []byte, val uint64) (storedLen int, err error) {
 	s.trackLen(len(key))
-	sh := s.shardOf(key)
+	sh := s.shards[shard]
 	sh.mu.Lock()
 	var ek []byte
 	if sh.enc != nil {
@@ -160,16 +166,21 @@ func (s *ShardedIndex) Put(key []byte, val uint64) error {
 	} else {
 		ek = append([]byte(nil), key...)
 	}
-	err := sh.be.insert(ek, val)
+	err = sh.be.insert(ek, val)
 	sh.mu.Unlock()
-	return err
+	return len(ek), err
 }
 
 // Get returns the value stored under key. Zero allocations in steady
 // state: the encode destination comes from a pool, the shard probe runs
 // under a read lock, and the buffer returns to the pool afterwards.
 func (s *ShardedIndex) Get(key []byte) (uint64, bool) {
-	sh := s.shardOf(key)
+	return s.getShard(s.shardIdx(key), key)
+}
+
+// getShard is Get routed to a known shard (see putShard).
+func (s *ShardedIndex) getShard(shard int, key []byte) (uint64, bool) {
+	sh := s.shards[shard]
 	if s.cenc == nil {
 		sh.mu.RLock()
 		v, ok := sh.be.get(key)
@@ -191,7 +202,12 @@ func (s *ShardedIndex) Get(key []byte) (uint64, bool) {
 // buffers — see TestPointOpScratchNotRetained), but holds the shard's
 // write lock for the tree mutation.
 func (s *ShardedIndex) Delete(key []byte) (bool, error) {
-	sh := s.shardOf(key)
+	return s.deleteShard(s.shardIdx(key), key)
+}
+
+// deleteShard is Delete routed to a known shard (see putShard).
+func (s *ShardedIndex) deleteShard(shard int, key []byte) (bool, error) {
+	sh := s.shards[shard]
 	if s.cenc == nil {
 		sh.mu.Lock()
 		ok, err := sh.be.remove(key)
@@ -269,19 +285,26 @@ func (s *ShardedIndex) Bulk(keys [][]byte, vals []uint64) error {
 	return nil
 }
 
-// shardIdx maps an original key to its lock stripe: FNV-1a over the key
-// bytes, high half folded in (FNV's low bits alone mix short keys
-// poorly), masked to the power-of-two shard count. Hashing the *original*
-// bytes (not the encoding) keeps routing independent of the dictionary,
-// so a rebuilt encoder never re-partitions live data. This is the single
-// routing function — point ops and Bulk partitioning must agree exactly.
+// shardIdx maps an original key to its lock stripe (see shardHash).
+// Hashing the *original* bytes (not the encoding) keeps routing
+// independent of the dictionary, so a rebuilt encoder never re-partitions
+// live data. This is the single routing function — point ops, Bulk
+// partitioning, and AdaptiveIndex's generation map must agree exactly.
 func (s *ShardedIndex) shardIdx(key []byte) int {
+	return int(shardHash(key) & s.mask)
+}
+
+// shardHash is the shared routing hash: FNV-1a over the key bytes, high
+// half folded in (FNV's low bits alone mix short keys poorly). Callers
+// mask it to their power-of-two shard count; AdaptiveIndex relies on every
+// generation with the same shard count routing a key identically.
+func shardHash(key []byte) uint64 {
 	h := uint64(0xcbf29ce484222325)
 	for _, b := range key {
 		h ^= uint64(b)
 		h *= 0x100000001b3
 	}
-	return int((h ^ h>>32) & s.mask)
+	return h ^ h>>32
 }
 
 // Len returns the number of stored keys (summed over shards; a moment's
@@ -383,6 +406,21 @@ type shardCursor struct {
 	done  bool // underlying shard exhausted; current chunk is the last
 }
 
+// scanShard drains one shard's stored keys in [from, hi) (or [from, hi]
+// when hiIncl; nil hi unbounded) in encoded order under the shard's read
+// lock, until fn returns false. It is the per-shard migration hook behind
+// AdaptiveIndex's cross-generation merge: the adaptive layer owns the
+// chunking and resume bookkeeping (its cursors resolve stored values
+// against the record store mid-drain), so this hook stays a single locked
+// pass. Keys passed to fn alias tree memory and are only valid during the
+// callback, which must not call back into the index.
+func (s *ShardedIndex) scanShard(shard int, from, hi []byte, hiIncl bool, fn func(k []byte, v uint64) bool) {
+	sh := s.shards[shard]
+	sh.mu.RLock()
+	sh.be.scan(from, hi, hiIncl, fn)
+	sh.mu.RUnlock()
+}
+
 func (c *shardCursor) fill() {
 	c.arena = c.arena[:0]
 	c.keys = c.keys[:0]
@@ -455,7 +493,7 @@ func (s *ShardedIndex) mergeScan(lo, hi []byte, hiIncl bool, fn func(key []byte,
 		}
 	}
 	for i := len(heap)/2 - 1; i >= 0; i-- {
-		siftDown(heap, i)
+		siftDown(heap, i, cursorLess)
 	}
 	count := 0
 	for len(heap) > 0 {
@@ -465,12 +503,12 @@ func (s *ShardedIndex) mergeScan(lo, hi []byte, hiIncl bool, fn func(key []byte,
 			return count
 		}
 		if _, ok := heap[0].peek(); ok {
-			siftDown(heap, 0)
+			siftDown(heap, 0, cursorLess)
 		} else {
 			heap[0] = heap[len(heap)-1]
 			heap = heap[:len(heap)-1]
 			if len(heap) > 0 {
-				siftDown(heap, 0)
+				siftDown(heap, 0, cursorLess)
 			}
 		}
 	}
@@ -488,14 +526,17 @@ func cursorLess(a, b *shardCursor) bool {
 	return a.order < b.order
 }
 
-func siftDown(h []*shardCursor, i int) {
+// siftDown restores the min-heap property at index i for any cursor type;
+// the ShardedIndex merge (cursorLess, encoded keys) and the AdaptiveIndex
+// cross-generation merge (adaptiveCursorLess, original keys) share it.
+func siftDown[C any](h []C, i int, less func(a, b C) bool) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < len(h) && cursorLess(h[l], h[min]) {
+		if l < len(h) && less(h[l], h[min]) {
 			min = l
 		}
-		if r < len(h) && cursorLess(h[r], h[min]) {
+		if r < len(h) && less(h[r], h[min]) {
 			min = r
 		}
 		if min == i {
