@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint bench bench-tree bench-ycsb bench-drift bench-check figures clean
+.PHONY: all build test lint bench bench-tree bench-ycsb bench-drift bench-scan bench-check figures clean
 
 all: lint test build
 
@@ -45,6 +45,15 @@ bench-ycsb:
 bench-drift:
 	$(GO) run ./cmd/hopebench -fig drift -keys 50000 -json BENCH_drift.json
 
+# bench-scan records the scan-partitioning trajectory: YCSB-E throughput
+# against hash- vs range-partitioned ShardedIndexes across shard counts,
+# written to BENCH_scan.json. The range rows exercise the pruned planner
+# and the single-shard merge-free fast path; benchdiff -mode scan gates
+# the medians.
+bench-scan:
+	$(GO) run ./cmd/hopebench -fig scan -dataset email -keys 30000 -ops 20000 \
+		-shards 1,4,8,16 -json BENCH_scan.json
+
 # bench-check is the perf-regression gate: regenerate the encode and YCSB
 # records at their `make bench`/`make bench-ycsb` parameters and fail on a
 # >15% median regression in any encode latency or YCSB throughput figure
@@ -64,10 +73,15 @@ bench-check:
 	$(GO) run ./cmd/hopebench -fig drift -keys 50000 -json BENCH_drift.fresh.json
 	$(GO) run ./cmd/benchdiff -mode drift BENCH_drift.json BENCH_drift.fresh.json
 	@rm -f BENCH_drift.fresh.json
+	$(GO) run ./cmd/hopebench -fig scan -dataset email -keys 30000 -ops 20000 \
+		-shards 1,4,8,16 -json BENCH_scan.fresh.json
+	$(GO) run ./cmd/benchdiff -mode scan BENCH_scan.json BENCH_scan.fresh.json
+	@rm -f BENCH_scan.fresh.json
 
 # figures regenerates the paper's evaluation artifacts at laptop scale.
 figures:
 	$(GO) run ./cmd/hopebench -fig all -dataset email -keys 100000
 
 clean:
-	rm -f BENCH_encode.fresh.json BENCH_ycsb.fresh.json BENCH_drift.fresh.json
+	rm -f BENCH_encode.fresh.json BENCH_ycsb.fresh.json BENCH_drift.fresh.json \
+		BENCH_scan.fresh.json

@@ -39,11 +39,25 @@ import (
 // *original* key — unlike Index and ShardedIndex, which hand out stored
 // encodings. Keys passed to callbacks are only valid during the callback.
 //
+// # Stripes versus tree shards
+//
+// The adaptive layer's unit of bookkeeping is the *stripe*: a fixed,
+// generation-independent hash of the original key bytes (see shardHash)
+// selects one adaptiveShard, whose lock guards that stripe's record slots
+// in every generation and whose read/write pointers are the generation
+// map. Each generation's ShardedIndex routes the same key to its *tree
+// shards* by its own Partitioner — hash by default, or range with split
+// points re-sampled from the lifecycle reservoir at every rebuild
+// (AdaptiveOptions.Partition). Decoupling the two is what lets a rebuild
+// change the key partition: records keep stable stripe-addressed ids
+// while the trees re-balance underneath, so a drift migration doubles as
+// shard re-balancing.
+//
 // # Migration protocol
 //
-// Shard routing hashes original key bytes (see shardHash), so every
-// generation with the same shard count routes a key identically, and one
-// generation map per shard suffices:
+// Stripe routing is identical in every generation (it never consults a
+// dictionary or a partitioner), so one generation map per stripe
+// suffices:
 //
 //   - Rebuild builds the new dictionary from a reservoir snapshot with no
 //     locks held, then enters migration: every shard starts dual-writing
@@ -116,6 +130,15 @@ type AdaptiveOptions struct {
 	// Shards is the shard count (rounded up to a power of two; <= 0
 	// selects DefaultShards). Every generation uses the same count.
 	Shards int
+	// Partition selects each generation's tree-shard layout:
+	// HashPartitioned (default) or RangePartitioned, which samples split
+	// points from the lifecycle reservoir at every rebuild so short scans
+	// stay confined to the overlapping shards and migrations re-balance
+	// the partition. Before the first rebuild a range-partitioned index
+	// seeded by Bulk partitions on the bulk corpus; one populated by Puts
+	// alone serves from a single tree shard until the first rebuild
+	// spreads it.
+	Partition PartitionMode
 	// MigrationBatch bounds how many records one migration step copies
 	// while holding a shard's lock (default 512) — the writer-visible
 	// pause ceiling.
@@ -145,6 +168,7 @@ type AdaptiveStats struct {
 	lifecycle.Stats
 	Backend        Backend
 	Shards         int
+	Partition      PartitionMode
 	MigratedShards int // shards flipped in the in-flight migration (0 when steady)
 }
 
@@ -207,7 +231,7 @@ func NewAdaptiveIndex(backend Backend, opts AdaptiveOptions) (*AdaptiveIndex, er
 		initial = lifecycle.Steady
 	}
 	a.ctl = lifecycle.NewController(opts.Lifecycle, initial)
-	gen, err := a.newGeneration(opts.Encoder)
+	gen, err := a.newGeneration(opts.Encoder, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -218,8 +242,24 @@ func NewAdaptiveIndex(backend Backend, opts AdaptiveOptions) (*AdaptiveIndex, er
 	return a, nil
 }
 
-func (a *AdaptiveIndex) newGeneration(enc *core.Encoder) (*generation, error) {
-	idx, err := NewShardedIndex(a.backend, enc, a.opts.Shards)
+// newGeneration builds one dictionary era's sharded index. splits, when
+// the index is range-partitioned, are the generation's split points
+// (re-sampled from the reservoir at every rebuild); nil leaves a
+// range partitioner unseeded (generation 0 before any bulk corpus
+// exists — Bulk seeds it, or the first rebuild replaces it). The record
+// stores are always stripe-indexed (opts.Shards stripes), regardless of
+// how the partitioner lays out the trees.
+func (a *AdaptiveIndex) newGeneration(enc *core.Encoder, splits [][]byte) (*generation, error) {
+	var p Partitioner
+	switch {
+	case a.opts.Partition == RangePartitioned && splits != nil:
+		p = NewRangePartitioner(splits)
+	case a.opts.Partition == RangePartitioned:
+		p = NewUnseededRangePartitioner(a.opts.Shards)
+	default:
+		p = NewHashPartitioner(a.opts.Shards)
+	}
+	idx, err := NewShardedIndexWithPartitioner(a.backend, enc, p)
 	if err != nil {
 		return nil, err
 	}
@@ -228,6 +268,27 @@ func (a *AdaptiveIndex) newGeneration(enc *core.Encoder) (*generation, error) {
 		g.cenc = core.NewConcurrentEncoder(enc.Clone())
 	}
 	return g, nil
+}
+
+// genShard routes a key to one generation's tree shard, reusing the
+// stripe hash the caller already computed when the generation is
+// hash-partitioned (the common case pays no second hash).
+func genShard(g *generation, key []byte, h uint64) int {
+	if hp, ok := g.idx.part.(*HashPartitioner); ok {
+		return hp.shardOfHash(h)
+	}
+	return g.idx.part.Shard(key)
+}
+
+// routeRecord routes a record whose stripe is already known: for a
+// hash-partitioned generation the tree shard IS the stripe (same FNV,
+// same power-of-two count), so no hash at all is recomputed; range
+// partitioners binary-search the key.
+func routeRecord(g *generation, stripe int, key []byte) int {
+	if _, ok := g.idx.part.(*HashPartitioner); ok {
+		return stripe
+	}
+	return g.idx.part.Shard(key)
 }
 
 // Backend returns the wrapped tree's name.
@@ -259,8 +320,19 @@ func (a *AdaptiveIndex) Stats() AdaptiveStats {
 		Stats:          a.ctl.Stats(),
 		Backend:        a.backend,
 		Shards:         len(a.shards),
+		Partition:      a.opts.Partition,
 		MigratedShards: int(a.migrated.Load()),
 	}
+}
+
+// ShardLens returns the serving generation's per-tree-shard key counts —
+// the partition's skew profile (see ShardedIndex.ShardLens). After a
+// range-mode rebuild this reflects the re-sampled split points.
+func (a *AdaptiveIndex) ShardLens() []int {
+	a.genMu.Lock()
+	idx := a.cur.idx
+	a.genMu.Unlock()
+	return idx.ShardLens()
 }
 
 func (a *AdaptiveIndex) shardIdx(key []byte) int { return int(shardHash(key) & a.mask) }
@@ -277,30 +349,33 @@ func (a *AdaptiveIndex) trackLen(n int) {
 // Put inserts or overwrites one key. An overwrite only updates the record
 // (both generations' trees already point at it); an insert appends a
 // record and inserts into every write generation, so a migration in
-// flight never loses it.
+// flight never loses it. Each generation is resolved in a single pass —
+// one encode, one tree-lock hold — through ShardedIndex.upsertShard: the
+// presence probe and the insert-if-absent share the work the old
+// probe-then-put sequence paid twice.
 func (a *AdaptiveIndex) Put(key []byte, val uint64) error {
 	if a.backend == SuRF {
 		return ErrImmutableBackend
 	}
 	a.trackLen(len(key))
-	i := a.shardIdx(key)
+	h := shardHash(key)
+	i := int(h & a.mask)
 	sh := a.shards[i]
 	storedLen, inserted := 0, false
 	sh.mu.Lock()
 	for gi, g := range sh.write {
-		id, ok := g.idx.getShard(i, key)
-		if ok {
-			g.recs[i].recs[slotOf(id)].val = val
-			continue
-		}
 		slot := len(g.recs[i].recs)
-		g.recs[i].recs = append(g.recs[i].recs, record{key: append([]byte(nil), key...), val: val})
-		g.recs[i].live++
-		n, err := g.idx.putShard(i, key, recordID(i, slot))
+		existing, existed, n, err := g.idx.upsertShard(genShard(g, key, h), key, recordID(i, slot))
 		if err != nil {
 			sh.mu.Unlock()
 			return err
 		}
+		if existed {
+			g.recs[i].recs[slotOf(existing)].val = val
+			continue
+		}
+		g.recs[i].recs = append(g.recs[i].recs, record{key: append([]byte(nil), key...), val: val})
+		g.recs[i].live++
 		if gi == 0 {
 			storedLen, inserted = n, true
 		}
@@ -321,12 +396,13 @@ func (a *AdaptiveIndex) Put(key []byte, val uint64) error {
 // Get returns the value stored under key, consulting the shard's read
 // generation.
 func (a *AdaptiveIndex) Get(key []byte) (uint64, bool) {
-	i := a.shardIdx(key)
+	h := shardHash(key)
+	i := int(h & a.mask)
 	sh := a.shards[i]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	g := sh.read
-	id, ok := g.idx.getShard(i, key)
+	id, ok := g.idx.getShard(genShard(g, key, h), key)
 	if !ok {
 		return 0, false
 	}
@@ -343,16 +419,18 @@ func (a *AdaptiveIndex) Delete(key []byte) (bool, error) {
 	if a.backend == SuRF {
 		return false, ErrImmutableBackend
 	}
-	i := a.shardIdx(key)
+	h := shardHash(key)
+	i := int(h & a.mask)
 	sh := a.shards[i]
 	found := false
 	sh.mu.Lock()
 	for gi, g := range sh.write {
-		id, ok := g.idx.getShard(i, key)
+		t := genShard(g, key, h)
+		id, ok := g.idx.getShard(t, key)
 		if ok {
 			g.recs[i].recs[slotOf(id)].dead = true
 			g.recs[i].live--
-			if _, err := g.idx.deleteShard(i, key); err != nil {
+			if _, err := g.idx.deleteShard(t, key); err != nil {
 				sh.mu.Unlock()
 				return false, err
 			}
@@ -593,7 +671,14 @@ func (a *AdaptiveIndex) rebuildLocked() (err error) {
 		return err
 	}
 	buildCPR := enc.CompressionRate(samples)
-	next, err := a.newGeneration(enc)
+	// Range mode re-samples split points from the same reservoir snapshot
+	// the dictionary is built from: the migration that re-encodes every
+	// record also re-balances the partition to current traffic.
+	var splits [][]byte
+	if a.opts.Partition == RangePartitioned {
+		splits = RangeSplits(samples, a.opts.Shards, splitSeed)
+	}
+	next, err := a.newGeneration(enc, splits)
 	if err != nil {
 		return err
 	}
@@ -673,15 +758,18 @@ func (a *AdaptiveIndex) migrateConcurrent(next *generation) error {
 	return nil
 }
 
-// migrateShard copies one shard's live records into the next generation in
-// MigrationBatch-bounded steps. Slots at or above the horizon snapshot
+// migrateShard copies one stripe's live records into the next generation
+// in MigrationBatch-bounded steps. Slots at or above the horizon snapshot
 // were appended after dual-writing began and are already in both
 // generations; slots below it that the dual-writer races in are caught by
-// the presence probe.
-func (a *AdaptiveIndex) migrateShard(shard int, old, next *generation) error {
-	sh := a.shards[shard]
+// upsertShard's presence probe (a single encode-probe-insert pass per
+// record). The next generation routes each key through its own
+// partitioner, so a re-sampled range partition redistributes the records
+// as a side effect of the copy.
+func (a *AdaptiveIndex) migrateShard(stripe int, old, next *generation) error {
+	sh := a.shards[stripe]
 	sh.mu.Lock()
-	horizon := len(old.recs[shard].recs)
+	horizon := len(old.recs[stripe].recs)
 	sh.mu.Unlock()
 	for start := 0; start < horizon; start += a.opts.MigrationBatch {
 		end := start + a.opts.MigrationBatch
@@ -690,23 +778,25 @@ func (a *AdaptiveIndex) migrateShard(shard int, old, next *generation) error {
 		}
 		sh.mu.Lock()
 		for slot := start; slot < end; slot++ {
-			r := &old.recs[shard].recs[slot]
+			r := &old.recs[stripe].recs[slot]
 			if r.dead {
 				continue
 			}
-			if _, ok := next.idx.getShard(shard, r.key); ok {
-				continue // dual-written (or re-inserted) since the snapshot
-			}
-			nslot := len(next.recs[shard].recs)
-			next.recs[shard].recs = append(next.recs[shard].recs, record{key: r.key, val: r.val})
-			next.recs[shard].live++
-			if _, err := next.idx.putShard(shard, r.key, recordID(shard, nslot)); err != nil {
+			nslot := len(next.recs[stripe].recs)
+			_, existed, _, err := next.idx.upsertShard(
+				routeRecord(next, stripe, r.key), r.key, recordID(stripe, nslot))
+			if err != nil {
 				sh.mu.Unlock()
 				return err
 			}
+			if existed {
+				continue // dual-written (or re-inserted) since the snapshot
+			}
+			next.recs[stripe].recs = append(next.recs[stripe].recs, record{key: r.key, val: r.val})
+			next.recs[stripe].live++
 		}
 		sh.mu.Unlock()
-		if err := a.hookErr("batch", shard); err != nil {
+		if err := a.hookErr("batch", stripe); err != nil {
 			return err
 		}
 	}
@@ -810,22 +900,79 @@ func (a *AdaptiveIndex) ScanPrefix(prefix []byte, fn func(key []byte, val uint64
 	return a.mergeScan(bounds, fn)
 }
 
+// scanSnap pins one scan's view of the generation map: which generation
+// serves each stripe's reads, captured once at scan start. Cursors filter
+// every record through it, so a key dual-written into two generations is
+// emitted by exactly one cursor, and a stripe flip mid-scan cannot
+// duplicate or drop keys the snapshot covered.
+type scanSnap struct {
+	gens      []*generation // distinct read generations, discovery order
+	stripeGen []*generation // per-stripe read generation at scan start
+	multi     bool          // len(gens) > 1: stripe filter required
+}
+
 func (a *AdaptiveIndex) mergeScan(bounds func(*generation) genBounds, fn func(key []byte, val uint64) bool) int {
-	cache := map[*generation]genBounds{}
-	heap := make([]*adaptiveCursor, 0, len(a.shards))
+	snap := &scanSnap{stripeGen: make([]*generation, len(a.shards))}
 	for i, sh := range a.shards {
 		sh.mu.RLock()
 		g := sh.read
 		sh.mu.RUnlock()
-		b, ok := cache[g]
+		snap.stripeGen[i] = g
+		seen := false
+		for _, e := range snap.gens {
+			if e == g {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			snap.gens = append(snap.gens, g)
+		}
+	}
+	snap.multi = len(snap.gens) > 1
+
+	// One cursor per tree shard of each generation in play, pruned to the
+	// shards that generation's partitioner says can overlap the bounds
+	// (range partitions prune; hash partitions span everything).
+	var cursors []*adaptiveCursor
+	for _, g := range snap.gens {
+		b := bounds(g)
+		first, last, ok := g.idx.scanSpan(b.lo, b.hi)
 		if !ok {
-			b = bounds(g)
-			cache[g] = b
+			first, last = 0, len(g.idx.shards)-1
 		}
-		c := &adaptiveCursor{
-			a: a, shard: i, g: g,
-			from: append([]byte(nil), b.lo...), hi: b.hi, hiIncl: b.hiIncl,
+		for w := first; w <= last; w++ {
+			cursors = append(cursors, &adaptiveCursor{
+				a: a, g: g, snap: snap, order: len(cursors), tshard: w,
+				from: append([]byte(nil), b.lo...), hi: b.hi, hiIncl: b.hiIncl,
+			})
 		}
+	}
+
+	// Steady state over an ordered (range) partition: the cursors cover
+	// disjoint ascending intervals of one generation — stream them in
+	// shard order with no merge and no heap, the same fast path as
+	// ShardedIndex.orderedScan.
+	if !snap.multi && snap.gens[0].idx.part.Ordered() {
+		count := 0
+		for _, c := range cursors {
+			for {
+				k, ok := c.peek()
+				if !ok {
+					break
+				}
+				_, v := c.pop()
+				count++
+				if !fn(k, v) {
+					return count
+				}
+			}
+		}
+		return count
+	}
+
+	heap := make([]*adaptiveCursor, 0, len(cursors))
+	for _, c := range cursors {
 		if _, ok := c.peek(); ok {
 			heap = append(heap, c)
 		}
@@ -853,22 +1000,29 @@ func (a *AdaptiveIndex) mergeScan(bounds func(*generation) genBounds, fn func(ke
 	return count
 }
 
-// adaptiveCursor drains one shard from its pinned generation in chunks,
-// resolving record ids to (original key, live value) at fill time under
-// the shard lock — so the merge can compare keys across generations
-// without further locking. Dead records are skipped; the encoded resume
-// key (lastKey+0x00) tracks tree positions, including ones whose records
-// died mid-scan.
+// adaptiveCursor drains one tree shard of one generation in chunks. A
+// fill is two phases with distinct lock domains: phase one drains a chunk
+// of record ids from the tree under the tree-shard lock (record stores
+// are guarded by stripe locks, which rank above tree locks — resolving
+// inside the tree callback would invert the order); phase two resolves
+// each id to (original key, live value) under its stripe's read lock,
+// filtering through the scan snapshot. Emitted keys alias record storage
+// — record key bytes are immutable for the record's lifetime — and are
+// only valid during the scan callback. The encoded resume key
+// (lastKey+0x00) tracks tree positions, including ones whose records died
+// or were filtered mid-scan.
 type adaptiveCursor struct {
 	a      *AdaptiveIndex
-	shard  int
 	g      *generation
-	from   []byte // inclusive encoded resume bound (owned)
+	snap   *scanSnap
+	order  int // creation index; deterministic heap tie-break
+	tshard int // tree shard within g's index
+	from   []byte
 	hi     []byte // shared, read-only
 	hiIncl bool
 
-	arena   []byte
-	keys    [][]byte // original keys, copied into arena
+	ids     []uint64
+	keys    [][]byte // resolved original keys (alias record memory)
 	vals    []uint64
 	i       int
 	chunk   int
@@ -877,77 +1031,98 @@ type adaptiveCursor struct {
 }
 
 func (c *adaptiveCursor) fill() {
-	c.arena, c.keys, c.vals, c.i = c.arena[:0], c.keys[:0], c.vals[:0], 0
+	c.keys, c.vals, c.i = c.keys[:0], c.vals[:0], 0
 	if c.done {
 		return
 	}
 	if c.chunk == 0 {
 		c.chunk = scanChunkInit
 	}
-	sh := c.a.shards[c.shard]
+	// Phase 1: one locked pass over the tree shard, ids only.
 	n := 0
+	c.ids = c.ids[:0]
 	last := c.lastEnc[:0]
-	sh.mu.RLock()
-	gr := &c.g.recs[c.shard]
-	c.g.idx.scanShard(c.shard, c.from, c.hi, c.hiIncl, func(ek []byte, id uint64) bool {
+	c.g.idx.scanShard(c.tshard, c.from, c.hi, c.hiIncl, func(ek []byte, id uint64) bool {
 		n++
 		last = append(last[:0], ek...)
-		r := &gr.recs[slotOf(id)]
-		if !r.dead {
-			start := len(c.arena)
-			c.arena = append(c.arena, r.key...)
-			c.keys = append(c.keys, c.arena[start:len(c.arena):len(c.arena)])
-			c.vals = append(c.vals, r.val)
-		}
+		c.ids = append(c.ids, id)
 		return n < c.chunk
 	})
-	// If the pinned generation no longer receives writes — a cutover (or
-	// an abort of the generation this cursor pinned) completed mid-scan —
-	// its trees and records are frozen, so deletes and overwrites land
-	// only in the serving generation. Re-validate the chunk against the
-	// shard's current read generation: drop keys it no longer holds and
-	// take its values, so the merge never resurrects a deleted key or
-	// emits a stale value. (Entries already buffered in a previous chunk
-	// are a snapshot, the same per-chunk semantics as ShardedIndex.)
-	live := false
-	for _, g := range sh.write {
-		if g == c.g {
-			live = true
-			break
-		}
-	}
-	if !live {
-		cur := sh.read
-		w := 0
-		for i, k := range c.keys {
-			id, ok := cur.idx.getShard(c.shard, k)
-			if !ok {
-				continue
-			}
-			r := &cur.recs[c.shard].recs[slotOf(id)]
-			if r.dead {
-				continue
-			}
-			c.keys[w] = c.keys[i]
-			c.vals[w] = r.val
-			w++
-		}
-		c.keys, c.vals = c.keys[:w], c.vals[:w]
-	}
-	sh.mu.RUnlock()
 	c.lastEnc = last
 	if n < c.chunk {
 		c.done = true
-		return
+	} else {
+		c.from = append(append(c.from[:0], last...), 0x00)
+		if c.chunk < scanChunk {
+			c.chunk *= 2
+		}
 	}
-	c.from = append(append(c.from[:0], last...), 0x00)
-	if c.chunk < scanChunk {
-		c.chunk *= 2
+	// Phase 2: resolve ids against the record stores. The stripe lock is
+	// held across runs of same-stripe ids — for a hash-partitioned
+	// generation every id in this tree shard shares one stripe (tree
+	// routing IS the stripe hash), so the whole chunk resolves under a
+	// single lock hold; range-partitioned generations interleave stripes
+	// and pay a lock transition per run.
+	var sh *adaptiveShard
+	curStripe, live := -1, false
+	for _, id := range c.ids {
+		stripe, slot := int(id>>32), slotOf(id)
+		if stripe != curStripe {
+			if sh != nil {
+				sh.mu.RUnlock()
+			}
+			curStripe = stripe
+			sh = c.a.shards[stripe]
+			sh.mu.RLock()
+			live = false
+			for _, g := range sh.write {
+				if g == c.g {
+					live = true
+					break
+				}
+			}
+		}
+		if c.snap.multi && c.snap.stripeGen[stripe] != c.g {
+			// Another generation owns this stripe's reads for the scan;
+			// its cursor will emit the key (dual-writes guarantee it holds
+			// every live key of the stripe).
+			continue
+		}
+		if live {
+			r := &c.g.recs[stripe].recs[slot]
+			if !r.dead {
+				c.keys = append(c.keys, r.key)
+				c.vals = append(c.vals, r.val)
+			}
+			continue
+		}
+		// The cursor's generation no longer receives writes — a cutover
+		// (or an abort of the generation the snapshot pinned) completed
+		// mid-scan — so its trees and records are frozen, and deletes and
+		// overwrites land only in the serving generation. Re-validate
+		// against the stripe's current read generation: drop keys it no
+		// longer holds and take its values, so the scan never resurrects
+		// a deleted key or emits a stale value. (Entries buffered in a
+		// previous chunk are a snapshot, the same per-chunk semantics as
+		// ShardedIndex.)
+		k := c.g.recs[stripe].recs[slot].key
+		cur := sh.read
+		id2, ok := cur.idx.getShard(routeRecord(cur, stripe, k), k)
+		if ok {
+			if r2 := &cur.recs[stripe].recs[slotOf(id2)]; !r2.dead {
+				c.keys = append(c.keys, r2.key)
+				c.vals = append(c.vals, r2.val)
+			}
+		}
+	}
+	if sh != nil {
+		sh.mu.RUnlock()
 	}
 }
 
 // peek returns the cursor's current original key, refilling (and skipping
-// all-dead chunks) as needed; ok is false when the shard is exhausted.
+// all-dead or all-filtered chunks) as needed; ok is false when the shard
+// is exhausted.
 func (c *adaptiveCursor) peek() ([]byte, bool) {
 	for c.i >= len(c.keys) {
 		if c.done {
@@ -965,12 +1140,14 @@ func (c *adaptiveCursor) pop() ([]byte, uint64) {
 }
 
 // adaptiveCursorLess orders cursors by current original key — valid
-// across generations, unlike encoded keys — breaking ties by shard for
-// determinism (ties cannot occur between live cursors: shards partition
-// the original key space).
+// across generations, unlike encoded keys — breaking ties by creation
+// order for determinism (ties cannot occur between emitting cursors: one
+// generation's tree shards partition the keyspace, and across generations
+// the snapshot filter gives every stripe exactly one emitting
+// generation).
 func adaptiveCursorLess(a, b *adaptiveCursor) bool {
 	if c := bytes.Compare(a.keys[a.i], b.keys[b.i]); c != 0 {
 		return c < 0
 	}
-	return a.shard < b.shard
+	return a.order < b.order
 }

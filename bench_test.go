@@ -379,3 +379,103 @@ func BenchmarkFigDrift(b *testing.B) {
 	}
 	spin(b)
 }
+
+// BenchmarkFigScan reports the scan-partitioning series: YCSB-E
+// throughput, hash vs range ShardedIndex, across shard counts, at CI
+// scale (`hopebench -fig scan` runs the full sweep).
+func BenchmarkFigScan(b *testing.B) {
+	cfg := benchCfg(datagen.Email)
+	rows := once(b, "scan", func() ([]bench.ScanBenchRow, error) {
+		return bench.RunFigScan(cfg, bench.ScanBackends, []int{1, 4, 8})
+	})
+	for _, r := range rows {
+		b.ReportMetric(r.OpsPerSec/1e6,
+			tag(fmt.Sprintf("Mops:%s/%s/%s/s%d", r.Backend, r.Config, r.Partition, r.Shards)))
+	}
+	spin(b)
+}
+
+// BenchmarkShardedScan measures one short scan (50 results from a point
+// lower bound) against hash- and range-partitioned indexes at 8 shards.
+// The hash row pays ~shards cursors plus the merge heap per op; the range
+// row is the single-shard fast path — a pooled cursor, no heap, and (for
+// the uncompressed case benchmarked here) zero allocations, which
+// TestSingleShardScanZeroAlloc pins as an invariant.
+func BenchmarkShardedScan(b *testing.B) {
+	keys := datagen.Generate(datagen.Email, 20000, 1)
+	for _, mode := range []string{"hash", "range"} {
+		b.Run(mode+"/8", func(b *testing.B) {
+			var s *hope.ShardedIndex
+			var err error
+			if mode == "range" {
+				s, err = hope.NewRangeShardedIndex(hope.BTree, nil, 8, keys)
+			} else {
+				s, err = hope.NewShardedIndex(hope.BTree, nil, 8)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Bulk(keys, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				s.Scan(keys[i%len(keys)], nil, func([]byte, uint64) bool {
+					n++
+					return n < 50
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAdaptivePut measures the adaptive write path under
+// multi-goroutine pressure — the satellite target of the striped
+// lifecycle tracker (no global accounting mutex) and the folded
+// single-resolution upsert. The overwrite case is the steady-state hot
+// path and must stay allocation-free.
+func BenchmarkAdaptivePut(b *testing.B) {
+	load := func(b *testing.B) (*hope.AdaptiveIndex, [][]byte) {
+		b.Helper()
+		keys := datagen.Generate(datagen.Email, 20000, 1)
+		samples := hope.SampleKeys(keys, 0.01, 42)
+		enc, err := hope.Build(hope.DoubleChar, samples, hope.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := hope.NewAdaptiveIndex(hope.ART, hope.AdaptiveOptions{
+			Scheme: hope.DoubleChar, Encoder: enc, Shards: 16, Manual: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, k := range keys {
+			if err := a.Put(k, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return a, keys
+	}
+	b.Run("OverwriteSerial", func(b *testing.B) {
+		a, keys := load(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Put(keys[i%len(keys)], uint64(i))
+		}
+	})
+	b.Run("OverwriteParallel", func(b *testing.B) {
+		a, keys := load(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				a.Put(keys[i%len(keys)], uint64(i))
+				i++
+			}
+		})
+	})
+}

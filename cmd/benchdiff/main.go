@@ -4,16 +4,19 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.15] [-mode encode|ycsb|drift] baseline.json current.json
+//	benchdiff [-threshold 0.15] [-mode encode|ycsb|drift|scan] baseline.json current.json
 //
 // Mode encode compares BENCH_encode.json records (the encode-path latency
 // record `make bench` writes); mode ycsb compares BENCH_ycsb.json records
 // (the concurrent serving throughput record `make bench-ycsb` writes);
 // mode drift compares BENCH_drift.json records (the dictionary-drift
 // adaptation record `make bench-drift` writes, gating post-adaptation CPR
-// and throughput). Rows are matched by identity key — (dataset, scheme)
-// for encode, (dataset, workload, backend, config, threads) for ycsb,
-// (dataset, config, window) for drift. For every gated
+// and throughput); mode scan compares BENCH_scan.json records (the
+// scan-partitioning throughput record `make bench-scan` writes). Rows are
+// matched by identity key — (dataset, scheme) for encode, (dataset,
+// workload, backend, config, threads) for ycsb, (dataset, config, window)
+// for drift, (dataset, backend, config, partition, shards) for scan. For
+// every gated
 // metric the tool collects the per-row current/baseline ratios and
 // compares the metric's median ratio against the threshold: latencies fail
 // above 1+threshold, throughputs fail below 1-threshold. The median — not
@@ -68,11 +71,18 @@ var driftMetrics = []metric{
 	{name: "recovery_ratio", higherBetter: true},
 }
 
+// Scan gates the range-vs-hash partitioning figure's throughput: a
+// regression in the pruned scan planner or the single-shard fast path
+// moves the range rows, one in the merge path moves the hash rows.
+var scanMetrics = []metric{
+	{name: "ops_per_sec", higherBetter: true},
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.15, "maximum tolerated median regression (0.15 = ±15%)")
-	mode := flag.String("mode", "encode", "record kind: encode (BENCH_encode.json), ycsb (BENCH_ycsb.json) or drift (BENCH_drift.json)")
+	mode := flag.String("mode", "encode", "record kind: encode (BENCH_encode.json), ycsb (BENCH_ycsb.json), drift (BENCH_drift.json) or scan (BENCH_scan.json)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] [-mode encode|ycsb|drift] baseline.json current.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] [-mode encode|ycsb|drift|scan] baseline.json current.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -102,8 +112,14 @@ func main() {
 		if err == nil {
 			cur, err = readDriftRows(flag.Arg(1))
 		}
+	case "scan":
+		metrics = scanMetrics
+		base, err = readScanRows(flag.Arg(0))
+		if err == nil {
+			cur, err = readScanRows(flag.Arg(1))
+		}
 	default:
-		err = fmt.Errorf("unknown -mode %q (want encode, ycsb or drift)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want encode, ycsb, drift or scan)", *mode)
 	}
 	if err != nil {
 		fatal(err)
@@ -200,6 +216,32 @@ func flattenDrift(rows []bench.DriftBenchRow) []row {
 				"ops_per_sec":    r.OpsPerSec,
 				"cpr_recent":     r.CPRRecent,
 				"recovery_ratio": r.RecoveryRatio,
+			},
+		}
+	}
+	return out
+}
+
+func readScanRows(path string) ([]row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := bench.ReadScanBenchJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return flattenScan(rows), nil
+}
+
+func flattenScan(rows []bench.ScanBenchRow) []row {
+	out := make([]row, len(rows))
+	for i, r := range rows {
+		out[i] = row{
+			key: fmt.Sprintf("%s/%s/%s/%s/s%d", r.Dataset, r.Backend, r.Config, r.Partition, r.Shards),
+			vals: map[string]float64{
+				"ops_per_sec": r.OpsPerSec,
 			},
 		}
 	}

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: table1, 8, 9, 10, 11, 12, 13, 14, 15, 16, ablation, encode, tree, ycsb, drift, all")
+	fig := flag.String("fig", "all", "figure to reproduce: table1, 8, 9, 10, 11, 12, 13, 14, 15, 16, ablation, encode, tree, ycsb, drift, scan, all")
 	dataset := flag.String("dataset", "email", "dataset: email, wiki, url, all")
 	keys := flag.Int("keys", 100000, "number of keys (paper: 14-25M)")
 	ops := flag.Int("ops", 100000, "number of workload operations (paper: 10M)")
@@ -32,13 +32,18 @@ func main() {
 	seed := flag.Int64("seed", 42, "dataset seed")
 	quick := flag.Bool("quick", false, "shrink dictionary limits for a fast pass")
 	threads := flag.String("threads", "1,2,4,8", "goroutine sweep for -fig ycsb (comma-separated)")
+	shards := flag.String("shards", "1,4,8,16", "shard-count sweep for -fig scan (comma-separated)")
 	workloads := flag.String("workloads", "A,B,C,D,E,F", "YCSB workloads for -fig ycsb (comma-separated)")
-	jsonOut := flag.String("json", "", "also write results as JSON to this file (fig=encode, tree and ycsb)")
+	jsonOut := flag.String("json", "", "also write results as JSON to this file (fig=encode, tree, ycsb, drift and scan)")
 	flag.Parse()
-	if *jsonOut != "" && *fig != "encode" && *fig != "tree" && *fig != "ycsb" && *fig != "drift" {
-		fatal(fmt.Errorf("-json only applies to -fig encode, tree, ycsb and drift"))
+	if *jsonOut != "" && *fig != "encode" && *fig != "tree" && *fig != "ycsb" && *fig != "drift" && *fig != "scan" {
+		fatal(fmt.Errorf("-json only applies to -fig encode, tree, ycsb, drift and scan"))
 	}
-	threadSweep, err := parseThreads(*threads)
+	threadSweep, err := parseIntList(*threads, "-threads")
+	if err != nil {
+		fatal(err)
+	}
+	shardSweep, err := parseIntList(*shards, "-shards")
 	if err != nil {
 		fatal(err)
 	}
@@ -64,12 +69,13 @@ func main() {
 	var treeRows []bench.TreeBenchRow
 	var ycsbRows []bench.YCSBBenchRow
 	var driftRows []bench.DriftBenchRow
+	var scanRows []bench.ScanBenchRow
 	for _, ds := range datasets {
 		cfg := bench.Config{
 			Dataset: ds, NumKeys: *keys, NumOps: *ops,
 			SampleFrac: *sample, Seed: *seed, Quick: *quick,
 		}
-		if err := run(*fig, cfg, workloadSweep, threadSweep, &encodeRows, &treeRows, &ycsbRows, &driftRows); err != nil {
+		if err := run(*fig, cfg, workloadSweep, threadSweep, shardSweep, &encodeRows, &treeRows, &ycsbRows, &driftRows, &scanRows); err != nil {
 			fatal(err)
 		}
 	}
@@ -87,6 +93,8 @@ func main() {
 			werr = bench.WriteYCSBBenchJSON(f, ycsbRows)
 		case "drift":
 			werr = bench.WriteDriftBenchJSON(f, driftRows)
+		case "scan":
+			werr = bench.WriteScanBenchJSON(f, scanRows)
 		default:
 			werr = bench.WriteEncodeBenchJSON(f, encodeRows)
 		}
@@ -117,8 +125,9 @@ func parseWorkloads(s string) ([]ycsb.Kind, error) {
 	return out, nil
 }
 
-// parseThreads parses the -threads sweep ("1,2,4,8").
-func parseThreads(s string) ([]int, error) {
+// parseIntList parses a comma-separated positive-integer sweep flag
+// ("1,2,4,8"), naming the flag in errors.
+func parseIntList(s, flagName string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -127,12 +136,12 @@ func parseThreads(s string) ([]int, error) {
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad -threads value %q", part)
+			return nil, fmt.Errorf("bad %s value %q", flagName, part)
 		}
 		out = append(out, n)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("-threads is empty")
+		return nil, fmt.Errorf("%s is empty", flagName)
 	}
 	return out, nil
 }
@@ -142,11 +151,11 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(fig string, cfg bench.Config, workloads []ycsb.Kind, threads []int, encodeRows *[]bench.EncodeBenchRow, treeRows *[]bench.TreeBenchRow, ycsbRows *[]bench.YCSBBenchRow, driftRows *[]bench.DriftBenchRow) error {
+func run(fig string, cfg bench.Config, workloads []ycsb.Kind, threads, shards []int, encodeRows *[]bench.EncodeBenchRow, treeRows *[]bench.TreeBenchRow, ycsbRows *[]bench.YCSBBenchRow, driftRows *[]bench.DriftBenchRow, scanRows *[]bench.ScanBenchRow) error {
 	switch fig {
 	case "all":
-		for _, f := range []string{"table1", "8", "9", "10", "11", "12", "13", "14", "15", "16", "ablation", "tree", "ycsb", "drift"} {
-			if err := run(f, cfg, workloads, threads, encodeRows, treeRows, ycsbRows, driftRows); err != nil {
+		for _, f := range []string{"table1", "8", "9", "10", "11", "12", "13", "14", "15", "16", "ablation", "tree", "ycsb", "drift", "scan"} {
+			if err := run(f, cfg, workloads, threads, shards, encodeRows, treeRows, ycsbRows, driftRows, scanRows); err != nil {
 				return err
 			}
 		}
@@ -181,8 +190,31 @@ func run(fig string, cfg bench.Config, workloads []ycsb.Kind, threads []int, enc
 		return ycsbBench(cfg, workloads, threads, ycsbRows)
 	case "drift":
 		return driftBench(cfg, driftRows)
+	case "scan":
+		return scanBench(cfg, shards, scanRows)
 	}
 	return fmt.Errorf("unknown figure %q", fig)
+}
+
+// scanBench runs the scan-partitioning figure: YCSB-E throughput, hash vs
+// range partitioning, across shard counts.
+func scanBench(cfg bench.Config, shards []int, scanRows *[]bench.ScanBenchRow) error {
+	rows, err := bench.RunFigScan(cfg, bench.ScanBackends, shards)
+	if err != nil {
+		return err
+	}
+	*scanRows = append(*scanRows, rows...)
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Backend, r.Config, r.Partition,
+			strconv.Itoa(r.Shards),
+			bench.F(r.OpsPerSec / 1e6 * 1000), // kops/s
+			bench.F(r.AvgScan), bench.F(r.MaxShardFrac)})
+	}
+	bench.Table(os.Stdout, fmt.Sprintf("Scan partitioning (%s): YCSB-E hash vs range ShardedIndex (GOMAXPROCS=%d)",
+		cfg.Dataset, runtime.GOMAXPROCS(0)),
+		[]string{"Backend", "Config", "Partition", "Shards", "kops/s", "Avg scan", "Max shard frac"}, out)
+	return nil
 }
 
 // driftBench runs the dictionary-drift adaptation figure: throughput and

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	hope "repro"
+	"repro/internal/core"
+	"repro/internal/ycsb"
+)
+
+// ScanBenchRow is one cell of the scan-partitioning benchmark: the
+// scan-heavy YCSB-E workload driven against one ShardedIndex
+// configuration, hash- versus range-partitioned, across shard counts.
+// `make bench-scan` writes the rows to BENCH_scan.json — the record
+// cmd/benchdiff gates with -mode scan. The figure isolates the tentpole
+// effect: a hash partition opens a cursor on every shard per scan
+// (~shards × chunk tree probes before the merge emits anything), a range
+// partition touches only the shards the scan's bounds overlap, so its
+// advantage should grow with the shard count.
+type ScanBenchRow struct {
+	Dataset   string  `json:"dataset"`
+	Workload  string  `json:"workload"`
+	Backend   string  `json:"backend"`
+	Config    string  `json:"config"`
+	Partition string  `json:"partition"` // "hash" | "range"
+	Shards    int     `json:"shards"`
+	Keys      int     `json:"keys"`
+	Ops       int     `json:"ops"`
+	AvgScan   float64 `json:"avg_scan_len"` // mean results per scan op
+	OpsPerSec float64 `json:"ops_per_sec"`
+	LoadSec   float64 `json:"load_sec"`
+	// MaxShardFrac is the loaded partition's skew: the largest shard's
+	// share of the keys (1/shards is perfect balance).
+	MaxShardFrac float64 `json:"max_shard_frac"`
+	// MaxProcs records GOMAXPROCS during the run — the multi-core caveat
+	// marker: on a single-core runner the range-partitioning win is purely
+	// algorithmic (fewer tree probes, no merge heap), with no parallelism
+	// component.
+	MaxProcs int `json:"maxprocs"`
+}
+
+// ScanBackends are the trees the scan figure drives (the paper's fastest
+// trie and the classic page-based baseline, as in the YCSB figure).
+var ScanBackends = []hope.Backend{hope.ART, hope.BTree}
+
+// ScanConfigs returns the encoder configurations the scan figure sweeps:
+// the uncompressed baseline and Double-Char, the FIVC scheme with the
+// best CPR-for-latency trade-off — partitioning behavior, not scheme
+// behavior, is this figure's axis.
+func ScanConfigs() []TreeConfig {
+	return []TreeConfig{
+		{Name: "Uncompressed", Plain: true},
+		{Name: "Double-Char", Scheme: core.DoubleChar},
+	}
+}
+
+// RunFigScan is the scan-partitioning figure: YCSB-E (95% short scans
+// averaging ~50 results, 5% inserts) against hash- and range-partitioned
+// ShardedIndexes across shard counts, single-goroutine so the comparison
+// isolates per-op work (probes, merge overhead) rather than contention.
+func RunFigScan(cfg Config, backends []hope.Backend, shardCounts []int) ([]ScanBenchRow, error) {
+	all := cfg.Keys()
+	pool := cfg.NumOps/10 + 64
+	if pool > len(all)/2 {
+		pool = len(all) / 2
+	}
+	loaded := all[:len(all)-pool]
+	samples := cfg.Sample(loaded)
+
+	var rows []ScanBenchRow
+	for _, tc := range ScanConfigs() {
+		template, _, err := tc.BuildEncoder(samples)
+		if err != nil {
+			return nil, err
+		}
+		for _, backend := range backends {
+			for _, shards := range shardCounts {
+				for _, partition := range []string{"hash", "range"} {
+					row, err := runScanCell(cfg, backend, tc, template, partition, shards, all, loaded)
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, row)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+func runScanCell(cfg Config, backend hope.Backend, tc TreeConfig, template *core.Encoder,
+	partition string, shards int, all, loaded [][]byte) (ScanBenchRow, error) {
+	var enc *core.Encoder
+	if template != nil {
+		enc = template.Clone()
+	}
+	var s *hope.ShardedIndex
+	var err error
+	if partition == "range" {
+		// Split points sampled from the load corpus — the same corpus the
+		// dictionary samples come from, mirroring a production bulk load.
+		s, err = hope.NewRangeShardedIndex(backend, enc, shards, loaded)
+	} else {
+		s, err = hope.NewShardedIndex(backend, enc, shards)
+	}
+	if err != nil {
+		return ScanBenchRow{}, err
+	}
+	t0 := time.Now()
+	if err := s.Bulk(loaded, nil); err != nil {
+		return ScanBenchRow{}, err
+	}
+	loadSec := time.Since(t0).Seconds()
+
+	w := ycsb.Generate(ycsb.E, cfg.NumOps, len(loaded), cfg.Seed+int64(shards)*31)
+	if mk := w.MaxKey(); mk >= len(all) {
+		return ScanBenchRow{}, fmt.Errorf("scan fig: insert pool exhausted (need key %d, have %d)", mk, len(all))
+	}
+
+	scanned, scans := 0, 0
+	t0 = time.Now()
+	for _, op := range w.Ops {
+		switch op.Kind {
+		case ycsb.Scan:
+			n := 0
+			s.Scan(all[op.Key], nil, func([]byte, uint64) bool {
+				n++
+				return n < op.ScanLen
+			})
+			scanned += n
+			scans++
+		case ycsb.Insert:
+			if err := s.Put(all[op.Key], uint64(op.Key)); err != nil {
+				return ScanBenchRow{}, err
+			}
+		}
+	}
+	wall := time.Since(t0).Seconds()
+
+	lens := s.ShardLens()
+	total, maxLen := 0, 0
+	for _, n := range lens {
+		total += n
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	row := ScanBenchRow{
+		Dataset:   cfg.Dataset.String(),
+		Workload:  ycsb.E.String(),
+		Backend:   string(backend),
+		Config:    tc.Name,
+		Partition: partition,
+		Shards:    s.NumShards(),
+		Keys:      len(loaded),
+		Ops:       len(w.Ops),
+		LoadSec:   loadSec,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	if scans > 0 {
+		row.AvgScan = float64(scanned) / float64(scans)
+	}
+	if wall > 0 {
+		row.OpsPerSec = float64(len(w.Ops)) / wall
+	}
+	if total > 0 {
+		row.MaxShardFrac = float64(maxLen) / float64(total)
+	}
+	return row, nil
+}
+
+// WriteScanBenchJSON writes the rows as indented JSON (BENCH_scan.json).
+func WriteScanBenchJSON(w io.Writer, rows []ScanBenchRow) error {
+	e := json.NewEncoder(w)
+	e.SetIndent("", "  ")
+	return e.Encode(rows)
+}
+
+// ReadScanBenchJSON decodes a BENCH_scan.json record (cmd/benchdiff).
+func ReadScanBenchJSON(r io.Reader) ([]ScanBenchRow, error) {
+	var rows []ScanBenchRow
+	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// TestRunFigScan runs the scan-partitioning harness at smoke scale and
+// checks the grid is complete and internally consistent: one row per
+// config × backend × shard count × partition, a hash and a range row for
+// every cell, sane throughput and scan lengths, balanced range splits,
+// and a JSON round trip (the benchdiff gate consumes the serialized
+// form). It also pins the figure's direction at ≥4 shards — range must
+// not lose to hash once the merge tax bites — so a planner regression
+// fails the suite, not just the perf gate.
+func TestRunFigScan(t *testing.T) {
+	cfg := QuickConfig(datagen.Email)
+	cfg.NumKeys = 4000
+	cfg.NumOps = 1200
+	shardCounts := []int{2, 4}
+	rows, err := RunFigScan(cfg, ScanBackends, shardCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(ScanConfigs()) * len(ScanBackends) * len(shardCounts) * 2
+	if len(rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(rows), wantRows)
+	}
+	type cell struct {
+		backend, config string
+		shards          int
+	}
+	perf := map[cell]map[string]float64{}
+	for _, r := range rows {
+		if r.OpsPerSec <= 0 {
+			t.Fatalf("%s/%s/%s/s%d: non-positive throughput", r.Backend, r.Config, r.Partition, r.Shards)
+		}
+		if r.AvgScan <= 1 || r.AvgScan > 100 {
+			t.Fatalf("%s/%s/%s/s%d: avg scan length %f outside (1,100]", r.Backend, r.Config, r.Partition, r.Shards, r.AvgScan)
+		}
+		if r.MaxShardFrac <= 0 || r.MaxShardFrac > 1 {
+			t.Fatalf("bad max_shard_frac %f", r.MaxShardFrac)
+		}
+		if r.Partition == "range" && r.Shards >= 4 && r.MaxShardFrac > 0.75 {
+			t.Fatalf("range splits badly skewed: %f of keys in one of %d shards", r.MaxShardFrac, r.Shards)
+		}
+		c := cell{r.Backend, r.Config, r.Shards}
+		if perf[c] == nil {
+			perf[c] = map[string]float64{}
+		}
+		if _, dup := perf[c][r.Partition]; dup {
+			t.Fatalf("duplicate cell %v/%s", c, r.Partition)
+		}
+		perf[c][r.Partition] = r.OpsPerSec
+	}
+	for c, p := range perf {
+		if len(p) != 2 {
+			t.Fatalf("cell %v missing a partition row", c)
+		}
+		if c.shards >= 4 && p["range"] < p["hash"] {
+			t.Fatalf("cell %v: range (%.0f ops/s) slower than hash (%.0f ops/s) at %d shards",
+				c, p["range"], p["hash"], c.shards)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteScanBenchJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScanBenchJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) || back[0] != rows[0] {
+		t.Fatal("JSON round trip mutated rows")
+	}
+}

@@ -59,6 +59,16 @@ func (w *CPRWindow) Rate() float64 {
 	return float64(w.sumRaw) / float64(w.sumEnc)
 }
 
+// Sums returns the window's running byte totals (original and stored)
+// and its occupancy in one locked read — the aggregation hook for striped
+// accounting, where one logical window is split across stripes and the
+// combined rate is sum(raw)/sum(enc) over all of them.
+func (w *CPRWindow) Sums() (raw, enc int64, n int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sumRaw, w.sumEnc, w.n
+}
+
 // Count returns how many keys currently occupy the window.
 func (w *CPRWindow) Count() int {
 	w.mu.Lock()

@@ -17,6 +17,7 @@ package lifecycle
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -92,6 +93,12 @@ type Config struct {
 	// still reflects a moving distribution cannot thrash (default
 	// 2 × WindowSize).
 	Cooldown int
+	// Stripes is how many ways the tracker's accounting (reservoir + CPR
+	// ring) is striped (default 16). Observations round-robin across
+	// stripes, each with its own short mutex, so concurrent writers never
+	// serialize through one tracker lock; drift checks aggregate the
+	// stripes. One stripe restores fully serialized accounting.
+	Stripes int
 }
 
 // Fill populates zero fields with defaults and returns the config.
@@ -117,6 +124,9 @@ func (c Config) Fill() Config {
 	if c.Cooldown <= 0 {
 		c.Cooldown = 2 * c.WindowSize
 	}
+	if c.Stripes <= 0 {
+		c.Stripes = 16
+	}
 	return c
 }
 
@@ -136,19 +146,40 @@ type Stats struct {
 // are safe for concurrent use. Transition methods return an error when the
 // move is not legal from the current state, which serializes rebuilds: only
 // one goroutine can win the Steady/Sampling → Building edge.
+//
+// The accounting hot path — Observe, called on every insert the data
+// plane serves — never takes the controller mutex. Observations
+// round-robin across Stripes tracker stripes (an atomic counter picks the
+// stripe, so the stripe choice is contention-free and, under a single
+// writer, deterministic), each holding a fraction of the reservoir and of
+// the rolling CPR window behind its own short-lived mutex. With W writer
+// goroutines and S stripes the probability two writers collide on a
+// stripe in a given instant is ~W/S, versus 1 on the old single tracker
+// mutex; drift checks, which run every CheckEvery observations, aggregate
+// the stripes (Σraw/Σenc is exactly the rate one combined window would
+// report, since round-robin keeps the stripes' occupancies equal).
 type Controller struct {
 	cfg Config
+
+	stripes []*trackerStripe
+	seen    atomic.Int64 // observations since last cutover (round-robin cursor)
 
 	mu         sync.Mutex
 	state      State
 	serving    State // the state the in-flight rebuild started from
 	generation int
-	sampler    *core.Sampler
-	window     *core.CPRWindow
 	buildCPR   float64 // CPR of the serving dictionary on its build sample
-	sinceCut   int64   // observations since last cutover
 	rebuilds   int
 	aborts     int
+}
+
+// trackerStripe is one slice of the drift tracker: 1/Stripes of the
+// reservoir and of the rolling CPR window. The mutex guards the sampler
+// (the window carries its own).
+type trackerStripe struct {
+	mu      sync.Mutex
+	sampler *core.Sampler
+	window  *core.CPRWindow
 }
 
 // NewController returns a controller in the given initial serving state
@@ -156,12 +187,20 @@ type Controller struct {
 // with a pre-built encoder).
 func NewController(cfg Config, initial State) *Controller {
 	cfg = cfg.Fill()
-	return &Controller{
+	c := &Controller{
 		cfg:     cfg,
 		state:   initial,
-		sampler: core.NewSampler(cfg.ReservoirSize, cfg.Seed),
-		window:  core.NewCPRWindow(cfg.WindowSize),
+		stripes: make([]*trackerStripe, cfg.Stripes),
 	}
+	resCap := (cfg.ReservoirSize + cfg.Stripes - 1) / cfg.Stripes
+	winCap := (cfg.WindowSize + cfg.Stripes - 1) / cfg.Stripes
+	for i := range c.stripes {
+		c.stripes[i] = &trackerStripe{
+			sampler: core.NewSampler(resCap, cfg.Seed+int64(i)),
+			window:  core.NewCPRWindow(winCap),
+		}
+	}
+	return c
 }
 
 // Config returns the filled configuration.
@@ -182,20 +221,29 @@ func (c *Controller) Generation() int {
 	return c.generation
 }
 
+// stripeFor maps the n-th observation (1-based) to its tracker stripe.
+func (c *Controller) stripeFor(n int64) *trackerStripe {
+	return c.stripes[int((n-1)%int64(len(c.stripes)))]
+}
+
 // Observe feeds one written key into the reservoir and the CPR window and
 // returns the policy verdict. storedLen is the stored (encoded, padded)
 // length; pass the raw length again while serving uncompressed. The
-// verdict is advisory — acting on it still has to win BeginBuild.
+// verdict is advisory — acting on it still has to win BeginBuild. Observe
+// touches only one tracker stripe and an atomic counter — never the
+// controller mutex — except on the CheckEvery cadence, when it evaluates
+// the drift policy over the aggregated stripes.
 func (c *Controller) Observe(key []byte, storedLen int) Signal {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.sampler.Add(key)
-	c.window.Observe(len(key), storedLen)
-	c.sinceCut++
-	if c.sinceCut%int64(c.cfg.CheckEvery) != 0 {
+	n := c.seen.Add(1)
+	st := c.stripeFor(n)
+	st.mu.Lock()
+	st.sampler.Add(key)
+	st.mu.Unlock()
+	st.window.Observe(len(key), storedLen)
+	if n%int64(c.cfg.CheckEvery) != 0 {
 		return None
 	}
-	return c.checkLocked()
+	return c.Check()
 }
 
 // Check evaluates the policy immediately, without the CheckEvery cadence
@@ -207,24 +255,44 @@ func (c *Controller) Check() Signal {
 	return c.checkLocked()
 }
 
+// windowRate aggregates the striped CPR windows: the combined rolling
+// rate and whether the combined occupancy has reached a full logical
+// window (round-robin keeps stripe occupancies equal, so this is the
+// moment every stripe's ring has wrapped, modulo rounding).
+func (c *Controller) windowRate() (rate float64, full bool) {
+	var raw, enc int64
+	occupied := 0
+	for _, st := range c.stripes {
+		r, e, n := st.window.Sums()
+		raw += r
+		enc += e
+		occupied += n
+	}
+	if enc > 0 {
+		rate = float64(raw) / float64(enc)
+	}
+	return rate, occupied >= c.cfg.WindowSize
+}
+
 func (c *Controller) checkLocked() Signal {
 	switch c.state {
 	case Sampling:
-		if c.sampler.Seen() >= int64(c.cfg.BuildAfter) {
+		if c.seen.Load() >= int64(c.cfg.BuildAfter) {
 			return FirstBuild
 		}
 	case Steady:
+		rate, full := c.windowRate()
 		if c.buildCPR == 0 {
 			// An index that started from a pre-built encoder has no build
 			// sample to baseline against; adopt the first full window of
 			// live traffic as the baseline (self-calibration).
-			if c.window.Full() {
-				c.buildCPR = c.window.Rate()
+			if full {
+				c.buildCPR = rate
 			}
 			return None
 		}
-		if c.sinceCut >= int64(c.cfg.Cooldown) && c.window.Full() &&
-			c.window.Rate() < c.buildCPR*(1-c.cfg.DriftThreshold) {
+		if c.seen.Load() >= int64(c.cfg.Cooldown) && full &&
+			rate < c.buildCPR*(1-c.cfg.DriftThreshold) {
 			return Drift
 		}
 	}
@@ -235,46 +303,55 @@ func (c *Controller) checkLocked() Signal {
 // bypass the rolling window: their encode lengths are produced inside the
 // parallel pipeline, and a bulk load is a deliberate act, not drift).
 func (c *Controller) ObserveBulk(key []byte) {
-	c.mu.Lock()
-	c.sampler.Add(key)
-	c.sinceCut++
-	c.mu.Unlock()
+	st := c.stripeFor(c.seen.Add(1))
+	st.mu.Lock()
+	st.sampler.Add(key)
+	st.mu.Unlock()
 }
 
-// SampleSnapshot deep-copies the reservoir for a background build.
+// SampleSnapshot deep-copies the reservoir (all stripes) for a background
+// build.
 func (c *Controller) SampleSnapshot() [][]byte {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sampler.Snapshot()
+	var out [][]byte
+	for _, st := range c.stripes {
+		st.mu.Lock()
+		out = append(out, st.sampler.Snapshot()...)
+		st.mu.Unlock()
+	}
+	return out
 }
 
-// Seen returns how many keys the reservoir has been offered since the last
+// Seen returns how many keys the tracker has been offered since the last
 // cutover or start.
 func (c *Controller) Seen() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sampler.Seen()
+	return c.seen.Load()
 }
 
 // RecentCPR returns the rolling compression rate (0 while uncompressed or
 // before any observation).
 func (c *Controller) RecentCPR() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.window.Rate()
+	rate, _ := c.windowRate()
+	return rate
 }
 
 // Stats returns a consistent snapshot.
 func (c *Controller) Stats() Stats {
+	reservoir := 0
+	for _, st := range c.stripes {
+		st.mu.Lock()
+		reservoir += st.sampler.Len()
+		st.mu.Unlock()
+	}
+	rate, _ := c.windowRate()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
 		State:      c.state,
 		Generation: c.generation,
-		Seen:       c.sinceCut,
-		Reservoir:  c.sampler.Len(),
+		Seen:       c.seen.Load(),
+		Reservoir:  reservoir,
 		BuildCPR:   c.buildCPR,
-		RecentCPR:  c.window.Rate(),
+		RecentCPR:  rate,
 		Rebuilds:   c.rebuilds,
 		Aborts:     c.aborts,
 	}
@@ -319,10 +396,14 @@ func (c *Controller) Cutover(buildCPR float64) error {
 	c.state = Steady
 	c.generation++
 	c.buildCPR = buildCPR
-	c.sinceCut = 0
 	c.rebuilds++
-	c.sampler.Reset()
-	c.window.Reset()
+	for _, st := range c.stripes {
+		st.mu.Lock()
+		st.sampler.Reset()
+		st.mu.Unlock()
+		st.window.Reset()
+	}
+	c.seen.Store(0)
 	return nil
 }
 

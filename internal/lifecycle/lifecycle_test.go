@@ -206,3 +206,127 @@ func TestObserveBulkFeedsReservoirOnly(t *testing.T) {
 		t.Fatal("bulk observations must not touch the CPR window")
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Striped accounting: the hot path must aggregate exactly and stay off
+// any global mutex.
+// ---------------------------------------------------------------------------
+
+// TestStripedAggregationMatchesSingle: a striped tracker and a one-stripe
+// tracker fed the same stream must report the same rolling rate, seen
+// count, and (within rounding) reservoir occupancy — striping changes the
+// locking, not the accounting.
+func TestStripedAggregationMatchesSingle(t *testing.T) {
+	cfg := Config{WindowSize: 64, ReservoirSize: 64, CheckEvery: 1 << 30}
+	striped := NewController(Config{WindowSize: 64, ReservoirSize: 64, CheckEvery: 1 << 30, Stripes: 8}, Steady)
+	single := NewController(Config{WindowSize: 64, ReservoirSize: 64, CheckEvery: 1 << 30, Stripes: 1}, Steady)
+	for i := 0; i < 500; i++ {
+		k := []byte{byte(i), byte(i >> 8), byte(i % 7)}
+		stored := 1 + i%3
+		striped.Observe(k, stored)
+		single.Observe(k, stored)
+	}
+	if striped.Seen() != single.Seen() {
+		t.Fatalf("seen: striped %d single %d", striped.Seen(), single.Seen())
+	}
+	// Round-robin keeps stripe windows equally occupied, so the combined
+	// rate covers the same trailing window as the single ring.
+	sr, gr := striped.RecentCPR(), single.RecentCPR()
+	if sr < gr*0.99 || sr > gr*1.01 {
+		t.Fatalf("rate: striped %f single %f", sr, gr)
+	}
+	ss, gs := striped.SampleSnapshot(), single.SampleSnapshot()
+	if len(ss) < cfg.ReservoirSize || len(gs) < cfg.ReservoirSize {
+		t.Fatalf("snapshots undersized: striped %d single %d", len(ss), len(gs))
+	}
+}
+
+// TestStripedDriftStillFires: drift detection through the aggregated
+// windows behaves as before — degrade the stored lengths and the Drift
+// signal arrives once the combined window is full and cooled down.
+func TestStripedDriftStillFires(t *testing.T) {
+	c := NewController(Config{
+		WindowSize: 64, ReservoirSize: 64, CheckEvery: 16,
+		Cooldown: 64, DriftThreshold: 0.10, Stripes: 8,
+	}, Building)
+	if err := c.Cutover(2.0); err != nil { // baseline CPR 2.0
+		t.Fatal(err)
+	}
+	key := []byte("abcdefgh") // raw 8
+	sawDrift := false
+	for i := 0; i < 512 && !sawDrift; i++ {
+		// Stored length 8: CPR 1.0, far below baseline 2.0 - 10%.
+		if c.Observe(key, 8) == Drift {
+			sawDrift = true
+		}
+	}
+	if !sawDrift {
+		t.Fatal("striped tracker never signaled drift on degraded traffic")
+	}
+}
+
+// TestStripedObserveConcurrent: hammer Observe and friends from many
+// goroutines (the -race leg); totals must add up afterwards.
+func TestStripedObserveConcurrent(t *testing.T) {
+	c := NewController(Config{WindowSize: 256, ReservoirSize: 256, CheckEvery: 64, Stripes: 8}, Steady)
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := []byte{byte(g), 0, 0}
+			for i := 0; i < per; i++ {
+				k[1], k[2] = byte(i), byte(i>>8)
+				if i%5 == 0 {
+					c.ObserveBulk(k)
+				} else {
+					c.Observe(k, 2)
+				}
+				if i%501 == 0 {
+					c.Stats()
+					c.RecentCPR()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Seen(); got != goroutines*per {
+		t.Fatalf("seen %d want %d", got, goroutines*per)
+	}
+	if st := c.Stats(); st.Reservoir == 0 || st.RecentCPR == 0 {
+		t.Fatalf("empty aggregate stats after traffic: %+v", st)
+	}
+}
+
+// TestObserveZeroAllocSteadyState: the satellite's allocation bar — once
+// the striped reservoir is full, Observe on fixed-size keys allocates
+// nothing (replacements recycle buffers, the stripe choice is an atomic,
+// and no global lock or map is touched).
+func TestObserveZeroAllocSteadyState(t *testing.T) {
+	c := NewController(Config{WindowSize: 128, ReservoirSize: 128, CheckEvery: 1 << 30, Stripes: 8}, Steady)
+	k := []byte("com.user@0000000")
+	for i := 0; i < 4096; i++ {
+		c.Observe(k, 8)
+	}
+	allocs := testing.AllocsPerRun(4096, func() {
+		c.Observe(k, 8)
+	})
+	if allocs >= 0.5 {
+		t.Fatalf("Observe allocates %.2f/op in steady state, want 0", allocs)
+	}
+}
+
+// BenchmarkObserveParallel measures the accounting hot path under
+// multi-goroutine write pressure — the single-mutex tracker this replaces
+// serialized every insert through one lock.
+func BenchmarkObserveParallel(b *testing.B) {
+	c := NewController(Config{}, Steady)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		k := []byte("com.user@0000000")
+		for pb.Next() {
+			c.Observe(k, 8)
+		}
+	})
+}

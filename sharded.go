@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -12,30 +13,40 @@ import (
 
 // ShardedIndex is the concurrent serving layer over the compressed-index
 // facade: N lock-striped shards, each wrapping one search tree
-// (indexBackend) behind its own RWMutex, hash-partitioned on the original
-// key bytes. The expensive build artifact — the HOPE dictionary — is built
-// once and shared read-only by every shard; what is duplicated per shard
-// is only the mutable point-encode state (an O(1) Encoder clone, see
-// core.Encoder.Clone), so memory overhead versus a single Index is a few
-// hundred bytes per shard, not a dictionary per shard.
+// (indexBackend) behind its own RWMutex, partitioned on the original key
+// bytes by a pluggable Partitioner (hash by default; range with sampled
+// split points via NewRangeShardedIndex). The expensive build artifact —
+// the HOPE dictionary — is built once and shared read-only by every shard;
+// what is duplicated per shard is only the mutable point-encode state (an
+// O(1) Encoder clone, see core.Encoder.Clone), so memory overhead versus a
+// single Index is a few hundred bytes per shard, not a dictionary per
+// shard.
 //
 // Concurrency model:
 //
-//   - Put/Get/Delete hash the original key to one shard. Writers take that
-//     shard's exclusive lock; Get encodes outside any lock through a
+//   - Put/Get/Delete route the original key to one shard. Writers take
+//     that shard's exclusive lock; Get encodes outside any lock through a
 //     pooled scratch buffer (core.ConcurrentEncoder) and holds only the
 //     shard's read lock for the tree probe, so read-mostly workloads scale
 //     with the shard count and Get is allocation-free in steady state.
 //   - Scan/ScanPrefix translate bounds once (through the concurrent
-//     encoder) and k-way-merge the per-shard encoded iterators: each shard
-//     is drained in chunks under its read lock, and the merge interleaves
-//     chunks by encoded-byte order, which is original-key order. A merged
-//     scan is *per-shard* consistent, not a point-in-time snapshot across
-//     shards: keys inserted or deleted while the scan runs may or may not
-//     appear, exactly as in any lock-striped map.
+//     encoder) and plan by partition shape. Hash shards interleave the
+//     keyspace, so every shard is drained in chunks under its read lock
+//     and a k-way merge interleaves the chunks by encoded-byte order,
+//     which is original-key order. Range shards hold disjoint ascending
+//     intervals, so the planner prunes to the shards whose interval
+//     overlaps the query (compared in encoded space against precomputed
+//     encoded split points) and streams them sequentially with no merge
+//     and no heap — a short scan touches one or two shards and pays one
+//     cursor. Either way a scan is *per-shard* consistent, not a
+//     point-in-time snapshot across shards: keys inserted or deleted while
+//     the scan runs may or may not appear, exactly as in any lock-striped
+//     map.
 //   - Bulk partitions the keys once by shard and loads all shards in
 //     parallel, each shard running the bulk-encode pipeline over its
-//     partition.
+//     partition. An unseeded range partitioner is seeded here: the first
+//     Bulk into an empty index samples split points from its corpus
+//     (RangeSplits over a core.Sampler reservoir).
 //
 // The callback contract differs from Index in one respect: the stored
 // (encoded) key passed to a scan callback is only valid for the duration
@@ -45,7 +56,14 @@ type ShardedIndex struct {
 	enc     *core.Encoder           // build-phase template; nil = uncompressed
 	cenc    *core.ConcurrentEncoder // pooled encode state for the read path
 	shards  []*indexShard
-	mask    uint64
+	part    Partitioner
+
+	// encSplits caches the partitioner's split points translated into
+	// encoded space (EncodeBound per split) so the scan planner can prune
+	// shards by comparing encoded query bounds against encoded shard
+	// boundaries directly. nil when the partitioner is unordered, has no
+	// splits yet, or is single-shard.
+	encSplits atomic.Pointer[[][]byte]
 
 	// maxKeyLen tracks the longest original key ever stored (monotonic;
 	// ScanPrefix feeds it to the encoder's interval-ceiling bound).
@@ -86,22 +104,54 @@ func ceilPow2(n int) int {
 	return p
 }
 
-// NewShardedIndex builds a concurrent index of nShards lock-striped shards
-// (rounded up to a power of two; <= 0 selects DefaultShards) over the
-// named backend. enc may be nil for an uncompressed index; otherwise it is
-// the build-phase template: its read-only dictionary is shared by every
-// shard and by the pooled read-path encoder, and the template must not be
-// used directly afterwards (clone it first if independent use is needed).
+// NewShardedIndex builds a concurrent index of nShards lock-striped,
+// hash-partitioned shards (rounded up to a power of two; <= 0 selects
+// DefaultShards) over the named backend. enc may be nil for an
+// uncompressed index; otherwise it is the build-phase template: its
+// read-only dictionary is shared by every shard and by the pooled
+// read-path encoder, and the template must not be used directly afterwards
+// (clone it first if independent use is needed).
 func NewShardedIndex(backend Backend, enc *core.Encoder, nShards int) (*ShardedIndex, error) {
+	return NewShardedIndexWithPartitioner(backend, enc, NewHashPartitioner(nShards))
+}
+
+// NewRangeShardedIndex builds a range-partitioned concurrent index: shards
+// own disjoint ascending key intervals, so short scans touch only the
+// shards their bounds overlap (see the type comment). corpus, when
+// non-nil, is a sample of the expected key population from which the split
+// points are drawn (RangeSplits); with a nil corpus the partitioner starts
+// unseeded and the first Bulk into the empty index seeds it from the
+// loaded keys.
+func NewRangeShardedIndex(backend Backend, enc *core.Encoder, nShards int, corpus [][]byte) (*ShardedIndex, error) {
 	if nShards <= 0 {
 		nShards = DefaultShards()
 	}
 	nShards = ceilPow2(nShards)
+	var p *RangePartitioner
+	if corpus != nil {
+		p = NewRangePartitioner(RangeSplits(corpus, nShards, splitSeed))
+		if !p.seeded() { // empty corpus or single shard
+			p = NewUnseededRangePartitioner(nShards)
+		}
+	} else {
+		p = NewUnseededRangePartitioner(nShards)
+	}
+	return NewShardedIndexWithPartitioner(backend, enc, p)
+}
+
+// splitSeed drives split-point reservoir sampling; fixed so identical
+// corpora partition identically across runs.
+const splitSeed = 1
+
+// NewShardedIndexWithPartitioner builds a concurrent index whose shards
+// are laid out by the given partitioner (one lock-striped shard per
+// partition). See NewShardedIndex for the encoder contract.
+func NewShardedIndexWithPartitioner(backend Backend, enc *core.Encoder, p Partitioner) (*ShardedIndex, error) {
 	s := &ShardedIndex{
 		backend: backend,
 		enc:     enc,
-		shards:  make([]*indexShard, nShards),
-		mask:    uint64(nShards - 1),
+		shards:  make([]*indexShard, p.NumShards()),
+		part:    p,
 	}
 	if enc != nil {
 		s.cenc = core.NewConcurrentEncoder(enc)
@@ -118,7 +168,30 @@ func NewShardedIndex(backend Backend, enc *core.Encoder, nShards int) (*ShardedI
 		s.shards[i] = sh
 	}
 	s.scratch.New = func() any { return new(pointScratch) }
+	s.refreshEncSplits()
 	return s, nil
+}
+
+// refreshEncSplits (re)translates the partitioner's split points into
+// encoded space for the scan planner. Called at construction and after
+// Bulk seeds an unseeded range partitioner; both points precede or
+// serialize with key storage under the final routing, and the pointer swap
+// is atomic, so concurrent scans see either no splits (full span) or the
+// complete set.
+func (s *ShardedIndex) refreshEncSplits() {
+	splits := s.part.Splits()
+	if !s.part.Ordered() || len(splits) == 0 {
+		return
+	}
+	es := make([][]byte, len(splits))
+	for i, sp := range splits {
+		if s.cenc != nil {
+			es[i] = s.cenc.EncodeBound(sp)
+		} else {
+			es[i] = append([]byte(nil), sp...)
+		}
+	}
+	s.encSplits.Store(&es)
 }
 
 // Backend returns the wrapped tree's name.
@@ -129,8 +202,26 @@ func (s *ShardedIndex) Backend() Backend { return s.backend }
 // serving; clone it first.
 func (s *ShardedIndex) Encoder() *core.Encoder { return s.enc }
 
-// NumShards returns the shard count (a power of two).
+// NumShards returns the shard count.
 func (s *ShardedIndex) NumShards() int { return len(s.shards) }
+
+// Partitioner returns the policy routing original keys to shards.
+func (s *ShardedIndex) Partitioner() Partitioner { return s.part }
+
+// ShardLens returns the per-shard key counts — the skew profile of the
+// partition (a moment's snapshot under concurrent writers). Hash
+// partitions are near-uniform by construction; range partitions are as
+// balanced as their split points, so this is the observability hook for
+// re-sampling decisions.
+func (s *ShardedIndex) ShardLens() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		out[i] = sh.be.length()
+		sh.mu.RUnlock()
+	}
+	return out
+}
 
 func (s *ShardedIndex) trackLen(n int) {
 	for {
@@ -224,15 +315,65 @@ func (s *ShardedIndex) deleteShard(shard int, key []byte) (bool, error) {
 	return ok, err
 }
 
-// Bulk loads keys[i] -> vals[i]: the keys are partitioned once by shard
-// hash, then every shard loads its partition in parallel, each running the
-// parallel bulk-encode pipeline over its own slice of the shared
-// dictionary. A nil vals assigns each key its position. For the SuRF
-// backend this is the only way to populate the index (each shard builds
-// its own filter over its partition).
+// upsertShard resolves key against a known shard in ONE pass: a single
+// scratch encode and a single lock hold cover both the presence probe and
+// the insert-if-absent, where a getShard-then-putShard sequence pays two
+// encodes and two lock acquisitions. When the key exists its stored value
+// is returned untouched (the caller decides what an overwrite means — the
+// adaptive layer updates the record the value points at); when absent, val
+// is inserted. The existing path is allocation-free in steady state.
+func (s *ShardedIndex) upsertShard(shard int, key []byte, val uint64) (existing uint64, existed bool, storedLen int, err error) {
+	s.trackLen(len(key))
+	sh := s.shards[shard]
+	if s.cenc == nil {
+		sh.mu.Lock()
+		if v, ok := sh.be.get(key); ok {
+			sh.mu.Unlock()
+			return v, true, len(key), nil
+		}
+		err = sh.be.insert(append([]byte(nil), key...), val)
+		sh.mu.Unlock()
+		return 0, false, len(key), err
+	}
+	sc := s.scratch.Get().(*pointScratch)
+	ek, _ := s.cenc.EncodeBits(sc.buf, key)
+	storedLen = len(ek)
+	sh.mu.Lock()
+	if v, ok := sh.be.get(ek); ok {
+		sh.mu.Unlock()
+		sc.buf = ek[:0]
+		s.scratch.Put(sc)
+		return v, true, storedLen, nil
+	}
+	err = sh.be.insert(append([]byte(nil), ek...), val)
+	sh.mu.Unlock()
+	sc.buf = ek[:0]
+	s.scratch.Put(sc)
+	return 0, false, storedLen, err
+}
+
+// Bulk loads keys[i] -> vals[i]: the keys are partitioned once by the
+// partitioner, then every shard loads its partition in parallel, each
+// running the parallel bulk-encode pipeline over its own slice of the
+// shared dictionary. A nil vals assigns each key its position. For the
+// SuRF backend this is the only way to populate the index (each shard
+// builds its own filter over its partition).
+//
+// An unseeded range partitioner is seeded here: when the index is still
+// empty, split points are sampled from the corpus (RangeSplits) before
+// partitioning, so the load itself defines the key intervals. Seeding
+// requires the empty index — Bulk into a populated unseeded index loads
+// everything into shard 0 rather than silently re-routing stored keys.
 func (s *ShardedIndex) Bulk(keys [][]byte, vals []uint64) error {
 	if vals != nil && len(vals) != len(keys) {
 		return fmt.Errorf("hope: %d keys but %d values", len(keys), len(vals))
+	}
+	if rp, ok := s.part.(*RangePartitioner); ok && !rp.seeded() && rp.NumShards() > 1 &&
+		len(keys) > 0 && s.Len() == 0 {
+		if splits := RangeSplits(keys, rp.NumShards(), splitSeed); splits != nil {
+			rp.seed(splits)
+			s.refreshEncSplits()
+		}
 	}
 	n := len(s.shards)
 	parts := make([][][]byte, n)
@@ -285,13 +426,13 @@ func (s *ShardedIndex) Bulk(keys [][]byte, vals []uint64) error {
 	return nil
 }
 
-// shardIdx maps an original key to its lock stripe (see shardHash).
-// Hashing the *original* bytes (not the encoding) keeps routing
-// independent of the dictionary, so a rebuilt encoder never re-partitions
-// live data. This is the single routing function — point ops, Bulk
-// partitioning, and AdaptiveIndex's generation map must agree exactly.
+// shardIdx maps an original key to its lock stripe via the partitioner.
+// Routing the *original* bytes (not the encoding) keeps it independent of
+// the dictionary, so a rebuilt encoder never re-partitions live data. This
+// is the single routing function — point ops and Bulk partitioning must
+// agree exactly.
 func (s *ShardedIndex) shardIdx(key []byte) int {
-	return int(shardHash(key) & s.mask)
+	return s.part.Shard(key)
 }
 
 // shardHash is the shared routing hash: FNV-1a over the key bytes, high
@@ -356,7 +497,7 @@ func (s *ShardedIndex) Scan(lo, hi []byte, fn func(key []byte, val uint64) bool)
 	} else {
 		loEnc, hiEnc = lo, hi
 	}
-	return s.mergeScan(loEnc, hiEnc, false, fn)
+	return s.planScan(loEnc, hiEnc, false, fn)
 }
 
 // ScanPrefix visits every stored key that starts with prefix, in ascending
@@ -369,10 +510,97 @@ func (s *ShardedIndex) ScanPrefix(prefix []byte, fn func(key []byte, val uint64)
 			maxLen = len(prefix)
 		}
 		lo, hi := s.cenc.EncodePrefix(prefix, maxLen)
-		return s.mergeScan(lo, hi, true, fn)
+		return s.planScan(lo, hi, true, fn)
 	}
 	hi := prefixSuccessor(prefix)
-	return s.mergeScan(prefix, hi, false, fn)
+	return s.planScan(prefix, hi, false, fn)
+}
+
+// planScan routes a translated (encoded-space) scan to the cheapest
+// strategy the partition shape allows: a pruned sequential walk for
+// ordered partitions — single-shard scans skip the merge machinery
+// entirely — or the k-way merge for hash partitions.
+func (s *ShardedIndex) planScan(lo, hi []byte, hiIncl bool, fn func(key []byte, val uint64) bool) int {
+	if first, last, ok := s.scanSpan(lo, hi); ok {
+		return s.orderedScan(first, last, lo, hi, hiIncl, fn)
+	}
+	return s.mergeScan(lo, hi, hiIncl, fn)
+}
+
+// scanSpan prunes an ordered partition to the inclusive shard span whose
+// key intervals can overlap the encoded query bounds. Shard i's stored
+// encodings lie within [encSplit[i-1], encSplit[i]] (closed: the
+// zero-padding weak-order edge permits a stored key's encoding to equal a
+// boundary's from either side), so the span conservatively includes any
+// shard whose closed interval touches the bounds — never excluding a
+// shard that could hold a match. ok is false for unordered (hash)
+// partitions, which have no prunable structure.
+func (s *ShardedIndex) scanSpan(lo, hi []byte) (first, last int, ok bool) {
+	if !s.part.Ordered() {
+		return 0, 0, false
+	}
+	last = len(s.shards) - 1
+	es := s.encSplits.Load()
+	if es == nil {
+		if rp, isRange := s.part.(*RangePartitioner); isRange && !rp.seeded() {
+			// No split points installed yet: every key lives in shard 0.
+			return 0, 0, true
+		}
+		return 0, last, true
+	}
+	splits := *es
+	if len(lo) > 0 {
+		// First shard whose upper boundary is at or above lo; shards whose
+		// entire interval encodes below lo cannot match.
+		first = sort.Search(len(splits), func(i int) bool {
+			return bytes.Compare(splits[i], lo) >= 0
+		})
+	}
+	if hi != nil {
+		// Last shard whose lower boundary is at or below hi (closed
+		// comparison regardless of hi's inclusivity — a boundary-equal
+		// shard is scanned and simply yields nothing when exclusive).
+		last = sort.Search(len(splits), func(i int) bool {
+			return bytes.Compare(splits[i], hi) > 0
+		})
+	}
+	if first > last {
+		first = last // degenerate bounds: scan one shard, find nothing
+	}
+	return first, last, true
+}
+
+// scanCursorPool recycles shardCursor shells (chunk arenas, resume
+// buffers) across ordered scans, so the single-shard fast path performs
+// zero allocations in steady state — no merge heap, no per-scan cursor.
+var scanCursorPool = sync.Pool{New: func() any { return new(shardCursor) }}
+
+// orderedScan drains shards first..last sequentially. Ordered disjoint
+// shard intervals make interleaving impossible: everything in shard w
+// precedes everything in shard w+1 in encoded (hence original) order, so
+// the global order is the concatenation of per-shard orders and no merge
+// or heap is needed. Each shard still drains in chunks under its read
+// lock, exactly like the merge path's cursors.
+func (s *ShardedIndex) orderedScan(first, last int, lo, hi []byte, hiIncl bool, fn func(key []byte, val uint64) bool) int {
+	c := scanCursorPool.Get().(*shardCursor)
+	count := 0
+	for w := first; w <= last; w++ {
+		c.reset(s.shards[w], w, lo, hi, hiIncl)
+		for {
+			k, ok := c.peek()
+			if !ok {
+				break
+			}
+			_, v := c.pop()
+			count++
+			if !fn(k, v) {
+				c.release()
+				return count
+			}
+		}
+	}
+	c.release()
+	return count
 }
 
 // Shard-cursor chunk sizing: each lock acquisition drains one chunk. The
@@ -404,6 +632,12 @@ type shardCursor struct {
 	i     int
 	chunk int
 	done  bool // underlying shard exhausted; current chunk is the last
+
+	// collect is the fill callback, bound once per cursor lifetime (it
+	// captures only the cursor) so pooled cursors refill without
+	// allocating a fresh closure per chunk; nFill is its per-fill counter.
+	collect func(k []byte, v uint64) bool
+	nFill   int
 }
 
 // scanShard drains one shard's stored keys in [from, hi) (or [from, hi]
@@ -421,6 +655,22 @@ func (s *ShardedIndex) scanShard(shard int, from, hi []byte, hiIncl bool, fn fun
 	sh.mu.RUnlock()
 }
 
+// reset re-aims a (possibly pooled) cursor at one shard's [lo, hi) span,
+// keeping its arena and resume buffers for reuse.
+func (c *shardCursor) reset(sh *indexShard, order int, lo, hi []byte, hiIncl bool) {
+	c.sh, c.order = sh, order
+	c.next = append(c.next[:0], lo...)
+	c.hi, c.hiIncl = hi, hiIncl
+	c.arena, c.keys, c.vals = c.arena[:0], c.keys[:0], c.vals[:0]
+	c.i, c.chunk, c.done = 0, 0, false
+}
+
+// release drops live references and returns the cursor to the pool.
+func (c *shardCursor) release() {
+	c.sh, c.hi = nil, nil
+	scanCursorPool.Put(c)
+}
+
 func (c *shardCursor) fill() {
 	c.arena = c.arena[:0]
 	c.keys = c.keys[:0]
@@ -432,17 +682,21 @@ func (c *shardCursor) fill() {
 	if c.chunk == 0 {
 		c.chunk = scanChunkInit
 	}
-	n := 0
+	if c.collect == nil {
+		c.collect = func(k []byte, v uint64) bool {
+			start := len(c.arena)
+			c.arena = append(c.arena, k...)
+			c.keys = append(c.keys, c.arena[start:len(c.arena):len(c.arena)])
+			c.vals = append(c.vals, v)
+			c.nFill++
+			return c.nFill < c.chunk
+		}
+	}
+	c.nFill = 0
 	c.sh.mu.RLock()
-	c.sh.be.scan(c.next, c.hi, c.hiIncl, func(k []byte, v uint64) bool {
-		start := len(c.arena)
-		c.arena = append(c.arena, k...)
-		c.keys = append(c.keys, c.arena[start:len(c.arena):len(c.arena)])
-		c.vals = append(c.vals, v)
-		n++
-		return n < c.chunk
-	})
+	c.sh.be.scan(c.next, c.hi, c.hiIncl, c.collect)
 	c.sh.mu.RUnlock()
+	n := c.nFill
 	if n < c.chunk {
 		c.done = true
 		return
