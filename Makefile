@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint bench bench-tree bench-ycsb bench-drift bench-scan bench-check figures clean
+.PHONY: all build test lint chaos bench bench-tree bench-ycsb bench-drift bench-scan bench-check figures clean
 
 all: lint test build
 
@@ -14,6 +14,17 @@ lint:
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
+
+# chaos is the fault-injection soak: seeded fault plans firing errors,
+# stalls, and panics at every rebuild checkpoint under concurrent YCSB-style
+# traffic, differentially verified against a plain rebuilt Index — plus the
+# watchdog, breaker, panic-isolation, and Quiesce/Close robustness suite.
+# Runs under the race detector with a hard time budget; a failing seed is
+# printed by the fault plan's event log and replays deterministically.
+chaos:
+	$(GO) test -race -count=1 -timeout 15m -v \
+		-run 'TestAdaptiveChaos|TestAdaptiveQuiesce|TestAdaptiveClose|TestAdaptiveWatchdog|TestAdaptivePanic|TestAdaptiveBreaker|TestAdaptiveAutoBackoff|TestAdaptiveSkew|TestAdaptiveAbortRestores' \
+		.
 
 # bench records the encode-path performance trajectory: serial kernel vs
 # parallel bulk EncodeAll per scheme, written to BENCH_encode.json so

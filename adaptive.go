@@ -2,11 +2,15 @@ package hope
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/lifecycle"
 )
 
@@ -106,10 +110,32 @@ type AdaptiveIndex struct {
 
 	migrated atomic.Int32 // shards flipped in the current migration
 
-	// migrationHook, when set (tests only), runs at migration checkpoints;
-	// returning an error aborts the rebuild at that point. Set it before
-	// any traffic and do not change it while a rebuild may be running.
-	migrationHook func(stage string, shard int) error
+	// injector, when set (tests and chaos harnesses), fires at every
+	// rebuild checkpoint; an error it returns aborts the rebuild at that
+	// point, a panic it raises is recovered and converted to
+	// *ErrRebuildPanic, and a stall it imposes is subject to the watchdog.
+	// Set it before any traffic and do not change it while a rebuild may
+	// be running (fault.Plan.Disarm defuses one in place).
+	injector fault.Injector
+
+	// watch is the in-flight rebuild's cancellation scoreboard (nil when no
+	// rebuild is running): the watchdog, Close, and interruptible stalls
+	// all cancel through it; checkpoints observe it.
+	watch atomic.Pointer[rebuildWatch]
+
+	// lastStage/lastShard name the most recent checkpoint passed. They are
+	// written and read only on the rebuilding goroutine (rebuildMu holder),
+	// purely to attribute a recovered panic.
+	lastStage string
+	lastShard int
+
+	// asyncWG tracks triggered background rebuild goroutines from the
+	// moment the trigger wins its CAS — before the goroutine exists — so
+	// Quiesce cannot miss one that has not yet reached rebuildMu.
+	asyncWG sync.WaitGroup
+	closed  atomic.Bool
+
+	skewTick atomic.Int64 // inserts since construction, for ResplitAbove cadence
 }
 
 // AdaptiveOptions configures an AdaptiveIndex. The zero value serves
@@ -143,6 +169,24 @@ type AdaptiveOptions struct {
 	// while holding a shard's lock (default 512) — the writer-visible
 	// pause ceiling.
 	MigrationBatch int
+	// MigrationTimeout is the watchdog's progress bound: a rebuild that
+	// makes no checkpoint progress (build start, migration batch, shard
+	// flip, cutover) for this long is cancelled and aborts with
+	// ErrMigrationTimeout, restoring the old generation. It should
+	// comfortably exceed the dictionary build time and one migration
+	// batch. 0 disables the watchdog's progress check.
+	MigrationTimeout time.Duration
+	// RebuildDeadline caps one whole rebuild — build plus migration — the
+	// same way. 0 disables the deadline.
+	RebuildDeadline time.Duration
+	// ResplitAbove arms skew-triggered re-balancing for range-partitioned
+	// indexes: when the largest tree shard of the serving generation holds
+	// more than this fraction of the keys (e.g. 0.5 on 8 shards), a rebuild
+	// is triggered even without CPR drift, re-sampling split points from
+	// the reservoir. Checked on the lifecycle's CheckEvery insert cadence
+	// and gated by the same cooldown and failure backoff as drift rebuilds.
+	// 0 disables; ignored unless Partition == RangePartitioned.
+	ResplitAbove float64
 	// Manual disables automatic rebuilds: the lifecycle still samples and
 	// tracks drift, but only an explicit Rebuild call acts on it.
 	Manual bool
@@ -382,8 +426,13 @@ func (a *AdaptiveIndex) Put(key []byte, val uint64) error {
 	}
 	sh.mu.Unlock()
 	if inserted {
-		if sig := a.ctl.Observe(key, storedLen); sig != lifecycle.None && !a.opts.Manual {
-			a.triggerAsync()
+		sig := a.ctl.Observe(key, storedLen)
+		if !a.opts.Manual {
+			if sig != lifecycle.None {
+				a.triggerAsync(a.revalidateDrift)
+			} else if a.skewCheck() {
+				a.triggerAsync(a.revalidateSkew)
+			}
 		}
 	} else {
 		// Overwrites are traffic for the reservoir but do not change the
@@ -502,7 +551,7 @@ func (a *AdaptiveIndex) Bulk(keys [][]byte, vals []uint64) error {
 		}
 	}
 	if !a.opts.Manual && a.ctl.Check() != lifecycle.None {
-		a.triggerAsync()
+		a.triggerAsync(a.revalidateDrift)
 	}
 	return nil
 }
@@ -576,37 +625,141 @@ func (a *AdaptiveIndex) bulkLoad(keys [][]byte, vals []uint64) (viaPuts bool, er
 // until the cutover (or the abort) completes. Traffic keeps flowing on
 // mutable backends; the SuRF backend rebuilds stop-the-world. The drift
 // detector triggers this same path automatically unless opts.Manual.
+//
+// Failures are typed: errors.Is(err, ErrMigrationTimeout) for a
+// watchdog abort, errors.As(err, new(*ErrRebuildPanic)) for a recovered
+// panic, errors.Is(err, ErrClosed) after Close. An explicit Rebuild is
+// not gated by the failure backoff — it is how a degraded index is
+// revived — but its failures still count toward the circuit breaker, and
+// when the breaker is (or stays) open the returned error also matches
+// ErrDegraded.
 func (a *AdaptiveIndex) Rebuild() error {
 	a.rebuildMu.Lock()
 	defer a.rebuildMu.Unlock()
-	return a.rebuildLocked()
+	err := a.rebuildLocked()
+	if err != nil && !errors.Is(err, ErrClosed) && a.ctl.Degraded() {
+		err = fmt.Errorf("%w: %w", ErrDegraded, err)
+	}
+	return err
 }
 
-// Quiesce blocks until any in-flight background rebuild completes.
+// Err reports the index's health: nil while healthy; an error matching
+// ErrDegraded (wrapping the last rebuild failure) while the circuit
+// breaker is open — the index still serves reads, writes, and scans on
+// the frozen dictionary; ErrClosed after Close.
+func (a *AdaptiveIndex) Err() error {
+	if a.closed.Load() {
+		return ErrClosed
+	}
+	if a.ctl.Degraded() {
+		if last := a.ctl.LastError(); last != nil {
+			return fmt.Errorf("%w (last failure: %w)", ErrDegraded, last)
+		}
+		return ErrDegraded
+	}
+	return nil
+}
+
+// Quiesce blocks until every background rebuild in flight — including one
+// whose trigger fired but whose goroutine has not yet started running —
+// has completed or aborted. On return, no background rebuild is running
+// and none will start without a new trigger.
 func (a *AdaptiveIndex) Quiesce() {
+	a.asyncWG.Wait()
 	a.rebuildMu.Lock()
 	defer a.rebuildMu.Unlock()
 }
 
+// Close shuts the rebuild machinery down: new rebuilds (explicit or
+// automatic) are refused with ErrClosed, an in-flight rebuild is
+// cancelled at its next checkpoint (waking any interruptible stall) and
+// aborts down the usual restore path, and Close blocks until the
+// background goroutine has fully exited. The index keeps serving reads,
+// writes, and scans afterwards — only the dictionary is frozen. Close is
+// idempotent and always returns nil.
+func (a *AdaptiveIndex) Close() error {
+	a.closed.Store(true)
+	if w := a.watch.Load(); w != nil {
+		w.fire(ErrClosed)
+	}
+	a.Quiesce()
+	return nil
+}
+
 // triggerAsync starts one background rebuild; concurrent signals collapse
-// into it.
-func (a *AdaptiveIndex) triggerAsync() {
+// into it. revalidate re-checks the trigger's reason once the goroutine
+// holds rebuildMu — an explicit Rebuild may have serviced the signal, or
+// a failure may have armed the retry backoff, while it waited.
+func (a *AdaptiveIndex) triggerAsync(revalidate func() bool) {
+	if a.closed.Load() {
+		return
+	}
 	if !a.rebuilding.CompareAndSwap(false, true) {
 		return
 	}
+	// Register with Quiesce before the goroutine exists: a Quiesce between
+	// the CAS above and the goroutine's first instruction must still wait
+	// for it (see TestAdaptiveQuiesceWaitsForTriggeredRebuild).
+	a.asyncWG.Add(1)
 	go func() {
+		defer a.asyncWG.Done()
 		a.rebuildMu.Lock()
 		defer a.rebuildMu.Unlock()
 		defer a.rebuilding.Store(false)
-		// Re-validate under the lock: an explicit Rebuild may have
-		// serviced the signal while this goroutine waited.
-		if a.ctl.Check() == lifecycle.None {
+		if a.closed.Load() || !revalidate() {
 			return
 		}
-		// The error is reflected in Stats().Aborts; background failures
-		// have no caller to return to.
+		// Failures are recorded in the lifecycle health stats (LastError,
+		// ConsecutiveFailures, NextRetryAt); background rebuilds have no
+		// caller to return an error to.
 		_ = a.rebuildLocked()
 	}()
+}
+
+// revalidateDrift re-checks the lifecycle's own signals (first build,
+// drift) under rebuildMu; the controller gates them through the failure
+// backoff itself.
+func (a *AdaptiveIndex) revalidateDrift() bool { return a.ctl.Check() != lifecycle.None }
+
+// revalidateSkew re-checks the skew trigger under rebuildMu.
+func (a *AdaptiveIndex) revalidateSkew() bool {
+	return a.skewExceeded() && a.ctl.ResplitAllowed()
+}
+
+// skewCheck implements the ResplitAbove trigger on Put's insert path: on
+// the lifecycle's CheckEvery cadence, measure the serving partition's
+// skew and ask the controller whether a re-split rebuild may run (Steady,
+// cooldown elapsed, failure backoff expired).
+func (a *AdaptiveIndex) skewCheck() bool {
+	if a.opts.ResplitAbove <= 0 || a.opts.Partition != RangePartitioned || len(a.shards) < 2 {
+		return false
+	}
+	if a.skewTick.Add(1)%int64(a.ctl.Config().CheckEvery) != 0 {
+		return false
+	}
+	return a.skewExceeded() && a.ctl.ResplitAllowed()
+}
+
+// skewExceeded reports whether the serving generation's largest tree
+// shard exceeds the ResplitAbove fraction. A population below one
+// CheckEvery window never counts as skewed — a handful of keys on one
+// shard is noise, not skew.
+func (a *AdaptiveIndex) skewExceeded() bool {
+	a.genMu.Lock()
+	idx := a.cur.idx
+	a.genMu.Unlock()
+	frac, total := idx.maxShardFrac()
+	return total >= a.ctl.Config().CheckEvery && frac > a.opts.ResplitAbove
+}
+
+// MaxShardFrac returns the serving generation's largest tree-shard
+// fraction (see ShardedIndex.MaxShardFrac) — the skew measure the
+// ResplitAbove trigger acts on.
+func (a *AdaptiveIndex) MaxShardFrac() float64 {
+	a.genMu.Lock()
+	idx := a.cur.idx
+	a.genMu.Unlock()
+	return idx.MaxShardFrac()
 }
 
 // sampleRecords draws up to capacity live original keys from the
@@ -636,24 +789,153 @@ func (a *AdaptiveIndex) sampleRecords(capacity int) [][]byte {
 	return out
 }
 
-func (a *AdaptiveIndex) hookErr(stage string, shard int) error {
-	if a.migrationHook == nil {
+// rebuildWatch is one rebuild's cancellation scoreboard. fire is
+// idempotent and first-reason-wins: it records why, marks the watch
+// cancelled, and closes the cancel channel (waking any interruptible
+// stall blocked in the injector). Checkpoints observe the cancellation
+// and surface the reason as the rebuild's error, so the abort-restore
+// path always runs on the rebuilding goroutine — the watchdog and Close
+// never mutate index state themselves.
+type rebuildWatch struct {
+	cancel    chan struct{}
+	cancelled atomic.Bool
+	lastBeat  atomic.Int64 // UnixNano of the most recent checkpoint
+	reason    atomic.Value // error
+	once      sync.Once
+}
+
+func (w *rebuildWatch) progress() { w.lastBeat.Store(time.Now().UnixNano()) }
+
+func (w *rebuildWatch) fire(reason error) {
+	w.once.Do(func() {
+		w.reason.Store(reason)
+		w.cancelled.Store(true)
+		close(w.cancel)
+	})
+}
+
+func (w *rebuildWatch) err() error {
+	if !w.cancelled.Load() {
 		return nil
 	}
-	return a.migrationHook(stage, shard)
+	return w.reason.Load().(error)
+}
+
+// checkpoint marks rebuild progress at a named point, fires the fault
+// injector (its error is returned unwrapped, so tests can assert
+// identity), and observes cancellation — from the watchdog
+// (ErrMigrationTimeout) or Close (ErrClosed). It runs only on the
+// rebuilding goroutine.
+func (a *AdaptiveIndex) checkpoint(stage string, shard int) error {
+	a.lastStage, a.lastShard = stage, shard
+	w := a.watch.Load()
+	if w != nil {
+		w.progress()
+	}
+	if inj := a.injector; inj != nil {
+		if err := inj.Fire(stage, shard); err != nil {
+			return err
+		}
+	}
+	if a.closed.Load() {
+		return ErrClosed
+	}
+	if w != nil {
+		return w.err()
+	}
+	return nil
+}
+
+// startWatchdog polices the in-flight rebuild: MigrationTimeout bounds
+// the gap between checkpoints, RebuildDeadline the whole rebuild. On a
+// violation it fires the watch with ErrMigrationTimeout and the next
+// checkpoint aborts the rebuild. The returned stop function waits for
+// the watchdog goroutine to exit.
+func (a *AdaptiveIndex) startWatchdog(w *rebuildWatch) (stop func()) {
+	progress, deadline := a.opts.MigrationTimeout, a.opts.RebuildDeadline
+	if progress <= 0 && deadline <= 0 {
+		return func() {}
+	}
+	start := time.Now()
+	tick := time.Hour
+	if progress > 0 && progress/4 < tick {
+		tick = progress / 4
+	}
+	if deadline > 0 && deadline/4 < tick {
+		tick = deadline / 4
+	}
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-ticker.C:
+				wedged := progress > 0 && now.UnixNano()-w.lastBeat.Load() > int64(progress)
+				overdue := deadline > 0 && now.Sub(start) > deadline
+				if wedged || overdue {
+					w.fire(ErrMigrationTimeout)
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-stopped
+	}
+}
+
+// recoveredErr converts a recovered panic value into the typed
+// *ErrRebuildPanic, attributing it to the last checkpoint passed and
+// capturing the stack while the panicking frames are still live.
+func (a *AdaptiveIndex) recoveredErr(r any) error {
+	if e, ok := r.(*ErrRebuildPanic); ok {
+		return e // already converted by an inner recover
+	}
+	return &ErrRebuildPanic{Stage: a.lastStage, Shard: a.lastShard, Value: r, Stack: debug.Stack()}
 }
 
 func (a *AdaptiveIndex) rebuildLocked() (err error) {
+	if a.closed.Load() {
+		return ErrClosed
+	}
 	if err := a.ctl.BeginBuild(); err != nil {
 		return err
 	}
-	// Any failure from here on rolls the lifecycle back.
+	a.lastStage, a.lastShard = "build-start", -1
+	w := &rebuildWatch{cancel: make(chan struct{})}
+	w.progress()
+	a.watch.Store(w)
+	if ca, ok := a.injector.(fault.CancelAware); ok {
+		ca.SetCancel(w.cancel)
+	}
+	stopWatchdog := a.startWatchdog(w)
+	// Any failure from here on rolls the lifecycle back and feeds the
+	// retry/breaker policy; any panic is isolated here (the shard maps
+	// were already restored by migrateConcurrent's own recovery before
+	// the panic converts to an error).
 	defer func() {
+		if r := recover(); r != nil {
+			err = a.recoveredErr(r)
+		}
+		stopWatchdog()
+		a.watch.Store(nil)
 		if err != nil {
 			_ = a.ctl.Abort()
+			if !errors.Is(err, ErrClosed) {
+				a.ctl.RecordFailure(err)
+			}
 		}
 	}()
-	if err := a.hookErr("build-start", -1); err != nil {
+	if err := a.checkpoint("build-start", -1); err != nil {
 		return err
 	}
 	samples := a.ctl.SampleSnapshot()
@@ -698,16 +980,24 @@ func (a *AdaptiveIndex) rebuildLocked() (err error) {
 
 // migrateConcurrent runs the incremental protocol described on the type:
 // dual-write everywhere, copy per shard in batches, flip reads per shard,
-// cut over when all shards flipped. Any error aborts by pointing every
-// shard back at the old generation, which saw every write throughout.
-func (a *AdaptiveIndex) migrateConcurrent(next *generation) error {
+// cut over when all shards flipped. Any error — or any panic, recovered
+// here so the restore runs before the error propagates — aborts by
+// pointing every shard back at the old generation, which saw every write
+// throughout.
+func (a *AdaptiveIndex) migrateConcurrent(next *generation) (err error) {
 	a.genMu.Lock()
 	old := a.cur
 	a.next = next
 	a.genMu.Unlock()
 	a.migrated.Store(0)
 
-	abort := func() {
+	defer func() {
+		if r := recover(); r != nil {
+			err = a.recoveredErr(r)
+		}
+		if err == nil {
+			return
+		}
 		for _, sh := range a.shards {
 			sh.mu.Lock()
 			sh.read = old
@@ -718,7 +1008,7 @@ func (a *AdaptiveIndex) migrateConcurrent(next *generation) error {
 		a.next = nil
 		a.genMu.Unlock()
 		a.migrated.Store(0)
-	}
+	}()
 
 	for _, sh := range a.shards {
 		sh.mu.Lock()
@@ -727,7 +1017,6 @@ func (a *AdaptiveIndex) migrateConcurrent(next *generation) error {
 	}
 	for i := range a.shards {
 		if err := a.migrateShard(i, old, next); err != nil {
-			abort()
 			return err
 		}
 		sh := a.shards[i]
@@ -735,13 +1024,11 @@ func (a *AdaptiveIndex) migrateConcurrent(next *generation) error {
 		sh.read = next
 		sh.mu.Unlock()
 		a.migrated.Add(1)
-		if err := a.hookErr("shard-flipped", i); err != nil {
-			abort()
+		if err := a.checkpoint("shard-flipped", i); err != nil {
 			return err
 		}
 	}
-	if err := a.hookErr("cutover", -1); err != nil {
-		abort()
+	if err := a.checkpoint("cutover", -1); err != nil {
 		return err
 	}
 	for _, sh := range a.shards {
@@ -776,28 +1063,45 @@ func (a *AdaptiveIndex) migrateShard(stripe int, old, next *generation) error {
 		if end > horizon {
 			end = horizon
 		}
-		sh.mu.Lock()
-		for slot := start; slot < end; slot++ {
-			r := &old.recs[stripe].recs[slot]
-			if r.dead {
-				continue
-			}
-			nslot := len(next.recs[stripe].recs)
-			_, existed, _, err := next.idx.upsertShard(
-				routeRecord(next, stripe, r.key), r.key, recordID(stripe, nslot))
-			if err != nil {
-				sh.mu.Unlock()
+		if err := a.copyBatch(sh, stripe, old, next, start, end); err != nil {
+			return err
+		}
+		if err := a.checkpoint("batch", stripe); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copyBatch copies slots [start, end) of one stripe under its lock. The
+// unlock is deferred so an injected panic cannot leak the lock on its way
+// to migrateConcurrent's recovery. The "mid-batch" checkpoint fires per
+// record but only when an injector is armed — it exists to let fault
+// plans abort with the stripe lock held and the batch half-copied, the
+// worst possible instant.
+func (a *AdaptiveIndex) copyBatch(sh *adaptiveShard, stripe int, old, next *generation, start, end int) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for slot := start; slot < end; slot++ {
+		r := &old.recs[stripe].recs[slot]
+		if r.dead {
+			continue
+		}
+		nslot := len(next.recs[stripe].recs)
+		_, existed, _, err := next.idx.upsertShard(
+			routeRecord(next, stripe, r.key), r.key, recordID(stripe, nslot))
+		if err != nil {
+			return err
+		}
+		if existed {
+			continue // dual-written (or re-inserted) since the snapshot
+		}
+		next.recs[stripe].recs = append(next.recs[stripe].recs, record{key: r.key, val: r.val})
+		next.recs[stripe].live++
+		if a.injector != nil {
+			if err := a.checkpoint("mid-batch", stripe); err != nil {
 				return err
 			}
-			if existed {
-				continue // dual-written (or re-inserted) since the snapshot
-			}
-			next.recs[stripe].recs = append(next.recs[stripe].recs, record{key: r.key, val: r.val})
-			next.recs[stripe].live++
-		}
-		sh.mu.Unlock()
-		if err := a.hookErr("batch", stripe); err != nil {
-			return err
 		}
 	}
 	return nil
@@ -832,6 +1136,12 @@ func (a *AdaptiveIndex) migrateStopTheWorld(next *generation) error {
 		}
 	}
 	if err := next.idx.Bulk(keys, ids); err != nil {
+		return err
+	}
+	// Same cutover checkpoint as the concurrent path, so fault plans and
+	// the watchdog cover the stop-the-world rebuild too; the deferred
+	// unlocks make an injected panic here safe.
+	if err := a.checkpoint("cutover", -1); err != nil {
 		return err
 	}
 	for _, sh := range a.shards {

@@ -1,0 +1,44 @@
+package hope
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed failure taxonomy for the adaptive rebuild machinery. Callers of
+// Rebuild (and readers of AdaptiveStats.LastError) classify failures with
+// errors.Is / errors.As instead of parsing message strings:
+//
+//   - ErrMigrationTimeout: the migration watchdog aborted a wedged rebuild
+//     (no checkpoint progress within AdaptiveOptions.MigrationTimeout, or
+//     the whole rebuild exceeded AdaptiveOptions.RebuildDeadline).
+//   - *ErrRebuildPanic: a panic inside the rebuild/migration path was
+//     recovered, converted to an error, and the abort-restore path ran.
+//   - ErrDegraded: the circuit breaker is open — consecutive rebuild
+//     failures reached Lifecycle.BreakerAfter and the index has fallen
+//     back to frozen-dictionary serving. Reads and writes keep flowing on
+//     the current generation; a successful Rebuild (explicit, or the
+//     automatic half-open probe) closes the breaker.
+//   - ErrClosed: Close was called; rebuilds are refused (point ops and
+//     scans keep serving).
+var (
+	ErrMigrationTimeout = errors.New("hope: migration watchdog timed out")
+	ErrDegraded         = errors.New("hope: adaptive index degraded, serving frozen dictionary")
+	ErrClosed           = errors.New("hope: adaptive index closed")
+)
+
+// ErrRebuildPanic reports a panic recovered inside a rebuild or migration:
+// the panicking goroutine's work was rolled back by the abort-restore path
+// and the old generation kept serving. Stage and Shard name the last
+// checkpoint passed before the panic; Stack is captured at recovery, while
+// the panicking frames are still live.
+type ErrRebuildPanic struct {
+	Stage string
+	Shard int
+	Value any
+	Stack []byte
+}
+
+func (e *ErrRebuildPanic) Error() string {
+	return fmt.Sprintf("hope: rebuild panic after checkpoint %s/%d: %v", e.Stage, e.Shard, e.Value)
+}

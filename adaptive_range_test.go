@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/lifecycle"
 )
 
@@ -102,13 +103,13 @@ func TestAdaptiveRangeMidMigrationDifferential(t *testing.T) {
 		pause := make(chan struct{})
 		resume := make(chan struct{})
 		half := a.NumShards() / 2
-		a.migrationHook = func(stage string, shard int) error {
+		a.injector = fault.Func(func(stage string, shard int) error {
 			if stage == "shard-flipped" && shard == half {
 				close(pause)
 				<-resume
 			}
 			return nil
-		}
+		})
 		done := make(chan error, 1)
 		go func() { done <- a.Rebuild() }()
 		<-pause

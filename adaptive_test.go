@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/lifecycle"
 )
 
@@ -293,13 +294,13 @@ func TestAdaptiveMidMigrationDifferential(t *testing.T) {
 			pause := make(chan struct{})
 			resume := make(chan struct{})
 			half := a.NumShards() / 2
-			a.migrationHook = func(stage string, shard int) error {
+			a.injector = fault.Func(func(stage string, shard int) error {
 				if stage == "shard-flipped" && shard == half {
 					close(pause)
 					<-resume
 				}
 				return nil
-			}
+			})
 			done := make(chan error, 1)
 			go func() { done <- a.Rebuild() }()
 			<-pause
@@ -392,6 +393,8 @@ func TestAdaptiveAbortRestoresOldGeneration(t *testing.T) {
 		{"build-start", -1},
 		{"batch", 0},
 		{"batch", 3},
+		{"mid-batch", -1}, // first record copied, stripe lock held
+		{"mid-batch", 5},  // deep into the copy of a later stripe
 		{"shard-flipped", 2},
 		{"shard-flipped", 7},
 		{"cutover", -1},
@@ -403,13 +406,14 @@ func TestAdaptiveAbortRestoresOldGeneration(t *testing.T) {
 		}
 		model := seedAdaptive(t, a, keys)
 		encBefore := a.Encoder()
+		memBefore := a.MemoryUsage()
 		boom := fmt.Errorf("injected at %s/%d", st.stage, st.shard)
-		a.migrationHook = func(stage string, shard int) error {
+		a.injector = fault.Func(func(stage string, shard int) error {
 			if stage == st.stage && (st.shard < 0 || shard == st.shard) {
 				return boom
 			}
 			return nil
-		}
+		})
 		if err := a.Rebuild(); err != boom {
 			t.Fatalf("%s/%d: Rebuild returned %v, want injected error", st.stage, st.shard, err)
 		}
@@ -422,6 +426,12 @@ func TestAdaptiveAbortRestoresOldGeneration(t *testing.T) {
 		if s := a.Stats(); s.Aborts != 1 || s.Rebuilds != 0 || s.MigratedShards != 0 {
 			t.Fatalf("%s/%d: stats %+v", st.stage, st.shard, s)
 		}
+		// The aborted next generation must be fully dropped: no trees, no
+		// record copies, nothing still charged to the modeled footprint.
+		if got := a.MemoryUsage(); got != memBefore {
+			t.Fatalf("%s/%d: MemoryUsage %d after abort, want %d (next-generation leak)",
+				st.stage, st.shard, got, memBefore)
+		}
 		checkDifferential(t, fmt.Sprintf("aborted at %s/%d", st.stage, st.shard), a, model)
 
 		// Writes after the abort, then a clean rebuild.
@@ -430,7 +440,7 @@ func TestAdaptiveAbortRestoresOldGeneration(t *testing.T) {
 			a.Put(k, uint64(i))
 			model[string(k)] = uint64(i)
 		}
-		a.migrationHook = nil
+		a.injector = nil
 		if err := a.Rebuild(); err != nil {
 			t.Fatalf("%s/%d: clean rebuild after abort: %v", st.stage, st.shard, err)
 		}

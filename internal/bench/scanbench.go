@@ -141,14 +141,6 @@ func runScanCell(cfg Config, backend hope.Backend, tc TreeConfig, template *core
 	}
 	wall := time.Since(t0).Seconds()
 
-	lens := s.ShardLens()
-	total, maxLen := 0, 0
-	for _, n := range lens {
-		total += n
-		if n > maxLen {
-			maxLen = n
-		}
-	}
 	row := ScanBenchRow{
 		Dataset:   cfg.Dataset.String(),
 		Workload:  ycsb.E.String(),
@@ -167,9 +159,7 @@ func runScanCell(cfg Config, backend hope.Backend, tc TreeConfig, template *core
 	if wall > 0 {
 		row.OpsPerSec = float64(len(w.Ops)) / wall
 	}
-	if total > 0 {
-		row.MaxShardFrac = float64(maxLen) / float64(total)
-	}
+	row.MaxShardFrac = s.MaxShardFrac()
 	return row, nil
 }
 

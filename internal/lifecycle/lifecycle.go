@@ -16,8 +16,10 @@ package lifecycle
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -99,6 +101,28 @@ type Config struct {
 	// serialize through one tracker lock; drift checks aggregate the
 	// stripes. One stripe restores fully serialized accounting.
 	Stripes int
+
+	// RetryBackoff is the base delay before a failed automatic rebuild
+	// re-arms (default 1s). The n-th consecutive failure backs off
+	// RetryBackoff × 2^(n-1), capped at RetryBackoffMax, with ±RetryJitter
+	// relative jitter from the controller's seeded RNG — a failing rebuild
+	// must never fire again on the very next drift signal.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff (default 60s).
+	RetryBackoffMax time.Duration
+	// RetryJitter is the relative jitter applied to each backoff delay,
+	// in [0, 1) (default 0.2). Negative disables jitter.
+	RetryJitter float64
+	// BreakerAfter is the consecutive-failure count that opens the
+	// circuit breaker (default 5): the controller reports Degraded,
+	// automatic rebuilds are suppressed, and the index keeps serving its
+	// current (frozen) dictionary. After the current backoff expires one
+	// half-open probe may fire; any successful cutover — probe or explicit
+	// Rebuild — closes the breaker. Negative disables the breaker.
+	BreakerAfter int
+	// Clock overrides the time source for backoff arithmetic (tests);
+	// nil uses time.Now.
+	Clock func() time.Time
 }
 
 // Fill populates zero fields with defaults and returns the config.
@@ -127,6 +151,21 @@ func (c Config) Fill() Config {
 	if c.Stripes <= 0 {
 		c.Stripes = 16
 	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Second
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 60 * time.Second
+	}
+	if c.RetryJitter == 0 {
+		c.RetryJitter = 0.2
+	}
+	if c.RetryJitter < 0 {
+		c.RetryJitter = 0
+	}
+	if c.BreakerAfter == 0 {
+		c.BreakerAfter = 5
+	}
 	return c
 }
 
@@ -140,6 +179,13 @@ type Stats struct {
 	RecentCPR  float64
 	Rebuilds   int // completed cutovers
 	Aborts     int // rebuilds that rolled back
+
+	// Health of the rebuild machinery (see Config.RetryBackoff and
+	// Config.BreakerAfter).
+	Degraded            bool      // circuit breaker open: frozen-dictionary serving
+	ConsecutiveFailures int       // rebuild failures since the last cutover
+	LastError           error     // most recent rebuild failure (nil after a cutover)
+	NextRetryAt         time.Time // earliest automatic rebuild re-arm (zero when unthrottled)
 }
 
 // Controller combines the state machine and the drift tracker. All methods
@@ -171,6 +217,15 @@ type Controller struct {
 	buildCPR   float64 // CPR of the serving dictionary on its build sample
 	rebuilds   int
 	aborts     int
+
+	// Failure policy state (guarded by mu). retryRNG drives backoff
+	// jitter; it is separate from the reservoir RNGs so the jitter
+	// sequence is a pure function of the failure sequence.
+	consecFails int
+	degraded    bool
+	lastErr     error
+	nextRetryAt time.Time
+	retryRNG    *rand.Rand
 }
 
 // trackerStripe is one slice of the drift tracker: 1/Stripes of the
@@ -188,9 +243,10 @@ type trackerStripe struct {
 func NewController(cfg Config, initial State) *Controller {
 	cfg = cfg.Fill()
 	c := &Controller{
-		cfg:     cfg,
-		state:   initial,
-		stripes: make([]*trackerStripe, cfg.Stripes),
+		cfg:      cfg,
+		state:    initial,
+		stripes:  make([]*trackerStripe, cfg.Stripes),
+		retryRNG: rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e)),
 	}
 	resCap := (cfg.ReservoirSize + cfg.Stripes - 1) / cfg.Stripes
 	winCap := (cfg.WindowSize + cfg.Stripes - 1) / cfg.Stripes
@@ -277,7 +333,7 @@ func (c *Controller) windowRate() (rate float64, full bool) {
 func (c *Controller) checkLocked() Signal {
 	switch c.state {
 	case Sampling:
-		if c.seen.Load() >= int64(c.cfg.BuildAfter) {
+		if c.seen.Load() >= int64(c.cfg.BuildAfter) && c.autoAllowedLocked(c.now()) {
 			return FirstBuild
 		}
 	case Steady:
@@ -292,11 +348,97 @@ func (c *Controller) checkLocked() Signal {
 			return None
 		}
 		if c.seen.Load() >= int64(c.cfg.Cooldown) && full &&
-			rate < c.buildCPR*(1-c.cfg.DriftThreshold) {
+			rate < c.buildCPR*(1-c.cfg.DriftThreshold) &&
+			c.autoAllowedLocked(c.now()) {
 			return Drift
 		}
 	}
 	return None
+}
+
+// now is the controller's time source (Config.Clock in tests).
+func (c *Controller) now() time.Time {
+	if c.cfg.Clock != nil {
+		return c.cfg.Clock()
+	}
+	return time.Now()
+}
+
+// autoAllowedLocked is the retry gate every automatic trigger — drift,
+// first build, skew re-split — passes through: after a rebuild failure the
+// capped-exponential backoff delay must have elapsed. With the breaker
+// open the same test doubles as the half-open gate: once the current
+// backoff expires, exactly one probe signal escapes (its failure re-arms
+// the backoff; its cutover closes the breaker). Explicit Rebuild calls
+// bypass this gate entirely.
+func (c *Controller) autoAllowedLocked(now time.Time) bool {
+	return c.nextRetryAt.IsZero() || !now.Before(c.nextRetryAt)
+}
+
+// AutoAllowed reports whether an automatic rebuild may fire right now —
+// the retry/breaker gate alone, without the drift or skew predicates.
+func (c *Controller) AutoAllowed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.autoAllowedLocked(c.now())
+}
+
+// ResplitAllowed reports whether a skew-triggered re-split may arm: the
+// index must be Steady (re-splitting needs a serving dictionary and no
+// rebuild in flight), past the post-cutover cooldown, and past any failure
+// backoff. The skew predicate itself (shard-fraction bound) lives with the
+// data plane, which owns the shard counts.
+func (c *Controller) ResplitAllowed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state == Steady &&
+		c.seen.Load() >= int64(c.cfg.Cooldown) &&
+		c.autoAllowedLocked(c.now())
+}
+
+// RecordFailure charges one rebuild failure to the retry policy: the
+// consecutive-failure counter grows, the next automatic attempt is pushed
+// out by RetryBackoff × 2^(failures-1) (capped at RetryBackoffMax,
+// ±RetryJitter), and at BreakerAfter consecutive failures the circuit
+// breaker opens — the controller reports Degraded and automatic rebuilds
+// stop except for one half-open probe per backoff window. The data plane
+// calls this after every failed rebuild, explicit or automatic; any
+// successful Cutover resets all of it.
+func (c *Controller) RecordFailure(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.consecFails++
+	c.lastErr = err
+	backoff := c.cfg.RetryBackoff
+	for i := 1; i < c.consecFails && backoff < c.cfg.RetryBackoffMax; i++ {
+		backoff *= 2
+	}
+	if backoff > c.cfg.RetryBackoffMax {
+		backoff = c.cfg.RetryBackoffMax
+	}
+	if j := c.cfg.RetryJitter; j > 0 {
+		backoff = time.Duration(float64(backoff) * (1 + j*(2*c.retryRNG.Float64()-1)))
+	}
+	c.nextRetryAt = c.now().Add(backoff)
+	if c.cfg.BreakerAfter > 0 && c.consecFails >= c.cfg.BreakerAfter {
+		c.degraded = true
+	}
+}
+
+// Degraded reports whether the circuit breaker is open (frozen-dictionary
+// serving; see Config.BreakerAfter).
+func (c *Controller) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}
+
+// LastError returns the most recent rebuild failure (nil when healthy or
+// after a successful cutover).
+func (c *Controller) LastError() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
 }
 
 // ObserveBulk feeds a bulk-loaded key into the reservoir only (bulk loads
@@ -346,14 +488,18 @@ func (c *Controller) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		State:      c.state,
-		Generation: c.generation,
-		Seen:       c.seen.Load(),
-		Reservoir:  reservoir,
-		BuildCPR:   c.buildCPR,
-		RecentCPR:  rate,
-		Rebuilds:   c.rebuilds,
-		Aborts:     c.aborts,
+		State:               c.state,
+		Generation:          c.generation,
+		Seen:                c.seen.Load(),
+		Reservoir:           reservoir,
+		BuildCPR:            c.buildCPR,
+		RecentCPR:           rate,
+		Rebuilds:            c.rebuilds,
+		Aborts:              c.aborts,
+		Degraded:            c.degraded,
+		ConsecutiveFailures: c.consecFails,
+		LastError:           c.lastErr,
+		NextRetryAt:         c.nextRetryAt,
 	}
 }
 
@@ -397,6 +543,12 @@ func (c *Controller) Cutover(buildCPR float64) error {
 	c.generation++
 	c.buildCPR = buildCPR
 	c.rebuilds++
+	// A successful cutover is health restored: the failure streak ends,
+	// the breaker closes, and the backoff clears.
+	c.consecFails = 0
+	c.degraded = false
+	c.lastErr = nil
+	c.nextRetryAt = time.Time{}
 	for _, st := range c.stripes {
 		st.mu.Lock()
 		st.sampler.Reset()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestConfigDefaults(t *testing.T) {
@@ -329,4 +330,179 @@ func BenchmarkObserveParallel(b *testing.B) {
 			c.Observe(k, 8)
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy: backoff, jitter, circuit breaker, half-open probe.
+// ---------------------------------------------------------------------------
+
+// fakeClock is a settable time source for backoff arithmetic.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func retryController(clk *fakeClock, breakerAfter int) *Controller {
+	return NewController(Config{
+		BuildAfter: 10, RetryBackoff: time.Second, RetryBackoffMax: 8 * time.Second,
+		RetryJitter:  -1, // deterministic delays
+		BreakerAfter: breakerAfter,
+		Clock:        clk.Now,
+	}, Sampling)
+}
+
+func TestRecordFailureBackoffGrowsAndCaps(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := retryController(clk, -1)
+	want := []time.Duration{
+		time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+		8 * time.Second, // capped
+	}
+	for i, w := range want {
+		c.RecordFailure(fmt.Errorf("fail %d", i))
+		s := c.Stats()
+		if got := s.NextRetryAt.Sub(clk.Now()); got != w {
+			t.Fatalf("failure %d: backoff %v, want %v", i+1, got, w)
+		}
+		if s.ConsecutiveFailures != i+1 {
+			t.Fatalf("failure %d: ConsecutiveFailures %d", i+1, s.ConsecutiveFailures)
+		}
+		if s.LastError == nil || s.LastError.Error() != fmt.Sprintf("fail %d", i) {
+			t.Fatalf("failure %d: LastError %v", i+1, s.LastError)
+		}
+	}
+	if c.Degraded() {
+		t.Fatal("breaker disabled (negative BreakerAfter) but Degraded")
+	}
+}
+
+func TestBackoffJitterBounded(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := NewController(Config{
+		RetryBackoff: time.Second, RetryBackoffMax: time.Hour,
+		RetryJitter: 0.5, Clock: clk.Now, Seed: 3,
+	}, Steady)
+	sawOffCenter := false
+	for i := 0; i < 20; i++ {
+		// Reset the streak each round so the base delay stays 1s.
+		if err := c.BeginBuild(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Cutover(2.0); err != nil {
+			t.Fatal(err)
+		}
+		c.RecordFailure(fmt.Errorf("f"))
+		d := c.Stats().NextRetryAt.Sub(clk.Now())
+		if d < 500*time.Millisecond || d > 1500*time.Millisecond {
+			t.Fatalf("round %d: jittered delay %v outside [0.5s, 1.5s]", i, d)
+		}
+		if d != time.Second {
+			sawOffCenter = true
+		}
+	}
+	if !sawOffCenter {
+		t.Fatal("jitter never moved the delay off the base value")
+	}
+}
+
+func TestAutoAllowedGatesSignalsUntilBackoffExpires(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := retryController(clk, -1)
+	for i := 0; i < 20; i++ {
+		c.Observe([]byte(fmt.Sprintf("key-%02d", i)), 7)
+	}
+	if c.Check() != FirstBuild {
+		t.Fatal("FirstBuild did not arm")
+	}
+	c.RecordFailure(fmt.Errorf("build failed"))
+	if c.Check() != None {
+		t.Fatal("signal fired while backing off")
+	}
+	if c.AutoAllowed() {
+		t.Fatal("AutoAllowed during backoff")
+	}
+	clk.Advance(time.Second)
+	if c.Check() != FirstBuild {
+		t.Fatal("signal did not re-arm after backoff expired")
+	}
+	if !c.AutoAllowed() {
+		t.Fatal("AutoAllowed false after backoff expired")
+	}
+}
+
+func TestBreakerOpensAndCutoverCloses(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := retryController(clk, 3)
+	for i := 0; i < 3; i++ {
+		if c.Degraded() {
+			t.Fatalf("breaker open after %d failures, want 3", i)
+		}
+		c.RecordFailure(fmt.Errorf("fail"))
+		clk.Advance(time.Hour)
+	}
+	s := c.Stats()
+	if !c.Degraded() || !s.Degraded || s.ConsecutiveFailures != 3 {
+		t.Fatalf("breaker did not open: %+v", s)
+	}
+	// Half-open: the backoff has expired (clock advanced), so exactly the
+	// gate is open for a probe.
+	if !c.AutoAllowed() {
+		t.Fatal("half-open probe gated after backoff expiry")
+	}
+	// A successful rebuild closes the breaker and clears the policy state.
+	if err := c.BeginBuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cutover(2.0); err != nil {
+		t.Fatal(err)
+	}
+	s = c.Stats()
+	if s.Degraded || s.ConsecutiveFailures != 0 || s.LastError != nil || !s.NextRetryAt.IsZero() {
+		t.Fatalf("cutover did not reset health: %+v", s)
+	}
+}
+
+func TestResplitAllowedGates(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := NewController(Config{
+		Cooldown: 4, RetryBackoff: time.Second, RetryJitter: -1, Clock: clk.Now,
+	}, Sampling)
+	if c.ResplitAllowed() {
+		t.Fatal("resplit allowed while Sampling")
+	}
+	if err := c.BeginBuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cutover(2.0); err != nil {
+		t.Fatal(err)
+	}
+	if c.ResplitAllowed() {
+		t.Fatal("resplit allowed inside the post-cutover cooldown")
+	}
+	for i := 0; i < 4; i++ {
+		c.Observe([]byte{byte(i)}, 1)
+	}
+	if !c.ResplitAllowed() {
+		t.Fatal("resplit gated after cooldown")
+	}
+	c.RecordFailure(fmt.Errorf("fail"))
+	if c.ResplitAllowed() {
+		t.Fatal("resplit allowed while backing off")
+	}
+	clk.Advance(2 * time.Second)
+	if !c.ResplitAllowed() {
+		t.Fatal("resplit gated after backoff expiry")
+	}
 }

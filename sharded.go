@@ -223,6 +223,32 @@ func (s *ShardedIndex) ShardLens() []int {
 	return out
 }
 
+// MaxShardFrac reduces ShardLens to the one number skew policies act on:
+// the largest shard's fraction of the stored keys (0 for an empty index).
+// 1/NumShards is perfectly balanced; values near 1 mean one shard holds
+// nearly everything.
+func (s *ShardedIndex) MaxShardFrac() float64 {
+	frac, _ := s.maxShardFrac()
+	return frac
+}
+
+func (s *ShardedIndex) maxShardFrac() (frac float64, total int) {
+	maxLen := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n := sh.be.length()
+		sh.mu.RUnlock()
+		total += n
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(maxLen) / float64(total), total
+}
+
 func (s *ShardedIndex) trackLen(n int) {
 	for {
 		cur := s.maxKeyLen.Load()
