@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint chaos bench bench-tree bench-ycsb bench-drift bench-scan bench-check figures clean
+.PHONY: all build test lint chaos serve-smoke bench bench-tree bench-ycsb bench-drift bench-scan bench-serve bench-check figures clean
 
 all: lint test build
 
@@ -25,6 +25,13 @@ chaos:
 	$(GO) test -race -count=1 -timeout 15m -v \
 		-run 'TestAdaptiveChaos|TestAdaptiveQuiesce|TestAdaptiveClose|TestAdaptiveWatchdog|TestAdaptivePanic|TestAdaptiveBreaker|TestAdaptiveAutoBackoff|TestAdaptiveSkew|TestAdaptiveAbortRestores' \
 		.
+
+# serve-smoke is the end-to-end network smoke: build the real hopeserve +
+# hopeload binaries, serve a preloaded compressed store, drive an
+# open-loop load at >=10k target QPS with zero tolerated protocol errors,
+# then SIGTERM the server and require a clean graceful drain (exit 0).
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # bench records the encode-path performance trajectory: serial kernel vs
 # parallel bulk EncodeAll per scheme, written to BENCH_encode.json so
@@ -65,6 +72,15 @@ bench-scan:
 	$(GO) run ./cmd/hopebench -fig scan -dataset email -keys 30000 -ops 20000 \
 		-shards 1,4,8,16 -json BENCH_scan.json
 
+# bench-serve records the network serving trajectory: open-loop latency
+# percentiles (p50/p99/p999 per op) against an in-process hopeserve, over
+# workload mix × connection count × {ShardedIndex, AdaptiveIndex} ×
+# {Uncompressed, Double-Char}, written to BENCH_serve.json. benchdiff
+# -mode serve gates the p99 medians.
+bench-serve:
+	$(GO) run ./cmd/hopeload -fig serve -dataset email -keys 50000 \
+		-qps 12000 -connlist 2,8 -warmup 1s -duration 4s -json BENCH_serve.json
+
 # bench-check is the perf-regression gate: regenerate the encode and YCSB
 # records at their `make bench`/`make bench-ycsb` parameters and fail on a
 # >15% median regression in any encode latency or YCSB throughput figure
@@ -88,6 +104,10 @@ bench-check:
 		-shards 1,4,8,16 -json BENCH_scan.fresh.json
 	$(GO) run ./cmd/benchdiff -mode scan BENCH_scan.json BENCH_scan.fresh.json
 	@rm -f BENCH_scan.fresh.json
+	$(GO) run ./cmd/hopeload -fig serve -dataset email -keys 50000 \
+		-qps 12000 -connlist 2,8 -warmup 1s -duration 4s -json BENCH_serve.fresh.json
+	$(GO) run ./cmd/benchdiff -mode serve BENCH_serve.json BENCH_serve.fresh.json
+	@rm -f BENCH_serve.fresh.json
 
 # figures regenerates the paper's evaluation artifacts at laptop scale.
 figures:
@@ -95,4 +115,4 @@ figures:
 
 clean:
 	rm -f BENCH_encode.fresh.json BENCH_ycsb.fresh.json BENCH_drift.fresh.json \
-		BENCH_scan.fresh.json
+		BENCH_scan.fresh.json BENCH_serve.fresh.json

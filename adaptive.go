@@ -256,6 +256,9 @@ func slotOf(id uint64) int            { return int(uint32(id)) }
 // NewAdaptiveIndex builds an adaptive index over the named backend. With
 // opts.Encoder nil the index starts in the Sampling state, serving
 // uncompressed until enough keys arrived for the first dictionary.
+//
+// Deprecated: use Open(backend, WithAdaptive(opts)), which returns the
+// same index behind the unified Store interface.
 func NewAdaptiveIndex(backend Backend, opts AdaptiveOptions) (*AdaptiveIndex, error) {
 	if opts.Shards <= 0 {
 		opts.Shards = DefaultShards()

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.15] [-mode encode|ycsb|drift|scan] baseline.json current.json
+//	benchdiff [-threshold 0.15] [-mode encode|ycsb|drift|scan|serve] baseline.json current.json
 //
 // Mode encode compares BENCH_encode.json records (the encode-path latency
 // record `make bench` writes); mode ycsb compares BENCH_ycsb.json records
@@ -12,10 +12,13 @@
 // mode drift compares BENCH_drift.json records (the dictionary-drift
 // adaptation record `make bench-drift` writes, gating post-adaptation CPR
 // and throughput); mode scan compares BENCH_scan.json records (the
-// scan-partitioning throughput record `make bench-scan` writes). Rows are
+// scan-partitioning throughput record `make bench-scan` writes); mode
+// serve compares BENCH_serve.json records (the network serving latency
+// record `make bench-serve` writes, gating p99 per op). Rows are
 // matched by identity key — (dataset, scheme) for encode, (dataset,
 // workload, backend, config, threads) for ycsb, (dataset, config, window)
-// for drift, (dataset, backend, config, partition, shards) for scan. For
+// for drift, (dataset, backend, config, partition, shards) for scan,
+// (dataset, store, config, workload, conns, op) for serve. For
 // every gated
 // metric the tool collects the per-row current/baseline ratios and
 // compares the metric's median ratio against the threshold: latencies fail
@@ -78,11 +81,19 @@ var scanMetrics = []metric{
 	{name: "ops_per_sec", higherBetter: true},
 }
 
+// Serve gates the network serving figure on tail latency: the median
+// p99 across the workload × connections × store × config cells. p99 —
+// not p50, which hides queueing, and not p999, which a single-core CI
+// runner's scheduler makes too noisy to gate (it is still recorded).
+var serveMetrics = []metric{
+	{name: "p99_us"},
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.15, "maximum tolerated median regression (0.15 = ±15%)")
-	mode := flag.String("mode", "encode", "record kind: encode (BENCH_encode.json), ycsb (BENCH_ycsb.json), drift (BENCH_drift.json) or scan (BENCH_scan.json)")
+	mode := flag.String("mode", "encode", "record kind: encode (BENCH_encode.json), ycsb (BENCH_ycsb.json), drift (BENCH_drift.json), scan (BENCH_scan.json) or serve (BENCH_serve.json)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] [-mode encode|ycsb|drift|scan] baseline.json current.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] [-mode encode|ycsb|drift|scan|serve] baseline.json current.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -118,8 +129,14 @@ func main() {
 		if err == nil {
 			cur, err = readScanRows(flag.Arg(1))
 		}
+	case "serve":
+		metrics = serveMetrics
+		base, err = readServeRows(flag.Arg(0))
+		if err == nil {
+			cur, err = readServeRows(flag.Arg(1))
+		}
 	default:
-		err = fmt.Errorf("unknown -mode %q (want encode, ycsb, drift or scan)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want encode, ycsb, drift, scan or serve)", *mode)
 	}
 	if err != nil {
 		fatal(err)
@@ -242,6 +259,32 @@ func flattenScan(rows []bench.ScanBenchRow) []row {
 			key: fmt.Sprintf("%s/%s/%s/%s/s%d", r.Dataset, r.Backend, r.Config, r.Partition, r.Shards),
 			vals: map[string]float64{
 				"ops_per_sec": r.OpsPerSec,
+			},
+		}
+	}
+	return out
+}
+
+func readServeRows(path string) ([]row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := bench.ReadServeBenchJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return flattenServe(rows), nil
+}
+
+func flattenServe(rows []bench.ServeBenchRow) []row {
+	out := make([]row, len(rows))
+	for i, r := range rows {
+		out[i] = row{
+			key: fmt.Sprintf("%s/%s/%s/%s/c%d/%s", r.Dataset, r.Store, r.Config, r.Workload, r.Conns, r.Op),
+			vals: map[string]float64{
+				"p99_us": r.P99us,
 			},
 		}
 	}

@@ -1,0 +1,165 @@
+// Command hopeserve serves a hope.Store over TCP behind the compact
+// memcached-style text protocol in package server (get/set/del/range/
+// stats, pipelined). It is written against the hope.Store interface
+// alone — which implementation serves is purely a matter of flags:
+//
+//	hopeserve -store sharded -shards 16 -scheme Double-Char \
+//	    -preload 200000 -dataset email
+//	hopeserve -store adaptive -scheme 3-Grams       # lifecycle-managed
+//	hopeserve -store index                          # single Index, uncompressed
+//
+// With -scheme and -preload the dictionary is built from a sample of the
+// preloaded keys before serving begins; an adaptive store can instead
+// start empty and uncompressed and let its lifecycle build the first
+// dictionary online. SIGINT/SIGTERM trigger a graceful drain: stop
+// accepting, answer everything in flight, then quiesce and close the
+// store within -grace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"syscall"
+	"time"
+
+	hope "repro"
+	"repro/internal/datagen"
+	"repro/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hopeserve: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "TCP listen address (port 0 picks an ephemeral port)")
+		backend  = flag.String("backend", "art", "search tree: art | btree")
+		store    = flag.String("store", "sharded", "store implementation: index | sharded | adaptive")
+		shards   = flag.Int("shards", 0, "shard count for sharded/adaptive stores (0 = #cores)")
+		rangePrt = flag.Bool("range", false, "range-partition the shards (sharded/adaptive stores)")
+		scheme   = flag.String("scheme", "none", "compression scheme (Single-Char, Double-Char, 3-Grams, 4-Grams, ALM, ALM-Improved) or none")
+		sample   = flag.Float64("sample", 0.02, "fraction of preloaded keys sampled for the dictionary build")
+		preload  = flag.Int("preload", 0, "bulk-load this many generated keys before serving")
+		dataset  = flag.String("dataset", "email", "generated keyspace: email | wiki | url")
+		seed     = flag.Int64("seed", 42, "keyspace and sampling seed")
+		maxConns = flag.Int("maxconns", server.DefaultMaxConns, "concurrent connection cap (excess dials queue in the listen backlog)")
+		grace    = flag.Duration("grace", 10*time.Second, "drain budget after SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	st, preloaded, err := buildStore(*backend, *store, *shards, *rangePrt, *scheme, *sample, *preload, *dataset, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := server.New(st, server.Config{
+		Addr:     *addr,
+		MaxConns: *maxConns,
+		Logf:     log.Printf,
+	})
+	if err := srv.Listen(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %s/%s (%d keys preloaded) on %s", *store, *scheme, preloaded, srv.Addr())
+	if err := srv.RunUntilSignal(*grace, syscall.SIGINT, syscall.SIGTERM); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("drained cleanly")
+}
+
+// buildStore assembles the hope.Open option list the flags describe and
+// bulk-loads the generated keyspace. The returned value is a hope.Store —
+// this command never names (or asserts to) a concrete index type.
+func buildStore(backend, store string, shards int, rangePrt bool, scheme string,
+	sample float64, preload int, dataset string, seed int64) (hope.Store, int, error) {
+
+	be, err := parseBackend(backend)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	var keys [][]byte
+	if preload > 0 {
+		kind, err := datagen.ParseKind(dataset)
+		if err != nil {
+			return nil, 0, err
+		}
+		all := datagen.Generate(kind, preload, seed)
+		keys = keys[:0]
+		for _, k := range all {
+			if server.ValidKey(k) {
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) < len(all) {
+			fmt.Fprintf(os.Stderr, "hopeserve: dropped %d non-wire-safe keys from preload\n", len(all)-len(keys))
+		}
+	}
+
+	// The dictionary: pre-built from a preload sample when one exists, or
+	// (adaptive stores only) handed to the lifecycle as the scheme to
+	// build online once enough keys have streamed in.
+	var opts []hope.Option
+	adaptiveOpts := hope.AdaptiveOptions{}
+	if !strings.EqualFold(scheme, "none") {
+		sc, err := hope.ParseScheme(scheme)
+		if err != nil {
+			return nil, 0, err
+		}
+		adaptiveOpts.Scheme = sc
+		if len(keys) > 0 {
+			enc, err := hope.Build(sc, hope.SampleKeys(keys, sample, seed), hope.Options{})
+			if err != nil {
+				return nil, 0, err
+			}
+			opts = append(opts, hope.WithEncoder(enc))
+		} else if store != "adaptive" {
+			return nil, 0, fmt.Errorf("-scheme %s needs -preload keys to build its dictionary from (or -store adaptive)", scheme)
+		}
+	}
+	switch store {
+	case "index":
+		if shards != 0 || rangePrt {
+			return nil, 0, fmt.Errorf("-store index is single-shard; use -store sharded")
+		}
+	case "sharded":
+		opts = append(opts, hope.WithShards(shards))
+		if rangePrt {
+			opts = append(opts, hope.WithRangePartitioner(keys))
+		}
+	case "adaptive":
+		opts = append(opts, hope.WithAdaptive(adaptiveOpts))
+		if shards != 0 {
+			opts = append(opts, hope.WithShards(shards))
+		}
+		if rangePrt {
+			opts = append(opts, hope.WithRangePartitioner(nil))
+		}
+	default:
+		return nil, 0, fmt.Errorf("unknown -store %q (want index, sharded or adaptive)", store)
+	}
+
+	st, err := hope.Open(be, opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(keys) > 0 {
+		if err := st.Bulk(keys, nil); err != nil {
+			st.Close()
+			return nil, 0, err
+		}
+	}
+	return st, len(keys), nil
+}
+
+func parseBackend(name string) (hope.Backend, error) {
+	switch strings.ToLower(name) {
+	case "art":
+		return hope.ART, nil
+	case "btree", "b+tree":
+		return hope.BTree, nil
+	}
+	return "", fmt.Errorf("unknown -backend %q (want art or btree)", name)
+}

@@ -25,7 +25,7 @@ func main() {
 	// between 35% and 65% of its length.
 	stream := datagen.DriftStream(base, shifted, len(emails), 0.35, 0.65, 7)
 
-	idx, err := hope.NewAdaptiveIndex(hope.BTree, hope.AdaptiveOptions{
+	st, err := hope.Open(hope.BTree, hope.WithAdaptive(hope.AdaptiveOptions{
 		Scheme: hope.DoubleChar,
 		Shards: 8,
 		Lifecycle: lifecycle.Config{
@@ -35,10 +35,13 @@ func main() {
 			CheckEvery:     256,
 			DriftThreshold: 0.10,
 		},
-	})
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The example reads lifecycle telemetry (Stats, Quiesce, Encoder), so
+	// it asserts the concrete type behind the Store that Open returned.
+	idx := st.(*hope.AdaptiveIndex)
 
 	report := func(phase string) {
 		s := idx.Stats()

@@ -79,6 +79,9 @@ type Index struct {
 // long as all of them are driven from one goroutine; concurrent shards
 // need one encoder each (dictionaries are read-only, so rebuilding is
 // cheap — or encode externally via a ConcurrentEncoder and use nil).
+//
+// Deprecated: use Open(backend, WithEncoder(enc)), which returns the same
+// index behind the unified Store interface.
 func NewIndex(backend Backend, enc *core.Encoder) (*Index, error) {
 	be, err := newIndexBackend(backend)
 	if err != nil {

@@ -83,14 +83,18 @@ func RunFigDrift(cfg Config) ([]DriftBenchRow, error) {
 	}
 	lc.Cooldown = 2 * lc.WindowSize
 	mk := func(frozen bool) (*hope.AdaptiveIndex, error) {
-		return hope.NewAdaptiveIndex(hope.ART, hope.AdaptiveOptions{
+		st, err := hope.Open(hope.ART, hope.WithAdaptive(hope.AdaptiveOptions{
 			Scheme:    scheme,
 			Build:     bopt,
 			Encoder:   enc.Clone(),
 			Shards:    8,
 			Manual:    frozen,
 			Lifecycle: lc,
-		})
+		}))
+		if err != nil {
+			return nil, err
+		}
+		return st.(*hope.AdaptiveIndex), nil
 	}
 	adaptive, err := mk(false)
 	if err != nil {

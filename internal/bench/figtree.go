@@ -54,10 +54,11 @@ func RunFigTree(cfg Config, backends []hope.Backend) ([]TreeBenchRow, error) {
 			return nil, err
 		}
 		for _, backend := range backends {
-			x, err := hope.NewIndex(backend, enc)
+			st, err := hope.Open(backend, hope.WithEncoder(enc))
 			if err != nil {
 				return nil, err
 			}
+			x := st.(*hope.Index)
 			t0 := time.Now()
 			if err := x.Bulk(keys, nil); err != nil {
 				return nil, err

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistExactSmallValues(t *testing.T) {
+	var h Hist
+	for v := 0; v < histSub; v++ {
+		h.Record(time.Duration(v))
+	}
+	if h.Count() != histSub {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Percentile(100) != time.Duration(histSub-1) {
+		t.Fatalf("p100 = %v, want %d", h.Percentile(100), histSub-1)
+	}
+	if h.Percentile(1) != 0 {
+		t.Fatalf("p1 = %v, want 0", h.Percentile(1))
+	}
+}
+
+// TestHistPercentileError: on a lognormal-ish latency distribution every
+// reported percentile must sit within the documented ~3.1% quantization
+// of the exact order statistic.
+func TestHistPercentileError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Hist
+	n := 200000
+	vals := make([]int64, n)
+	for i := range vals {
+		// exp(N(11, 1.5)) ns ≈ tens of µs median with a long tail.
+		v := int64(math.Exp(rng.NormFloat64()*1.5 + 11))
+		vals[i] = v
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		exact := vals[int(p/100*float64(n))-1]
+		got := int64(h.Percentile(p))
+		if err := math.Abs(float64(got)-float64(exact)) / float64(exact); err > 0.04 {
+			t.Errorf("p%v = %d, exact %d (err %.1f%%)", p, got, exact, err*100)
+		}
+	}
+	if h.Max() != time.Duration(vals[n-1]) {
+		t.Errorf("max = %v, want %d", h.Max(), vals[n-1])
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole Hist
+	parts := make([]Hist, 4)
+	for i := 0; i < 100000; i++ {
+		v := time.Duration(rng.Int63n(10_000_000))
+		whole.Record(v)
+		parts[i%4].Record(v)
+	}
+	var merged Hist
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.Count() != whole.Count() || merged.Mean() != whole.Mean() || merged.Max() != whole.Max() {
+		t.Fatalf("merge mismatch: count %d/%d mean %v/%v max %v/%v",
+			merged.Count(), whole.Count(), merged.Mean(), whole.Mean(), merged.Max(), whole.Max())
+	}
+	for _, p := range []float64{50, 99, 99.9} {
+		if merged.Percentile(p) != whole.Percentile(p) {
+			t.Fatalf("p%v: merged %v, whole %v", p, merged.Percentile(p), whole.Percentile(p))
+		}
+	}
+}
+
+func TestHistEmptyAndClamp(t *testing.T) {
+	var h Hist
+	if h.Percentile(99) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must read as zero")
+	}
+	h.Record(-5) // clamps to 0
+	if h.Percentile(50) != 0 || h.Max() != 0 {
+		t.Fatal("negative durations must clamp to zero")
+	}
+	h.Record(1 << 40)
+	if got := h.Percentile(100); got != 1<<40 {
+		t.Fatalf("p100 = %d, want exact observed max %d", got, int64(1)<<40)
+	}
+}

@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/server"
+)
+
+// LoadConfig configures one open-loop load run against a hopeserve
+// endpoint: N connections collectively pacing toward TargetQPS, a warmup
+// phase excluded from the record, and an op mix drawn from Keys.
+type LoadConfig struct {
+	Addr      string
+	Conns     int
+	TargetQPS float64       // aggregate across all connections
+	Duration  time.Duration // measured phase
+	Warmup    time.Duration // excluded from the histograms
+
+	Keys [][]byte // keyspace; every key must pass server.ValidKey
+
+	// Op mix: fractions of set/del/range ops; the remainder are gets.
+	SetFrac, DelFrac, RangeFrac float64
+	RangeLimit                  int // results per range op (default 50)
+
+	Seed     int64
+	Pipeline int // max outstanding requests per connection (default 256)
+}
+
+// LoadResult aggregates a load run. Latency is measured open-loop: each
+// op's clock starts at its *scheduled* send time, not the moment the
+// sender got around to writing it, so a stalled server inflates the
+// recorded latency of every op scheduled during the stall instead of
+// silently thinning the arrival rate (the coordinated-omission error
+// closed-loop harnesses make).
+type LoadResult struct {
+	Hists       map[string]*Hist // per op kind: "get" "set" "del" "range"
+	Sent        uint64           // measured-phase ops sent
+	Recv        uint64           // measured-phase replies received
+	ProtoErrors uint64           // ERR replies (any phase)
+	Elapsed     time.Duration    // measured phase wall clock
+	AchievedQPS float64          // measured-phase replies / Elapsed
+}
+
+// LoadOps enumerates the op kinds in reporting order.
+var LoadOps = []string{"get", "set", "del", "range"}
+
+// Hist returns the named op histogram (an empty one if the mix produced
+// no such ops).
+func (r *LoadResult) Hist(op string) *Hist {
+	if h := r.Hists[op]; h != nil {
+		return h
+	}
+	return &Hist{}
+}
+
+// pendingOp rides the per-connection FIFO from sender to receiver: which
+// histogram the reply belongs to and when the op was scheduled.
+type pendingOp struct {
+	kind     uint8
+	intended time.Time
+}
+
+const (
+	opGet uint8 = iota
+	opSet
+	opDel
+	opRange
+	numOps
+)
+
+var opNames = [numOps]string{"get", "set", "del", "range"}
+
+// connStats is one connection's private accounting, merged after the run.
+type connStats struct {
+	hists [numOps]Hist
+	sent  uint64
+	recv  uint64
+	err   error
+}
+
+// RunLoad drives the configured load and reports the latency record.
+// Each connection runs an independent sender/receiver goroutine pair
+// joined by a bounded FIFO: the sender paces requests by schedule and
+// pipelines everything that is due, the receiver drains replies and
+// attributes each to its op's intended start time. The FIFO bound
+// (Pipeline) caps per-connection outstanding requests so a dead server
+// fails the run instead of buffering unbounded requests.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Conns <= 0 || cfg.TargetQPS <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("load: Conns, TargetQPS and Duration must be positive")
+	}
+	if len(cfg.Keys) == 0 {
+		return nil, fmt.Errorf("load: empty keyspace")
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 256
+	}
+	if cfg.RangeLimit <= 0 {
+		cfg.RangeLimit = 50
+	}
+	for _, k := range cfg.Keys {
+		if !server.ValidKey(k) {
+			return nil, fmt.Errorf("load: key %q is not wire-safe", k)
+		}
+	}
+
+	conns := make([]net.Conn, cfg.Conns)
+	for i := range conns {
+		c, err := net.DialTimeout("tcp", cfg.Addr, 5*time.Second)
+		if err != nil {
+			for _, open := range conns[:i] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("load: dial %s: %w", cfg.Addr, err)
+		}
+		conns[i] = c
+	}
+
+	var protoErrs atomic.Uint64
+	stats := make([]connStats, cfg.Conns)
+	start := time.Now().Add(10 * time.Millisecond) // common epoch for all conns
+	measureFrom := start.Add(cfg.Warmup)
+	end := measureFrom.Add(cfg.Duration)
+	interval := time.Duration(float64(cfg.Conns) / cfg.TargetQPS * float64(time.Second))
+
+	var wg sync.WaitGroup
+	for i := range conns {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer conns[id].Close()
+			runLoadConn(cfg, conns[id], &stats[id], &protoErrs, start, measureFrom, end, interval, id)
+		}(i)
+	}
+	wg.Wait()
+
+	res := &LoadResult{
+		Hists:       map[string]*Hist{},
+		Elapsed:     end.Sub(measureFrom),
+		ProtoErrors: protoErrs.Load(),
+	}
+	for k := range opNames {
+		res.Hists[opNames[k]] = &Hist{}
+	}
+	var firstErr error
+	for i := range stats {
+		st := &stats[i]
+		if st.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("load: conn %d: %w", i, st.err)
+		}
+		res.Sent += st.sent
+		res.Recv += st.recv
+		for k := range opNames {
+			res.Hists[opNames[k]].Merge(&st.hists[k])
+		}
+	}
+	if sec := res.Elapsed.Seconds(); sec > 0 {
+		res.AchievedQPS = float64(res.Recv) / sec
+	}
+	return res, firstErr
+}
+
+// runLoadConn is one connection's sender/receiver pair. The sender owns
+// the schedule: op n is due at start + n*interval; everything due is
+// appended to the write buffer and the buffer flushed once the next op
+// lies in the future (or the batch grows past flushEvery), which is what
+// turns a pacing backlog into a pipelined burst rather than a syscall per
+// op. The receiver drains replies in FIFO order and records each against
+// its op's intended time.
+func runLoadConn(cfg LoadConfig, conn net.Conn, st *connStats, protoErrs *atomic.Uint64,
+	start, measureFrom, end time.Time, interval time.Duration, id int) {
+
+	const flushEvery = 64
+	pending := make(chan pendingOp, cfg.Pipeline)
+	recvDone := make(chan struct{})
+	var recvErr error
+
+	go func() {
+		defer close(recvDone)
+		r := bufio.NewReaderSize(conn, 1<<16)
+		for op := range pending {
+			rep, err := server.ReadReply(r)
+			if err != nil {
+				recvErr = err
+				// Drain remaining tokens so the sender never blocks on a
+				// full FIFO after the transport died.
+				for range pending {
+				}
+				return
+			}
+			if rep.Kind == server.ReplyErr {
+				protoErrs.Add(1)
+				continue
+			}
+			if !op.intended.Before(measureFrom) {
+				st.recv++
+				st.hists[op.kind].Record(time.Since(op.intended))
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*104729))
+	w := bufio.NewWriterSize(conn, 1<<16)
+	var buf []byte
+	inBatch := 0
+	offset := time.Duration(float64(interval) * float64(id) / float64(cfg.Conns)) // desynchronize conns
+	for n := 0; ; n++ {
+		intended := start.Add(offset + time.Duration(n)*interval)
+		if !intended.Before(end) {
+			break
+		}
+		if wait := time.Until(intended); wait > 0 {
+			if inBatch > 0 {
+				if st.err == nil {
+					st.err = w.Flush()
+				}
+				inBatch = 0
+			}
+			time.Sleep(wait)
+		}
+
+		kind, key := nextLoadOp(cfg, rng)
+		buf = buf[:0]
+		switch kind {
+		case opGet:
+			buf = server.AppendGet(buf, key)
+		case opSet:
+			buf = server.AppendSet(buf, key, uint64(n))
+		case opDel:
+			buf = server.AppendDel(buf, key)
+		case opRange:
+			buf = server.AppendRange(buf, key, nil, cfg.RangeLimit)
+		}
+		if _, err := w.Write(buf); err != nil {
+			if st.err == nil {
+				st.err = err
+			}
+			break
+		}
+		if !intended.Before(measureFrom) {
+			st.sent++
+		}
+		pending <- pendingOp{kind: kind, intended: intended}
+		if inBatch++; inBatch >= flushEvery {
+			if err := w.Flush(); err != nil {
+				if st.err == nil {
+					st.err = err
+				}
+				break
+			}
+			inBatch = 0
+		}
+	}
+	if err := w.Flush(); err != nil && st.err == nil {
+		st.err = err
+	}
+	close(pending)
+	<-recvDone
+	if recvErr != nil && st.err == nil {
+		st.err = recvErr
+	}
+}
+
+// nextLoadOp draws one op from the configured mix.
+func nextLoadOp(cfg LoadConfig, rng *rand.Rand) (uint8, []byte) {
+	key := cfg.Keys[rng.Intn(len(cfg.Keys))]
+	p := rng.Float64()
+	switch {
+	case p < cfg.SetFrac:
+		return opSet, key
+	case p < cfg.SetFrac+cfg.DelFrac:
+		return opDel, key
+	case p < cfg.SetFrac+cfg.DelFrac+cfg.RangeFrac:
+		return opRange, key
+	}
+	return opGet, key
+}

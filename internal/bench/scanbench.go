@@ -98,18 +98,17 @@ func runScanCell(cfg Config, backend hope.Backend, tc TreeConfig, template *core
 	if template != nil {
 		enc = template.Clone()
 	}
-	var s *hope.ShardedIndex
-	var err error
+	opts := []hope.Option{hope.WithEncoder(enc), hope.WithShards(shards)}
 	if partition == "range" {
 		// Split points sampled from the load corpus — the same corpus the
 		// dictionary samples come from, mirroring a production bulk load.
-		s, err = hope.NewRangeShardedIndex(backend, enc, shards, loaded)
-	} else {
-		s, err = hope.NewShardedIndex(backend, enc, shards)
+		opts = append(opts, hope.WithRangePartitioner(loaded))
 	}
+	st, err := hope.Open(backend, opts...)
 	if err != nil {
 		return ScanBenchRow{}, err
 	}
+	s := st.(*hope.ShardedIndex)
 	t0 := time.Now()
 	if err := s.Bulk(loaded, nil); err != nil {
 		return ScanBenchRow{}, err

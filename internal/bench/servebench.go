@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	hope "repro"
+	"repro/internal/core"
+	"repro/server"
+)
+
+// ServeBenchRow is one op-type cell of the network serving figure: an
+// open-loop load run (hopeload's engine) against an in-process hopeserve
+// wrapping one Store configuration, reported as the op's latency
+// percentiles at the achieved throughput. `make bench-serve` writes the
+// rows to BENCH_serve.json — the end-to-end serving-latency record
+// cmd/benchdiff gates with -mode serve.
+type ServeBenchRow struct {
+	Dataset     string  `json:"dataset"`
+	Workload    string  `json:"workload"` // mix name: "read-heavy" | "mixed"
+	Store       string  `json:"store"`    // "sharded" | "adaptive"
+	Config      string  `json:"config"`   // "Uncompressed" | "Double-Char"
+	Conns       int     `json:"conns"`
+	Op          string  `json:"op"` // "get" | "set" | "del" | "range"
+	Count       uint64  `json:"count"`
+	TargetQPS   float64 `json:"target_qps"`
+	AchievedQPS float64 `json:"achieved_qps"` // whole run, all op kinds
+	P50us       float64 `json:"p50_us"`
+	P99us       float64 `json:"p99_us"`
+	P999us      float64 `json:"p999_us"`
+	MeanUs      float64 `json:"mean_us"`
+	MaxUs       float64 `json:"max_us"`
+	ProtoErrors uint64  `json:"protocol_errors"`
+	// MaxProcs is the single-core caveat marker (as in the YCSB and scan
+	// figures): with GOMAXPROCS=1 the server, its clients, and any
+	// background store work time-share one core, so tail latencies include
+	// scheduler queuing that a multi-core run would not show.
+	MaxProcs int `json:"maxprocs"`
+}
+
+// serveMix is one workload mix of the serving figure.
+type serveMix struct {
+	name                        string
+	setFrac, delFrac, rangeFrac float64
+}
+
+// ServeMixes are the workload mixes the figure sweeps: the memcached-style
+// read-dominant mix, and a write-heavier mix with a slice of short range
+// scans to keep the ordered-scan path on the wire.
+var ServeMixes = []serveMix{
+	{name: "read-heavy", setFrac: 0.05},
+	{name: "mixed", setFrac: 0.25, delFrac: 0.00, rangeFrac: 0.05},
+}
+
+// ServeStores are the Store configurations the figure serves: the
+// lock-striped ShardedIndex and the full AdaptiveIndex (its lifecycle
+// machinery idle but armed — the cost of having it on the serving path is
+// part of what the figure records).
+var ServeStores = []string{"sharded", "adaptive"}
+
+// ServeConfigs returns the encoder configurations the figure sweeps.
+func ServeConfigs() []TreeConfig {
+	return []TreeConfig{
+		{Name: "Uncompressed", Plain: true},
+		{Name: "Double-Char", Scheme: core.DoubleChar},
+	}
+}
+
+// RunFigServe is the network serving figure: workload mix × connection
+// count × {ShardedIndex, AdaptiveIndex} × {Uncompressed, Double-Char},
+// each cell an open-loop run at targetQPS through a real TCP loopback
+// server, drained with the production Shutdown path afterwards. One row
+// per op kind that actually ran.
+func RunFigServe(cfg Config, conns []int, targetQPS float64, warmup, duration time.Duration) ([]ServeBenchRow, error) {
+	all := cfg.Keys()
+	keys := make([][]byte, 0, len(all))
+	for _, k := range all {
+		if server.ValidKey(k) {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("bench: no wire-safe keys in dataset %s", cfg.Dataset)
+	}
+	samples := cfg.Sample(keys)
+
+	var rows []ServeBenchRow
+	for _, tc := range ServeConfigs() {
+		template, _, err := tc.BuildEncoder(samples)
+		if err != nil {
+			return nil, err
+		}
+		for _, storeKind := range ServeStores {
+			for _, nconns := range conns {
+				for _, mix := range ServeMixes {
+					cell, err := runServeCell(cfg, tc, template, storeKind, nconns, mix,
+						keys, targetQPS, warmup, duration)
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, cell...)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+func runServeCell(cfg Config, tc TreeConfig, template *core.Encoder, storeKind string,
+	nconns int, mix serveMix, keys [][]byte, targetQPS float64,
+	warmup, duration time.Duration) ([]ServeBenchRow, error) {
+
+	var enc *core.Encoder
+	if template != nil {
+		enc = template.Clone()
+	}
+	var opts []hope.Option
+	switch storeKind {
+	case "sharded":
+		opts = []hope.Option{hope.WithEncoder(enc), hope.WithShards(0)}
+	case "adaptive":
+		// Manual: the figure measures the serving path with the lifecycle
+		// armed, not a rebuild racing the load (bench-drift covers that).
+		opts = []hope.Option{hope.WithAdaptive(hope.AdaptiveOptions{
+			Encoder: enc, Shards: hope.DefaultShards(), Manual: true,
+		})}
+	default:
+		return nil, fmt.Errorf("bench: unknown store kind %q", storeKind)
+	}
+	st, err := hope.Open(hope.ART, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Bulk(keys, nil); err != nil {
+		return nil, err
+	}
+
+	srv := server.New(st, server.Config{MaxConns: nconns + 8})
+	if err := srv.Listen(); err != nil {
+		return nil, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	res, loadErr := RunLoad(LoadConfig{
+		Addr:      srv.Addr().String(),
+		Conns:     nconns,
+		TargetQPS: targetQPS,
+		Duration:  duration,
+		Warmup:    warmup,
+		Keys:      keys,
+		SetFrac:   mix.setFrac,
+		DelFrac:   mix.delFrac,
+		RangeFrac: mix.rangeFrac,
+		Seed:      cfg.Seed + int64(nconns)*17,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return nil, fmt.Errorf("bench: serve drain: %w", err)
+	}
+	if err := <-serveDone; err != server.ErrServerClosed {
+		return nil, fmt.Errorf("bench: serve exited: %w", err)
+	}
+	if loadErr != nil {
+		return nil, loadErr
+	}
+
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	var rows []ServeBenchRow
+	for _, op := range LoadOps {
+		h := res.Hist(op)
+		if h.Count() == 0 {
+			continue
+		}
+		rows = append(rows, ServeBenchRow{
+			Dataset:     cfg.Dataset.String(),
+			Workload:    mix.name,
+			Store:       storeKind,
+			Config:      tc.Name,
+			Conns:       nconns,
+			Op:          op,
+			Count:       h.Count(),
+			TargetQPS:   targetQPS,
+			AchievedQPS: res.AchievedQPS,
+			P50us:       us(h.Percentile(50)),
+			P99us:       us(h.Percentile(99)),
+			P999us:      us(h.Percentile(99.9)),
+			MeanUs:      us(h.Mean()),
+			MaxUs:       us(h.Max()),
+			ProtoErrors: res.ProtoErrors,
+			MaxProcs:    runtime.GOMAXPROCS(0),
+		})
+	}
+	return rows, nil
+}
+
+// WriteServeBenchJSON writes the rows as indented JSON (BENCH_serve.json).
+func WriteServeBenchJSON(w io.Writer, rows []ServeBenchRow) error {
+	e := json.NewEncoder(w)
+	e.SetIndent("", "  ")
+	return e.Encode(rows)
+}
+
+// ReadServeBenchJSON decodes a BENCH_serve.json record (cmd/benchdiff).
+func ReadServeBenchJSON(r io.Reader) ([]ServeBenchRow, error) {
+	var rows []ServeBenchRow
+	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

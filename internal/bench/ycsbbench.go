@@ -146,10 +146,11 @@ func runYCSBCell(cfg Config, backend hope.Backend, tc TreeConfig, template *core
 		// shared, its mutable state is not.
 		enc = template.Clone()
 	}
-	s, err := hope.NewShardedIndex(backend, enc, 0)
+	st, err := hope.Open(backend, hope.WithEncoder(enc), hope.WithShards(0))
 	if err != nil {
 		return YCSBBenchRow{}, err
 	}
+	s := st.(*hope.ShardedIndex)
 	t0 := time.Now()
 	if err := s.Bulk(loaded, nil); err != nil {
 		return YCSBBenchRow{}, err

@@ -1,0 +1,122 @@
+package hope
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// openConfig accumulates Open's functional options before dispatch.
+type openConfig struct {
+	enc       *core.Encoder
+	encSet    bool
+	shards    int
+	shardsSet bool
+	rangePart bool
+	corpus    [][]byte
+	adaptive  *AdaptiveOptions
+}
+
+// Option configures Open. Options compose: WithEncoder names the
+// dictionary, WithShards and WithRangePartitioner select and shape the
+// concurrent layer, WithAdaptive upgrades to the lifecycle-managed index.
+type Option func(*openConfig)
+
+// WithEncoder supplies the HOPE encoder (dictionary) the store compresses
+// keys with; omit it for an uncompressed store. The encoder is captured as
+// the build template — its read-only dictionary is shared, its mutable
+// state is not — and must not be used directly afterwards (clone it first
+// if independent use is needed). With WithAdaptive the encoder becomes the
+// generation-0 dictionary (AdaptiveOptions.Encoder).
+func WithEncoder(enc *Encoder) Option {
+	return func(c *openConfig) { c.enc = enc; c.encSet = true }
+}
+
+// WithShards selects the concurrent lock-striped implementation with n
+// shards (rounded up to a power of two; n <= 0 selects DefaultShards).
+// Without it — and without WithRangePartitioner or WithAdaptive — Open
+// returns the single-goroutine Index.
+func WithShards(n int) Option {
+	return func(c *openConfig) { c.shards = n; c.shardsSet = true }
+}
+
+// WithRangePartitioner lays the shards out as disjoint ascending key
+// intervals instead of hash stripes, so short scans touch only the shards
+// their bounds overlap. corpus, when non-nil, is a sample of the expected
+// key population from which the split points are drawn; with a nil corpus
+// the partition starts unseeded and the first Bulk into the empty store
+// seeds it. Implies a sharded store (DefaultShards unless WithShards is
+// also given). With WithAdaptive the corpus is ignored — each adaptive
+// generation re-samples its split points from the lifecycle reservoir.
+func WithRangePartitioner(corpus [][]byte) Option {
+	return func(c *openConfig) { c.rangePart = true; c.corpus = corpus }
+}
+
+// WithAdaptive selects the lifecycle-managed AdaptiveIndex: online
+// sampling, drift detection, and background re-encode migration (see
+// AdaptiveOptions). Other options override the corresponding fields of
+// opts: WithEncoder sets opts.Encoder, WithShards sets opts.Shards, and
+// WithRangePartitioner sets opts.Partition = RangePartitioned.
+func WithAdaptive(opts AdaptiveOptions) Option {
+	return func(c *openConfig) { c.adaptive = &opts }
+}
+
+// Open constructs a Store over the named backend, selecting the
+// implementation from the options:
+//
+//	Open(BTree)                                  // single-goroutine Index, uncompressed
+//	Open(ART, WithEncoder(enc))                  // compressed Index
+//	Open(ART, WithEncoder(enc), WithShards(16))  // lock-striped ShardedIndex
+//	Open(ART, WithEncoder(enc), WithShards(16),
+//	     WithRangePartitioner(corpus))           // range-partitioned ShardedIndex
+//	Open(ART, WithAdaptive(AdaptiveOptions{      // lifecycle-managed AdaptiveIndex
+//	     Scheme: DoubleChar, Shards: 16}))
+//
+// Open is the one constructor new code should use; the per-type
+// constructors it consolidates (NewIndex, NewShardedIndex,
+// NewRangeShardedIndex, NewAdaptiveIndex) remain as deprecated wrappers.
+// Callers needing implementation-specific surface (MemoryUsage, Stats,
+// Rebuild, ...) type-assert the returned Store to the concrete type the
+// options imply.
+func Open(backend Backend, opts ...Option) (Store, error) {
+	var c openConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.adaptive != nil {
+		ao := *c.adaptive
+		if c.encSet {
+			if ao.Encoder != nil {
+				return nil, fmt.Errorf("hope: both WithEncoder and AdaptiveOptions.Encoder are set")
+			}
+			ao.Encoder = c.enc
+		}
+		if c.shardsSet {
+			ao.Shards = c.shards
+		}
+		if c.rangePart {
+			ao.Partition = RangePartitioned
+		}
+		return NewAdaptiveIndex(backend, ao)
+	}
+	if c.rangePart {
+		return NewRangeShardedIndex(backend, c.enc, c.shards, c.corpus)
+	}
+	if c.shardsSet {
+		return NewShardedIndex(backend, c.enc, c.shards)
+	}
+	return NewIndex(backend, c.enc)
+}
+
+// ParseScheme maps a scheme name to its Scheme: the canonical
+// Scheme.String() forms ("Single-Char", "3-Grams", "ALM-Improved", ...),
+// case-insensitively. It is the -scheme flag parser of the cmds.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range []Scheme{SingleChar, DoubleChar, ALM, ThreeGrams, FourGrams, ALMImproved} {
+		if strings.EqualFold(name, s.String()) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("hope: unknown scheme %q (want Single-Char, Double-Char, ALM, 3-Grams, 4-Grams or ALM-Improved)", name)
+}

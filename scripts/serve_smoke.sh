@@ -1,0 +1,49 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke of the network serving layer with the
+# real binaries: build hopeserve + hopeload, serve a preloaded compressed
+# store, drive an open-loop load at >=10k target QPS, then SIGTERM the
+# server and require a clean drain (exit 0). hopeload exits non-zero on
+# any protocol error or dead connection, so "the load ran" also means
+# "zero errors". Used by `make serve-smoke` and the CI serve-smoke leg.
+set -eu
+
+ADDR=${ADDR:-127.0.0.1:7979}
+KEYS=${KEYS:-50000}
+QPS=${QPS:-12000}
+DURATION=${DURATION:-3s}
+WARMUP=${WARMUP:-1s}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+go build -o "$tmpdir/hopeserve" ./cmd/hopeserve
+go build -o "$tmpdir/hopeload" ./cmd/hopeload
+
+"$tmpdir/hopeserve" -addr "$ADDR" -store sharded -scheme Double-Char \
+    -preload "$KEYS" -dataset email -seed 42 &
+SERVE_PID=$!
+
+# hopeload's dial is not retried, so wait for the listener ourselves.
+i=0
+while ! "$tmpdir/hopeload" -addr "$ADDR" -conns 1 -qps 100 -duration 100ms \
+        -warmup 0s -keys 100 -dataset email -seed 42 >/dev/null 2>&1; do
+    i=$((i+1))
+    if [ "$i" -ge 50 ]; then
+        echo "serve_smoke: server never became ready" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$tmpdir/hopeload" -addr "$ADDR" -conns 4 -qps "$QPS" -duration "$DURATION" \
+    -warmup "$WARMUP" -keys "$KEYS" -dataset email -seed 42 -set 0.05 -range 0.02
+
+# Graceful drain: SIGTERM must produce exit 0 within the server's grace.
+kill -TERM "$SERVE_PID"
+if wait "$SERVE_PID"; then
+    echo "serve_smoke: OK (>=${QPS} target QPS, zero errors, clean drain)"
+else
+    echo "serve_smoke: server did not drain cleanly" >&2
+    exit 1
+fi

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// Client is a synchronous connection to a hopeserve instance: one request,
+// one reply. It is what the smoke tests and examples use; the open-loop
+// load generator in internal/bench pipelines raw Append*/ReadReply calls
+// instead.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	buf  []byte
+}
+
+// Dial connects to a hopeserve at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// DialRetry dials addr, retrying until the deadline — the readiness
+// handshake load tools use while the server is still binding.
+func DialRetry(addr string, timeout time.Duration) (*Client, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("server: dial %s: gave up after %v: %w", addr, timeout, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, connBufSize),
+		w:    bufio.NewWriterSize(conn, connBufSize),
+	}
+}
+
+func (c *Client) roundTrip() (Reply, error) {
+	if err := c.w.Flush(); err != nil {
+		return Reply{}, err
+	}
+	rep, err := ReadReply(c.r)
+	if err != nil {
+		return Reply{}, err
+	}
+	if rep.Kind == ReplyErr {
+		return rep, fmt.Errorf("server: %s", rep.Msg)
+	}
+	return rep, nil
+}
+
+// Set stores key=val.
+func (c *Client) Set(key []byte, val uint64) error {
+	c.buf = AppendSet(c.buf[:0], key, val)
+	c.w.Write(c.buf)
+	rep, err := c.roundTrip()
+	if err != nil {
+		return err
+	}
+	if rep.Kind != ReplyStored {
+		return fmt.Errorf("server: unexpected set reply kind %d", rep.Kind)
+	}
+	return nil
+}
+
+// Get fetches key's value.
+func (c *Client) Get(key []byte) (uint64, bool, error) {
+	c.buf = AppendGet(c.buf[:0], key)
+	c.w.Write(c.buf)
+	rep, err := c.roundTrip()
+	if err != nil {
+		return 0, false, err
+	}
+	switch rep.Kind {
+	case ReplyVal:
+		return rep.Val, true, nil
+	case ReplyNF:
+		return 0, false, nil
+	}
+	return 0, false, fmt.Errorf("server: unexpected get reply kind %d", rep.Kind)
+}
+
+// Delete removes key, reporting whether it was present.
+func (c *Client) Delete(key []byte) (bool, error) {
+	c.buf = AppendDel(c.buf[:0], key)
+	c.w.Write(c.buf)
+	rep, err := c.roundTrip()
+	if err != nil {
+		return false, err
+	}
+	switch rep.Kind {
+	case ReplyDel:
+		return true, nil
+	case ReplyNF:
+		return false, nil
+	}
+	return false, fmt.Errorf("server: unexpected del reply kind %d", rep.Kind)
+}
+
+// Range streams [lo, hi) (nil = unbounded) up to limit results into fn,
+// returning how many arrived. Keys reach fn in the store's stored form
+// (decoded from the wire's hex), valid only during the callback.
+func (c *Client) Range(lo, hi []byte, limit int, fn func(key []byte, val uint64) bool) (int, error) {
+	c.buf = AppendRange(c.buf[:0], lo, hi, limit)
+	c.w.Write(c.buf)
+	rep, err := c.roundTrip()
+	if err != nil {
+		return 0, err
+	}
+	for i, line := range rep.Lines {
+		key, val, err := ParseRangeLine(line)
+		if err != nil {
+			return i, err
+		}
+		if fn != nil && !fn(key, val) {
+			return i + 1, nil
+		}
+	}
+	return len(rep.Lines), nil
+}
+
+// Stats fetches the server's counters as a name → value map.
+func (c *Client) Stats() (map[string]string, error) {
+	c.w.WriteString("stats\n")
+	rep, err := c.roundTrip()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(rep.Lines))
+	for _, line := range rep.Lines {
+		rest, ok := strings.CutPrefix(line, "STAT ")
+		if !ok {
+			return nil, fmt.Errorf("server: malformed stat line %q", line)
+		}
+		name, value, ok := strings.Cut(rest, " ")
+		if !ok {
+			return nil, fmt.Errorf("server: malformed stat line %q", line)
+		}
+		out[name] = value
+	}
+	return out, nil
+}
+
+// Close sends quit and tears the connection down.
+func (c *Client) Close() error {
+	c.w.WriteString("quit\n")
+	c.w.Flush()
+	return c.conn.Close()
+}

@@ -1,0 +1,202 @@
+// Package server is the network serving layer: a TCP server (hopeserve)
+// exposing any hope.Store behind a compact memcached-style text protocol,
+// and a synchronous client for it. The wire protocol is line-oriented —
+// one request per line, space-separated tokens, terminated by '\n'
+// (a preceding '\r' is tolerated):
+//
+//	set <key> <val>        -> STORED
+//	get <key>              -> VAL <val> | NF
+//	del <key>              -> DEL | NF
+//	range <lo> <hi> <lim>  -> zero or more "K <hexkey> <val>" lines, then END
+//	stats                  -> "STAT <name> <value>" lines, then END
+//	quit                   -> server closes the connection
+//
+// Any failure is a single "ERR <reason>" line; the connection stays usable
+// after an ERR (only oversized lines are fatal). Keys on the wire are raw
+// byte tokens and therefore cannot contain space, CR, LF, or NUL, and
+// cannot be empty — the Store API itself has no such limits, the transport
+// does. In range replies keys are hex-encoded because the Store contract
+// surfaces keys in their stored form, which for a compressed store is the
+// encoded (arbitrary-byte) form, not the original key. Either range bound
+// may be "-" for unbounded.
+//
+// Requests may be pipelined: the server parses every complete line in its
+// read buffer before flushing replies, so a client that writes N requests
+// in one burst gets N replies in (at most) one round trip.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Wire limits. A line holds at most a range request: 3 keys' worth of
+// tokens plus slack, so MaxLineLen tracks MaxKeyLen.
+const (
+	MaxKeyLen     = 4096             // longest key token accepted on the wire
+	MaxLineLen    = 3*MaxKeyLen + 64 // request lines longer than this are fatal
+	MaxRangeLimit = 10000            // largest per-request range limit
+)
+
+// Reply kinds, as classified by ReadReply.
+type ReplyKind uint8
+
+const (
+	ReplyStored ReplyKind = iota // set acknowledged
+	ReplyVal                     // get hit; Val holds the value
+	ReplyNF                      // get/del miss
+	ReplyDel                     // del hit
+	ReplyEnd                     // range/stats terminator; Lines holds the body
+	ReplyErr                     // server error; Msg holds the reason
+)
+
+// Reply is one parsed server reply. For multi-line replies (range, stats)
+// Lines holds the body lines ("K <hexkey> <val>" or "STAT <name> <value>")
+// without the trailing END.
+type Reply struct {
+	Kind  ReplyKind
+	Val   uint64
+	Msg   string
+	Lines []string
+}
+
+// ValidKey reports whether key can travel as a wire token: non-empty, at
+// most MaxKeyLen bytes, and free of the token/line delimiters.
+func ValidKey(key []byte) bool {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return false
+	}
+	return bytes.IndexAny(key, " \r\n\x00") < 0
+}
+
+// AppendSet appends the wire form of a set request to buf. The caller is
+// responsible for key validity (ValidKey); the load client validates its
+// keyspace once, not per op.
+func AppendSet(buf, key []byte, val uint64) []byte {
+	buf = append(buf, "set "...)
+	buf = append(buf, key...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, val, 10)
+	return append(buf, '\n')
+}
+
+// AppendGet appends the wire form of a get request to buf.
+func AppendGet(buf, key []byte) []byte {
+	buf = append(buf, "get "...)
+	buf = append(buf, key...)
+	return append(buf, '\n')
+}
+
+// AppendDel appends the wire form of a del request to buf.
+func AppendDel(buf, key []byte) []byte {
+	buf = append(buf, "del "...)
+	buf = append(buf, key...)
+	return append(buf, '\n')
+}
+
+// AppendRange appends the wire form of a range request to buf. Nil or
+// empty bounds travel as "-" (unbounded).
+func AppendRange(buf, lo, hi []byte, limit int) []byte {
+	buf = append(buf, "range "...)
+	buf = appendBound(buf, lo)
+	buf = append(buf, ' ')
+	buf = appendBound(buf, hi)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(limit), 10)
+	return append(buf, '\n')
+}
+
+func appendBound(buf, b []byte) []byte {
+	if len(b) == 0 {
+		return append(buf, '-')
+	}
+	return append(buf, b...)
+}
+
+// ReadReply reads and classifies exactly one reply from r. It needs no
+// knowledge of the request that produced it: single-line replies are
+// recognized by their first token, and K/STAT bodies are consumed through
+// their END terminator — which is what lets a pipelined receiver drain
+// replies generically. A ReplyErr is returned as a value, not an error;
+// the error return is for transport or framing failures only.
+func ReadReply(r *bufio.Reader) (Reply, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return Reply{}, err
+	}
+	switch {
+	case string(line) == "STORED":
+		return Reply{Kind: ReplyStored}, nil
+	case string(line) == "NF":
+		return Reply{Kind: ReplyNF}, nil
+	case string(line) == "DEL":
+		return Reply{Kind: ReplyDel}, nil
+	case string(line) == "END":
+		return Reply{Kind: ReplyEnd}, nil
+	case bytes.HasPrefix(line, []byte("VAL ")):
+		v, perr := strconv.ParseUint(string(line[4:]), 10, 64)
+		if perr != nil {
+			return Reply{}, fmt.Errorf("server: malformed VAL reply %q", line)
+		}
+		return Reply{Kind: ReplyVal, Val: v}, nil
+	case bytes.HasPrefix(line, []byte("ERR ")):
+		return Reply{Kind: ReplyErr, Msg: string(line[4:])}, nil
+	case bytes.HasPrefix(line, []byte("K ")), bytes.HasPrefix(line, []byte("STAT ")):
+		rep := Reply{Kind: ReplyEnd, Lines: []string{string(line)}}
+		for {
+			line, err = readLine(r)
+			if err != nil {
+				return Reply{}, err
+			}
+			if string(line) == "END" {
+				return rep, nil
+			}
+			rep.Lines = append(rep.Lines, string(line))
+		}
+	}
+	return Reply{}, fmt.Errorf("server: unrecognized reply %q", line)
+}
+
+// readLine reads one '\n'-terminated line, stripping the terminator and an
+// optional '\r'. The returned slice aliases the reader's buffer and is
+// valid only until the next read.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err != nil {
+		if err == bufio.ErrBufferFull {
+			return nil, fmt.Errorf("server: reply line exceeds %d bytes", r.Size())
+		}
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// ParseRangeLine decodes one "K <hexkey> <val>" body line from a range
+// reply into the stored-form key and its value.
+func ParseRangeLine(line string) (key []byte, val uint64, err error) {
+	rest, ok := strings.CutPrefix(line, "K ")
+	if !ok {
+		return nil, 0, fmt.Errorf("server: malformed range line %q", line)
+	}
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return nil, 0, fmt.Errorf("server: malformed range line %q", line)
+	}
+	key, err = hex.DecodeString(rest[:sp])
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: malformed range key in %q: %v", line, err)
+	}
+	val, err = strconv.ParseUint(rest[sp+1:], 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: malformed range value in %q: %v", line, err)
+	}
+	return key, val, nil
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAppendRequestWireForms(t *testing.T) {
+	cases := []struct {
+		got  []byte
+		want string
+	}{
+		{AppendSet(nil, []byte("k1"), 42), "set k1 42\n"},
+		{AppendGet(nil, []byte("k1")), "get k1\n"},
+		{AppendDel(nil, []byte("k1")), "del k1\n"},
+		{AppendRange(nil, []byte("a"), []byte("b"), 10), "range a b 10\n"},
+		{AppendRange(nil, nil, nil, 5), "range - - 5\n"},
+		{AppendRange(nil, []byte("lo"), nil, 1), "range lo - 1\n"},
+	}
+	for _, c := range cases {
+		if string(c.got) != c.want {
+			t.Errorf("wire form = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestReadReplyKinds(t *testing.T) {
+	input := "STORED\n" +
+		"VAL 1234\n" +
+		"NF\n" +
+		"DEL\n" +
+		"END\n" + // empty range
+		"K 6170706c65 3\nEND\n" +
+		"STAT cmd_get 7\nSTAT store_len 9\nEND\n" +
+		"ERR bad things\n"
+	r := bufio.NewReader(strings.NewReader(input))
+
+	rep, err := ReadReply(r)
+	if err != nil || rep.Kind != ReplyStored {
+		t.Fatalf("STORED: (%+v,%v)", rep, err)
+	}
+	rep, err = ReadReply(r)
+	if err != nil || rep.Kind != ReplyVal || rep.Val != 1234 {
+		t.Fatalf("VAL: (%+v,%v)", rep, err)
+	}
+	rep, err = ReadReply(r)
+	if err != nil || rep.Kind != ReplyNF {
+		t.Fatalf("NF: (%+v,%v)", rep, err)
+	}
+	rep, err = ReadReply(r)
+	if err != nil || rep.Kind != ReplyDel {
+		t.Fatalf("DEL: (%+v,%v)", rep, err)
+	}
+	rep, err = ReadReply(r)
+	if err != nil || rep.Kind != ReplyEnd || len(rep.Lines) != 0 {
+		t.Fatalf("empty END: (%+v,%v)", rep, err)
+	}
+	rep, err = ReadReply(r)
+	if err != nil || rep.Kind != ReplyEnd || len(rep.Lines) != 1 {
+		t.Fatalf("range body: (%+v,%v)", rep, err)
+	}
+	key, val, err := ParseRangeLine(rep.Lines[0])
+	if err != nil || !bytes.Equal(key, []byte("apple")) || val != 3 {
+		t.Fatalf("ParseRangeLine = (%q,%d,%v), want (apple,3,nil)", key, val, err)
+	}
+	rep, err = ReadReply(r)
+	if err != nil || rep.Kind != ReplyEnd || len(rep.Lines) != 2 {
+		t.Fatalf("stats body: (%+v,%v)", rep, err)
+	}
+	rep, err = ReadReply(r)
+	if err != nil || rep.Kind != ReplyErr || rep.Msg != "bad things" {
+		t.Fatalf("ERR: (%+v,%v)", rep, err)
+	}
+	if _, err = ReadReply(r); err == nil {
+		t.Fatal("expected EOF after final reply")
+	}
+}
+
+func TestReadReplyMalformed(t *testing.T) {
+	for _, bad := range []string{"WHAT 1\n", "VAL notanum\n", "VAL\n"} {
+		r := bufio.NewReader(strings.NewReader(bad))
+		if _, err := ReadReply(r); err == nil {
+			t.Errorf("ReadReply(%q) accepted a malformed reply", bad)
+		}
+	}
+	for _, bad := range []string{"X no prefix", "K deadbeef", "K zz 1", "K 00 x"} {
+		if _, _, err := ParseRangeLine(bad); err == nil {
+			t.Errorf("ParseRangeLine(%q) accepted a malformed line", bad)
+		}
+	}
+}
+
+func TestValidKey(t *testing.T) {
+	good := [][]byte{[]byte("a"), []byte("user@example.com"), bytes.Repeat([]byte("k"), MaxKeyLen)}
+	for _, k := range good {
+		if !ValidKey(k) {
+			t.Errorf("ValidKey(%q) = false, want true", k)
+		}
+	}
+	bad := [][]byte{nil, {}, []byte("has space"), []byte("nl\n"), []byte("cr\r"),
+		{0x00}, bytes.Repeat([]byte("k"), MaxKeyLen+1)}
+	for _, k := range bad {
+		if ValidKey(k) {
+			t.Errorf("ValidKey(%q) = true, want false", k)
+		}
+	}
+}

@@ -1,0 +1,465 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hope "repro"
+)
+
+// Config tunes a Server. The zero value is usable: listen on an ephemeral
+// localhost port with the default connection limit.
+type Config struct {
+	// Addr is the TCP listen address ("host:port"). Empty means
+	// "127.0.0.1:0" (ephemeral port; read it back with Addr()).
+	Addr string
+	// MaxConns caps concurrent connections. Beyond the cap the server
+	// simply stops calling Accept, so excess dials queue in the kernel
+	// listen backlog — backpressure, not rejection. 0 means
+	// DefaultMaxConns.
+	MaxConns int
+	// Logf receives connection-level diagnostics. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// DefaultMaxConns is the connection cap when Config.MaxConns is zero.
+const DefaultMaxConns = 256
+
+// ErrServerClosed is returned by Serve after Shutdown begins, mirroring
+// net/http's contract: it signals an orderly stop, not a failure.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server serves a hope.Store over the wire protocol in this package. It
+// is written against the Store interface alone — any present or future
+// implementation plugs in unchanged — plus an optional Quiescer upgrade
+// at shutdown.
+type Server struct {
+	store hope.Store
+	cfg   Config
+
+	ln       net.Listener
+	sem      chan struct{} // acquired before Accept: connection backpressure
+	draining atomic.Bool
+	wg       sync.WaitGroup // live connection handlers
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	shutdown bool
+
+	// Serving counters, exposed through the stats command.
+	connsTotal  atomic.Uint64
+	cmdGet      atomic.Uint64
+	cmdSet      atomic.Uint64
+	cmdDel      atomic.Uint64
+	cmdRange    atomic.Uint64
+	getHits     atomic.Uint64
+	rangeKeys   atomic.Uint64
+	protoErrors atomic.Uint64
+}
+
+// New builds a Server over store. The store is borrowed until Shutdown,
+// which quiesces and closes it as part of the drain.
+func New(store hope.Store, cfg Config) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{
+		store: store,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxConns),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen binds the configured address. Separate from Serve so callers can
+// learn the ephemeral port (Addr) before the accept loop starts.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address, or nil before Listen.
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve runs the accept loop until Shutdown closes the listener, then
+// returns ErrServerClosed. The connection-limit semaphore is acquired
+// *before* Accept: at the cap the server stops accepting entirely and
+// excess clients wait in the listen backlog instead of being churned
+// through accept-then-close.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	for {
+		s.sem <- struct{}{}
+		conn, err := s.ln.Accept()
+		if err != nil {
+			<-s.sem
+			if s.draining.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.connsTotal.Add(1)
+		s.track(conn, true)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() { <-s.sem }()
+			defer s.track(conn, false)
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if s.ln == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	return s.Serve()
+}
+
+func (s *Server) track(conn net.Conn, add bool) {
+	s.mu.Lock()
+	if add {
+		s.conns[conn] = struct{}{}
+		// A connection accepted in the window between Shutdown closing the
+		// listener and its poke loop running would otherwise miss the wake
+		// poke and stall the drain until the context expires.
+		if s.draining.Load() {
+			conn.SetReadDeadline(time.Now())
+		}
+	} else {
+		delete(s.conns, conn)
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown drains the server: stop accepting, let in-flight requests
+// finish, then quiesce and close the store. Handlers blocked in a read
+// are poked with an immediate read deadline; because bufio serves
+// complete lines from its buffer without touching the socket, every
+// request the client managed to pipeline before the drain still gets a
+// reply before its connection closes. If ctx expires first, remaining
+// connections are severed and ctx.Err is returned — but the store is
+// still quiesced and closed, so acknowledged writes are never abandoned
+// mid-migration.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return nil
+	}
+	s.shutdown = true
+	s.mu.Unlock()
+
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		// Wake blocked readers now; handlers notice draining and finish.
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+	}
+
+	// The store drain proper: wait out background work (adaptive rebuild
+	// migrations and their acknowledged writes), then close. Quiesce
+	// before Close is not redundant — Close also cancels, but an explicit
+	// quiesce first lets an in-flight rebuild that is nearly done land
+	// instead of being torn down.
+	if q, ok := s.store.(hope.Quiescer); ok {
+		q.Quiesce()
+	}
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// RunUntilSignal serves until one of the given signals arrives (SIGTERM,
+// typically), then drains with the given grace period. It is the main
+// loop of cmd/hopeserve, kept here so it is testable.
+func (s *Server) RunUntilSignal(grace time.Duration, sigs ...os.Signal) error {
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, sigs...)
+	defer signal.Stop(sigc)
+	select {
+	case err := <-errc:
+		// Accept loop died on its own — still release the store.
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		s.Shutdown(ctx)
+		return err
+	case <-sigc:
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			return err
+		}
+		<-errc // Serve's ErrServerClosed
+		return nil
+	}
+}
+
+// Connection handler buffer sizes: large enough that a deep pipeline of
+// small requests is parsed (and answered) per syscall pair.
+const connBufSize = 64 << 10
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, connBufSize)
+	w := bufio.NewWriterSize(conn, connBufSize)
+	for {
+		line, err := r.ReadSlice('\n')
+		if err != nil {
+			if err == bufio.ErrBufferFull {
+				s.protoErrors.Add(1)
+				fmt.Fprintf(w, "ERR line exceeds %d bytes\n", MaxLineLen)
+				w.Flush()
+				return
+			}
+			// Read failure: a real disconnect, or the Shutdown deadline
+			// poke. Either way every complete buffered line was already
+			// served (bufio only hits the socket when the buffer lacks
+			// one), so flushing pending replies completes the drain
+			// contract for this connection.
+			if !s.draining.Load() && !errors.Is(err, net.ErrClosed) && !isEOF(err) {
+				s.cfg.Logf("conn %s: read: %v", conn.RemoteAddr(), err)
+			}
+			w.Flush()
+			return
+		}
+		if len(line) > MaxLineLen {
+			s.protoErrors.Add(1)
+			fmt.Fprintf(w, "ERR line exceeds %d bytes\n", MaxLineLen)
+			w.Flush()
+			return
+		}
+		if !s.dispatch(trimLine(line), w) {
+			w.Flush()
+			return
+		}
+		// Pipelining: flush only once the read buffer holds no further
+		// complete request, batching replies for the whole burst.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func trimLine(line []byte) []byte {
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line
+}
+
+// dispatch executes one request line, writing the reply into w. It
+// returns false when the connection should close (quit).
+func (s *Server) dispatch(line []byte, w *bufio.Writer) bool {
+	cmd, rest := nextToken(line)
+	switch string(cmd) {
+	case "get":
+		key, rest := nextToken(rest)
+		if len(key) == 0 || len(rest) != 0 {
+			return s.errf(w, "usage: get <key>")
+		}
+		s.cmdGet.Add(1)
+		if v, ok := s.store.Get(key); ok {
+			s.getHits.Add(1)
+			w.WriteString("VAL ")
+			w.Write(strconv.AppendUint(nil, v, 10))
+			w.WriteByte('\n')
+		} else {
+			w.WriteString("NF\n")
+		}
+	case "set":
+		key, rest := nextToken(rest)
+		valTok, rest := nextToken(rest)
+		if len(key) == 0 || len(valTok) == 0 || len(rest) != 0 {
+			return s.errf(w, "usage: set <key> <val>")
+		}
+		v, err := strconv.ParseUint(string(valTok), 10, 64)
+		if err != nil {
+			return s.errf(w, "bad value %q", valTok)
+		}
+		s.cmdSet.Add(1)
+		if err := s.store.Put(key, v); err != nil {
+			return s.errf(w, "put: %v", err)
+		}
+		w.WriteString("STORED\n")
+	case "del":
+		key, rest := nextToken(rest)
+		if len(key) == 0 || len(rest) != 0 {
+			return s.errf(w, "usage: del <key>")
+		}
+		s.cmdDel.Add(1)
+		ok, err := s.store.Delete(key)
+		if err != nil {
+			return s.errf(w, "delete: %v", err)
+		}
+		if ok {
+			w.WriteString("DEL\n")
+		} else {
+			w.WriteString("NF\n")
+		}
+	case "range":
+		loTok, rest := nextToken(rest)
+		hiTok, rest := nextToken(rest)
+		limTok, rest := nextToken(rest)
+		if len(loTok) == 0 || len(hiTok) == 0 || len(limTok) == 0 || len(rest) != 0 {
+			return s.errf(w, "usage: range <lo|-> <hi|-> <limit>")
+		}
+		limit, err := strconv.Atoi(string(limTok))
+		if err != nil || limit <= 0 || limit > MaxRangeLimit {
+			return s.errf(w, "bad limit %q (1..%d)", limTok, MaxRangeLimit)
+		}
+		var lo, hi []byte
+		if !bytes.Equal(loTok, []byte("-")) {
+			lo = loTok
+		}
+		if !bytes.Equal(hiTok, []byte("-")) {
+			hi = hiTok
+		}
+		s.cmdRange.Add(1)
+		hexBuf := make([]byte, 0, 128)
+		n := s.store.Scan(lo, hi, func(key []byte, val uint64) bool {
+			hexBuf = hexBuf[:0]
+			hexBuf = hexAppend(hexBuf, key)
+			w.WriteString("K ")
+			w.Write(hexBuf)
+			w.WriteByte(' ')
+			w.Write(strconv.AppendUint(nil, val, 10))
+			w.WriteByte('\n')
+			limit--
+			return limit > 0
+		})
+		s.rangeKeys.Add(uint64(n))
+		w.WriteString("END\n")
+	case "stats":
+		if len(rest) != 0 {
+			return s.errf(w, "usage: stats")
+		}
+		s.writeStats(w)
+	case "quit":
+		return false
+	default:
+		return s.errf(w, "unknown command %q", cmd)
+	}
+	return true
+}
+
+// errf writes an ERR reply and keeps the connection open: protocol errors
+// are per-request, not per-connection.
+func (s *Server) errf(w *bufio.Writer, format string, args ...any) bool {
+	s.protoErrors.Add(1)
+	w.WriteString("ERR ")
+	fmt.Fprintf(w, format, args...)
+	w.WriteByte('\n')
+	return true
+}
+
+func (s *Server) writeStats(w *bufio.Writer) {
+	s.mu.Lock()
+	curr := len(s.conns)
+	s.mu.Unlock()
+	stats := map[string]uint64{
+		"curr_connections":  uint64(curr),
+		"total_connections": s.connsTotal.Load(),
+		"cmd_get":           s.cmdGet.Load(),
+		"cmd_set":           s.cmdSet.Load(),
+		"cmd_del":           s.cmdDel.Load(),
+		"cmd_range":         s.cmdRange.Load(),
+		"get_hits":          s.getHits.Load(),
+		"range_keys":        s.rangeKeys.Load(),
+		"protocol_errors":   s.protoErrors.Load(),
+		"store_len":         uint64(s.store.Len()),
+	}
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "STAT %s %d\n", name, stats[name])
+	}
+	fmt.Fprintf(w, "STAT draining %v\n", s.draining.Load())
+	w.WriteString("END\n")
+}
+
+func hexAppend(dst, src []byte) []byte {
+	n := len(dst)
+	dst = append(dst, make([]byte, hex.EncodedLen(len(src)))...)
+	hex.Encode(dst[n:], src)
+	return dst
+}
+
+// nextToken splits off the next space-separated token.
+func nextToken(b []byte) (tok, rest []byte) {
+	if i := bytes.IndexByte(b, ' '); i >= 0 {
+		return b[:i], b[i+1:]
+	}
+	return b, nil
+}
+
+func isEOF(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}

@@ -111,6 +111,9 @@ func ceilPow2(n int) int {
 // read-only dictionary is shared by every shard and by the pooled
 // read-path encoder, and the template must not be used directly afterwards
 // (clone it first if independent use is needed).
+//
+// Deprecated: use Open(backend, WithEncoder(enc), WithShards(nShards)),
+// which returns the same index behind the unified Store interface.
 func NewShardedIndex(backend Backend, enc *core.Encoder, nShards int) (*ShardedIndex, error) {
 	return NewShardedIndexWithPartitioner(backend, enc, NewHashPartitioner(nShards))
 }
@@ -122,6 +125,10 @@ func NewShardedIndex(backend Backend, enc *core.Encoder, nShards int) (*ShardedI
 // points are drawn (RangeSplits); with a nil corpus the partitioner starts
 // unseeded and the first Bulk into the empty index seeds it from the
 // loaded keys.
+//
+// Deprecated: use Open(backend, WithEncoder(enc), WithShards(nShards),
+// WithRangePartitioner(corpus)), which returns the same index behind the
+// unified Store interface.
 func NewRangeShardedIndex(backend Backend, enc *core.Encoder, nShards int, corpus [][]byte) (*ShardedIndex, error) {
 	if nShards <= 0 {
 		nShards = DefaultShards()
