@@ -108,6 +108,10 @@ bench-check:
 		-qps 12000 -connlist 2,8 -warmup 1s -duration 4s -json BENCH_serve.fresh.json
 	$(GO) run ./cmd/benchdiff -mode serve BENCH_serve.json BENCH_serve.fresh.json
 	@rm -f BENCH_serve.fresh.json
+	$(GO) run ./cmd/hopebench -fig tree -dataset email -keys 50000 -ops 50000 \
+		-json BENCH_tree.fresh.json
+	$(GO) run ./cmd/benchdiff -mode tree BENCH_tree.json BENCH_tree.fresh.json
+	@rm -f BENCH_tree.fresh.json
 
 # figures regenerates the paper's evaluation artifacts at laptop scale.
 figures:
@@ -115,4 +119,4 @@ figures:
 
 clean:
 	rm -f BENCH_encode.fresh.json BENCH_ycsb.fresh.json BENCH_drift.fresh.json \
-		BENCH_scan.fresh.json BENCH_serve.fresh.json
+		BENCH_scan.fresh.json BENCH_serve.fresh.json BENCH_tree.fresh.json

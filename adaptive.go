@@ -1085,14 +1085,30 @@ func (a *AdaptiveIndex) migrateShard(stripe int, old, next *generation) error {
 func (a *AdaptiveIndex) copyBatch(sh *adaptiveShard, stripe int, old, next *generation, start, end int) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	// Gather the batch's live keys, re-encode them in ONE bulk call (the
+	// word-parallel batch kernels), then probe-and-insert each stored form
+	// under its shard lock. The per-record scratch encode the old loop
+	// paid is the dominant migration cost for compressed generations.
+	slots := make([]int, 0, end-start)
+	keys := make([][]byte, 0, end-start)
 	for slot := start; slot < end; slot++ {
 		r := &old.recs[stripe].recs[slot]
 		if r.dead {
 			continue
 		}
+		slots = append(slots, slot)
+		keys = append(keys, r.key)
+	}
+	encs := next.idx.encodeBatch(keys) // nil when next stores keys raw
+	for bi, slot := range slots {
+		r := &old.recs[stripe].recs[slot]
+		enc := keys[bi]
+		if encs != nil {
+			enc = encs[bi]
+		}
 		nslot := len(next.recs[stripe].recs)
-		_, existed, _, err := next.idx.upsertShard(
-			routeRecord(next, stripe, r.key), r.key, recordID(stripe, nslot))
+		_, existed, err := next.idx.upsertShardEncoded(
+			routeRecord(next, stripe, r.key), r.key, enc, recordID(stripe, nslot))
 		if err != nil {
 			return err
 		}

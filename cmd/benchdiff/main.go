@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.15] [-mode encode|ycsb|drift|scan|serve] baseline.json current.json
+//	benchdiff [-threshold 0.15] [-mode encode|ycsb|drift|scan|serve|tree] baseline.json current.json
 //
 // Mode encode compares BENCH_encode.json records (the encode-path latency
 // record `make bench` writes); mode ycsb compares BENCH_ycsb.json records
@@ -14,11 +14,15 @@
 // and throughput); mode scan compares BENCH_scan.json records (the
 // scan-partitioning throughput record `make bench-scan` writes); mode
 // serve compares BENCH_serve.json records (the network serving latency
-// record `make bench-serve` writes, gating p99 per op). Rows are
+// record `make bench-serve` writes, gating p99 per op); mode tree
+// compares BENCH_tree.json records (the end-to-end search-tree record
+// `make bench-tree` writes, gating load throughput plus point, scan and
+// insert latencies). Rows are
 // matched by identity key — (dataset, scheme) for encode, (dataset,
 // workload, backend, config, threads) for ycsb, (dataset, config, window)
 // for drift, (dataset, backend, config, partition, shards) for scan,
-// (dataset, store, config, workload, conns, op) for serve. For
+// (dataset, store, config, workload, conns, op) for serve,
+// (dataset, backend, config) for tree. For
 // every gated
 // metric the tool collects the per-row current/baseline ratios and
 // compares the metric's median ratio against the threshold: latencies fail
@@ -89,11 +93,23 @@ var serveMetrics = []metric{
 	{name: "p99_us"},
 }
 
+// Tree gates the end-to-end search-tree figure: load throughput plus
+// point, scan and insert latencies through hope.Index. insert_ns is
+// absent from records written before the insert-heavy cell existed;
+// diffRows skips metrics with a non-positive baseline, so old baselines
+// still gate the other three.
+var treeMetrics = []metric{
+	{name: "load_keys_per_sec", higherBetter: true},
+	{name: "point_ns"},
+	{name: "scan_ns"},
+	{name: "insert_ns"},
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.15, "maximum tolerated median regression (0.15 = ±15%)")
-	mode := flag.String("mode", "encode", "record kind: encode (BENCH_encode.json), ycsb (BENCH_ycsb.json), drift (BENCH_drift.json), scan (BENCH_scan.json) or serve (BENCH_serve.json)")
+	mode := flag.String("mode", "encode", "record kind: encode (BENCH_encode.json), ycsb (BENCH_ycsb.json), drift (BENCH_drift.json), scan (BENCH_scan.json), serve (BENCH_serve.json) or tree (BENCH_tree.json)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] [-mode encode|ycsb|drift|scan|serve] baseline.json current.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] [-mode encode|ycsb|drift|scan|serve|tree] baseline.json current.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -135,8 +151,14 @@ func main() {
 		if err == nil {
 			cur, err = readServeRows(flag.Arg(1))
 		}
+	case "tree":
+		metrics = treeMetrics
+		base, err = readTreeRows(flag.Arg(0))
+		if err == nil {
+			cur, err = readTreeRows(flag.Arg(1))
+		}
 	default:
-		err = fmt.Errorf("unknown -mode %q (want encode, ycsb, drift, scan or serve)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want encode, ycsb, drift, scan, serve or tree)", *mode)
 	}
 	if err != nil {
 		fatal(err)
@@ -285,6 +307,30 @@ func flattenServe(rows []bench.ServeBenchRow) []row {
 			key: fmt.Sprintf("%s/%s/%s/%s/c%d/%s", r.Dataset, r.Store, r.Config, r.Workload, r.Conns, r.Op),
 			vals: map[string]float64{
 				"p99_us": r.P99us,
+			},
+		}
+	}
+	return out
+}
+
+func readTreeRows(path string) ([]row, error) {
+	var rows []bench.TreeBenchRow
+	if err := readJSON(path, &rows); err != nil {
+		return nil, err
+	}
+	return flattenTree(rows), nil
+}
+
+func flattenTree(rows []bench.TreeBenchRow) []row {
+	out := make([]row, len(rows))
+	for i, r := range rows {
+		out[i] = row{
+			key: fmt.Sprintf("%s/%s/%s", r.Dataset, r.Backend, r.Config),
+			vals: map[string]float64{
+				"load_keys_per_sec": r.LoadKeysSec,
+				"point_ns":          r.PointNs,
+				"scan_ns":           r.ScanNs,
+				"insert_ns":         r.InsertNs,
 			},
 		}
 	}

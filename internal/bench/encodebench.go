@@ -25,6 +25,10 @@ type EncodeBenchRow struct {
 	CPR          float64 `json:"cpr"`
 }
 
+// benchPasses is the number of timed passes per cell; each cell records
+// the minimum. See the comment at the timing loops.
+const benchPasses = 3
+
 // RunEncodeBench measures the serial encode kernel and the parallel
 // EncodeAll bulk path for every scheme on the configured dataset.
 func RunEncodeBench(cfg Config) ([]EncodeBenchRow, error) {
@@ -49,19 +53,36 @@ func RunEncodeBench(cfg Config) ([]EncodeBenchRow, error) {
 			b, _ := enc.EncodeBits(buf, k)
 			buf = b[:0]
 		}
-		out := make([][]byte, len(keys))
-		t0 := time.Now()
-		for i, k := range keys {
-			b, _ := enc.EncodeBits(buf, k)
-			out[i] = append([]byte(nil), b...)
-			buf = b[:0]
+		// Both cells allocate megabytes per pass, so a single wall-clock
+		// run is dominated by whether the collector fires inside the timed
+		// window — ±50% swings on small-core boxes. Take the best of three
+		// passes with a forced GC between them: the minimum is the cell's
+		// achievable cost, and it is stable enough for benchdiff to gate on.
+		serial := time.Duration(1<<63 - 1)
+		for pass := 0; pass < benchPasses; pass++ {
+			runtime.GC()
+			out := make([][]byte, len(keys))
+			t0 := time.Now()
+			for i, k := range keys {
+				b, _ := enc.EncodeBits(buf, k)
+				out[i] = append([]byte(nil), b...)
+				buf = b[:0]
+			}
+			if d := time.Since(t0); d < serial {
+				serial = d
+			}
+			_ = out
 		}
-		serial := time.Since(t0)
-		_ = out
 
-		t0 = time.Now()
-		enc.EncodeAll(keys)
-		bulk := time.Since(t0)
+		bulk := time.Duration(1<<63 - 1)
+		for pass := 0; pass < benchPasses; pass++ {
+			runtime.GC()
+			t0 := time.Now()
+			enc.EncodeAll(keys)
+			if d := time.Since(t0); d < bulk {
+				bulk = d
+			}
+		}
 		speedup := 0.0 // 0 signals an unmeasurable (sub-tick) bulk run
 		if bulk > 0 {
 			speedup = float64(serial.Nanoseconds()) / float64(bulk.Nanoseconds())

@@ -2,10 +2,13 @@ package bench
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
+	"runtime"
 	"time"
 
 	hope "repro"
+	"repro/internal/core"
 	"repro/internal/ycsb"
 )
 
@@ -24,6 +27,7 @@ type TreeBenchRow struct {
 	LoadKeysSec float64 `json:"load_keys_per_sec"` // load throughput
 	PointNs     float64 `json:"point_ns_per_op"`   // YCSB-C Get latency
 	ScanNs      float64 `json:"scan_ns_per_op"`    // 10-key range scan latency
+	InsertNs    float64 `json:"insert_ns_per_op"`  // Put latency into a 90%-loaded tree
 	BytesPerKey float64 `json:"bytes_per_key"`     // (tree + dict) / keys
 	TreeMB      float64 `json:"tree_mb"`
 	DictMB      float64 `json:"dict_mb"`
@@ -59,12 +63,27 @@ func RunFigTree(cfg Config, backends []hope.Backend) ([]TreeBenchRow, error) {
 				return nil, err
 			}
 			x := st.(*hope.Index)
+			// Each timed phase starts from a collected heap so a GC cycle
+			// triggered by the previous phase's garbage does not land in
+			// this phase's window (the cells are single wall-clock runs).
+			runtime.GC()
 			t0 := time.Now()
 			if err := x.Bulk(keys, nil); err != nil {
 				return nil, err
 			}
 			loadSec := time.Since(t0).Seconds()
 
+			// Insert-heavy cell: bulk-load 90% of the keys into a fresh
+			// index, then time individual Puts of the held-out 10%.
+			// Every tenth key is held out so the inserts land throughout
+			// the key space rather than only at the right edge. Bulk-only
+			// backends (SuRF) record 0 — no insert path to measure.
+			insertNs, err := insertCell(backend, enc, keys)
+			if err != nil {
+				return nil, err
+			}
+
+			runtime.GC()
 			t0 = time.Now()
 			for _, op := range wl.Ops {
 				x.Get(keys[op.Key])
@@ -91,6 +110,7 @@ func RunFigTree(cfg Config, backends []hope.Backend) ([]TreeBenchRow, error) {
 				LoadSec:     loadSec,
 				PointNs:     pointNs,
 				ScanNs:      scanNs,
+				InsertNs:    insertNs,
 				BytesPerKey: float64(treeMem+dictMem) / float64(len(keys)),
 				TreeMB:      float64(treeMem) / (1 << 20),
 				DictMB:      float64(dictMem) / (1 << 20),
@@ -105,6 +125,47 @@ func RunFigTree(cfg Config, backends []hope.Backend) ([]TreeBenchRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// insertCell times individual Puts of every tenth key into an index
+// bulk-loaded with the other 90%, returning ns/op (0 for immutable
+// backends, which have no insert path).
+func insertCell(backend hope.Backend, enc *core.Encoder, keys [][]byte) (float64, error) {
+	ins, err := hope.Open(backend, hope.WithEncoder(enc))
+	if err != nil {
+		return 0, err
+	}
+	xi := ins.(*hope.Index)
+	loaded := make([][]byte, 0, len(keys))
+	held := make([][]byte, 0, len(keys)/10+1)
+	for i, k := range keys {
+		if i%10 == 9 {
+			held = append(held, k)
+		} else {
+			loaded = append(loaded, k)
+		}
+	}
+	if err := xi.Bulk(loaded, nil); err != nil {
+		return 0, err
+	}
+	if len(held) < 2 {
+		return 0, nil
+	}
+	// Warmup Put doubles as the immutability probe.
+	if err := xi.Put(held[0], 0); err != nil {
+		if errors.Is(err, hope.ErrImmutableBackend) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	runtime.GC()
+	t0 := time.Now()
+	for i, k := range held[1:] {
+		if err := xi.Put(k, uint64(i)); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(len(held)-1), nil
 }
 
 // WriteTreeBenchJSON writes the rows as indented JSON (BENCH_tree.json).

@@ -5,6 +5,8 @@
 // the SuRF filter.
 package bitops
 
+import "encoding/binary"
+
 // Appender accumulates variable-length bit codes and emits a byte slice.
 // Codes are appended most-significant-bit first so that the byte-wise
 // lexicographic order of two emitted buffers matches the bit-wise order of
@@ -74,10 +76,30 @@ func (a *Appender) AppendWord(w uint64, n uint) {
 	a.nAcc = rem
 }
 
+// AppendWords64 appends ws as complete 64-bit words, most significant
+// bit first. When the stream sits on a byte boundary (true after Reset,
+// Pad, or Finish — the state the batch encode kernels are in between
+// keys) every word is stored with one 8-byte write instead of being
+// re-staged bit by bit through the accumulator; otherwise it falls back
+// to AppendWord per word.
+func (a *Appender) AppendWords64(ws []uint64) {
+	if a.nAcc != 0 {
+		for _, w := range ws {
+			a.AppendWord(w, 64)
+		}
+		return
+	}
+	off := len(a.buf)
+	a.buf = append(a.buf, make([]byte, 8*len(ws))...)
+	for _, w := range ws {
+		binary.BigEndian.PutUint64(a.buf[off:], w)
+		off += 8
+	}
+	a.bits += 64 * len(ws)
+}
+
 func (a *Appender) spill() {
-	a.buf = append(a.buf,
-		byte(a.acc>>56), byte(a.acc>>48), byte(a.acc>>40), byte(a.acc>>32),
-		byte(a.acc>>24), byte(a.acc>>16), byte(a.acc>>8), byte(a.acc))
+	a.buf = binary.BigEndian.AppendUint64(a.buf, a.acc)
 	a.acc = 0
 	a.nAcc = 0
 }
@@ -90,16 +112,28 @@ func (a *Appender) Bits() int { return a.bits }
 // be reused after Reset.
 func (a *Appender) Finish() (buf []byte, bitLen int) {
 	bitLen = a.bits
-	for a.nAcc > 0 {
-		a.buf = append(a.buf, byte(a.acc>>56))
-		a.acc <<= 8
-		if a.nAcc >= 8 {
-			a.nAcc -= 8
-		} else {
-			a.nAcc = 0
-		}
-	}
+	a.Pad()
 	return a.buf, bitLen
+}
+
+// Pad appends zero bits up to the next byte boundary and returns the
+// number of complete output bytes emitted so far. It is Finish restated
+// for the batch encode kernels, which record a byte offset after every
+// key of a batch without handing the buffer out mid-stream; appending may
+// continue afterwards (the next key starts byte-aligned, exactly the
+// stored form the search trees compare).
+func (a *Appender) Pad() int {
+	if a.nAcc > 0 {
+		// acc is left-aligned with zeros below the nAcc valid bits, so
+		// the padded tail is its top ceil(nAcc/8) bytes, stored in one
+		// append instead of a byte-at-a-time shift loop.
+		var tmp [8]byte
+		binary.BigEndian.PutUint64(tmp[:], a.acc)
+		a.buf = append(a.buf, tmp[:(a.nAcc+7)/8]...)
+		a.acc = 0
+		a.nAcc = 0
+	}
+	return len(a.buf)
 }
 
 // Mark captures the appender state so a shared prefix can be encoded once

@@ -1,8 +1,11 @@
 package btree
 
-import "bytes"
+import (
+	"bytes"
+	"math/bits"
+)
 
-// minFill is the minimum slot count for non-root nodes after deletion.
+// minFill is the minimum entry count for non-root nodes after deletion.
 const minFill = Fanout / 2
 
 // Delete removes a key, reports whether it was present, and rebalances by
@@ -24,13 +27,13 @@ func (t *Tree) del(n node, key []byte) bool {
 	switch v := n.(type) {
 	case *leafNode:
 		i := v.lowerBound(key)
-		if i >= v.n || !bytes.Equal(v.keys[i], key) {
+		if i >= Fanout || !bytes.Equal(v.keys[i], key) {
 			return false
 		}
-		copy(v.keys[i:], v.keys[i+1:v.n])
-		copy(v.vals[i:], v.vals[i+1:v.n])
-		v.keys[v.n-1] = nil
-		v.n--
+		v.occ &^= 1 << i
+		// Rebuilding the gap padding releases every duplicate of the
+		// deleted pointer, so the key bytes become collectable.
+		v.fillGaps()
 		return true
 	case *innerNode:
 		idx := v.upperBound(key)
@@ -46,11 +49,42 @@ func (t *Tree) del(n node, key []byte) bool {
 func fill(n node) int {
 	switch v := n.(type) {
 	case *leafNode:
-		return v.n
+		return v.count()
 	case *innerNode:
 		return v.n
 	}
 	return 0
+}
+
+// gather copies the occupied entries in key order into ks/vs (each at
+// least count() long) and returns how many there were.
+func (l *leafNode) gather(ks [][]byte, vs []uint64) int {
+	n := 0
+	for mm := l.occ; mm != 0; mm &= mm - 1 {
+		s := bits.TrailingZeros16(mm)
+		ks[n] = l.keys[s]
+		vs[n] = l.vals[s]
+		n++
+	}
+	return n
+}
+
+// scatter redistributes entries evenly across the slots (len(ks) <=
+// Fanout) and rebuilds the gap padding, giving every entry local
+// headroom again.
+func (l *leafNode) scatter(ks [][]byte, vs []uint64) {
+	l.occ = 0
+	for i := range l.keys {
+		l.keys[i] = nil
+		l.vals[i] = 0
+	}
+	for j, k := range ks {
+		s := j * Fanout / len(ks)
+		l.keys[s] = k
+		l.vals[s] = vs[j]
+		l.occ |= 1 << s
+	}
+	l.fillGaps()
 }
 
 // rebalance restores the fill invariant of p.child[idx] after a deletion
@@ -69,28 +103,32 @@ func (t *Tree) rebalance(p *innerNode, idx int) {
 	}
 	switch c := p.child[idx].(type) {
 	case *leafNode:
+		var ks [Fanout + 1][]byte
+		var vs [Fanout + 1]uint64
 		if left >= 0 && fill(p.child[left]) > minFill {
+			// Move the left sibling's last entry in front of c.
 			l := p.child[left].(*leafNode)
-			copy(c.keys[1:c.n+1], c.keys[:c.n])
-			copy(c.vals[1:c.n+1], c.vals[:c.n])
-			c.keys[0] = l.keys[l.n-1]
-			c.vals[0] = l.vals[l.n-1]
-			l.keys[l.n-1] = nil
-			l.n--
-			c.n++
-			p.keys[left] = c.keys[0]
+			n := c.gather(ks[1:], vs[1:])
+			ls := l.lastSlot()
+			ks[0], vs[0] = l.keys[ls], l.vals[ls]
+			l.occ &^= 1 << ls
+			l.fillGaps()
+			c.scatter(ks[:n+1], vs[:n+1])
+			p.keys[left] = ks[0]
+			p.pad()
 			return
 		}
 		if right >= 0 && fill(p.child[right]) > minFill {
+			// Move the right sibling's first entry to the back of c.
 			r := p.child[right].(*leafNode)
-			c.keys[c.n] = r.keys[0]
-			c.vals[c.n] = r.vals[0]
-			c.n++
-			copy(r.keys[:r.n-1], r.keys[1:r.n])
-			copy(r.vals[:r.n-1], r.vals[1:r.n])
-			r.keys[r.n-1] = nil
-			r.n--
-			p.keys[idx] = r.keys[0]
+			n := c.gather(ks[:], vs[:])
+			rs := r.firstSlot()
+			ks[n], vs[n] = r.keys[rs], r.vals[rs]
+			r.occ &^= 1 << rs
+			r.fillGaps()
+			c.scatter(ks[:n+1], vs[:n+1])
+			p.keys[idx] = r.keys[r.firstSlot()]
+			p.pad()
 			return
 		}
 		// Merge with a sibling (both at minimum: combined fits one node).
@@ -109,10 +147,12 @@ func (t *Tree) rebalance(p *innerNode, idx int) {
 			c.keys[0] = p.keys[left]
 			c.child[0] = l.child[l.n]
 			p.keys[left] = l.keys[l.n-1]
-			l.keys[l.n-1] = nil
 			l.child[l.n] = nil
 			l.n--
 			c.n++
+			l.pad()
+			c.pad()
+			p.pad()
 			return
 		}
 		if right >= 0 && fill(p.child[right]) > minFill {
@@ -123,9 +163,11 @@ func (t *Tree) rebalance(p *innerNode, idx int) {
 			p.keys[idx] = r.keys[0]
 			copy(r.keys[:r.n-1], r.keys[1:r.n])
 			copy(r.child[:r.n], r.child[1:r.n+1])
-			r.keys[r.n-1] = nil
 			r.child[r.n] = nil
 			r.n--
+			r.pad()
+			c.pad()
+			p.pad()
 			return
 		}
 		if left >= 0 {
@@ -138,11 +180,14 @@ func (t *Tree) rebalance(p *innerNode, idx int) {
 	}
 }
 
-// mergeLeaves appends r into l and unlinks r from the leaf chain.
+// mergeLeaves redistributes r's entries into l and unlinks r from the
+// leaf chain. Both are at or below minimum fill, so the union fits.
 func mergeLeaves(l, r *leafNode) {
-	copy(l.keys[l.n:], r.keys[:r.n])
-	copy(l.vals[l.n:], r.vals[:r.n])
-	l.n += r.n
+	var ks [Fanout][]byte
+	var vs [Fanout]uint64
+	n := l.gather(ks[:], vs[:])
+	n += r.gather(ks[n:], vs[n:])
+	l.scatter(ks[:n], vs[:n])
 	l.next = r.next
 }
 
@@ -152,13 +197,14 @@ func mergeInners(l, r *innerNode, sep []byte) {
 	copy(l.keys[l.n+1:], r.keys[:r.n])
 	copy(l.child[l.n+1:], r.child[:r.n+1])
 	l.n += r.n + 1
+	l.pad()
 }
 
 // removeAt drops separator i and the child to its right.
 func (p *innerNode) removeAt(i int) {
 	copy(p.keys[i:], p.keys[i+1:p.n])
 	copy(p.child[i+1:], p.child[i+2:p.n+1])
-	p.keys[p.n-1] = nil
 	p.child[p.n] = nil
 	p.n--
+	p.pad()
 }

@@ -79,9 +79,10 @@ func TestDeleteMaintainsFillAndOrder(t *testing.T) {
 	walk = func(n node, root bool) {
 		switch v := n.(type) {
 		case *leafNode:
-			if !root && v.n < minFill {
-				t.Fatalf("leaf underfilled: %d", v.n)
+			if !root && v.count() < minFill {
+				t.Fatalf("leaf underfilled: %d", v.count())
 			}
+			checkLeafPadding(t, v)
 		case *innerNode:
 			if !root && v.n < minFill {
 				t.Fatalf("inner underfilled: %d", v.n)

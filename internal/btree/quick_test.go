@@ -2,6 +2,7 @@ package btree
 
 import (
 	"bytes"
+	"math/bits"
 	"math/rand"
 	"sort"
 	"testing"
@@ -74,17 +75,21 @@ func TestStructuralInvariants(t *testing.T) {
 	check = func(n node, lo, hi []byte) int {
 		switch v := n.(type) {
 		case *leafNode:
-			for i := 0; i < v.n; i++ {
+			prevSlot := -1
+			for mm := v.occ; mm != 0; mm &= mm - 1 {
+				i := bits.TrailingZeros16(mm)
 				if lo != nil && bytes.Compare(v.keys[i], lo) < 0 {
 					t.Fatalf("leaf key %q below separator %q", v.keys[i], lo)
 				}
 				if hi != nil && bytes.Compare(v.keys[i], hi) >= 0 {
 					t.Fatalf("leaf key %q not below separator %q", v.keys[i], hi)
 				}
-				if i > 0 && bytes.Compare(v.keys[i-1], v.keys[i]) >= 0 {
+				if prevSlot >= 0 && bytes.Compare(v.keys[prevSlot], v.keys[i]) >= 0 {
 					t.Fatal("leaf keys unsorted")
 				}
+				prevSlot = i
 			}
+			checkLeafPadding(t, v)
 			return 1
 		case *innerNode:
 			if v.n < 1 {
@@ -93,6 +98,14 @@ func TestStructuralInvariants(t *testing.T) {
 			for i := 1; i < v.n; i++ {
 				if bytes.Compare(v.keys[i-1], v.keys[i]) >= 0 {
 					t.Fatal("separators unsorted")
+				}
+			}
+			if want := lcpLen(v.keys[0], v.keys[v.n-1]); v.pfx != want {
+				t.Fatalf("inner pfx %d, want %d", v.pfx, want)
+			}
+			for i := 0; i < Fanout; i++ {
+				if want := be64(v.keys[i][v.pfx:]); v.pw[i] != want {
+					t.Fatalf("inner pw[%d] = %#x, want %#x", i, v.pw[i], want)
 				}
 			}
 			depth := 0
@@ -117,6 +130,113 @@ func TestStructuralInvariants(t *testing.T) {
 	}
 	if got := check(tr.root, nil, nil); got != tr.Height() {
 		t.Fatalf("measured height %d != tracked %d", got, tr.Height())
+	}
+}
+
+// checkLeafPadding asserts the gapped-leaf invariants lowerBound's fixed
+// probes rely on: when occupied, every key slot non-nil and the padded
+// 16-entry array non-decreasing; when empty, every slot nil.
+func checkLeafPadding(t *testing.T, v *leafNode) {
+	t.Helper()
+	if v.occ == 0 {
+		for i := range v.keys {
+			if v.keys[i] != nil {
+				t.Fatalf("empty leaf holds key pointer at slot %d", i)
+			}
+		}
+		return
+	}
+	for i := 0; i < Fanout; i++ {
+		if v.keys[i] == nil {
+			t.Fatalf("occupied leaf has nil padding at slot %d (occ=%04x)", i, v.occ)
+		}
+		if i > 0 && bytes.Compare(v.keys[i-1], v.keys[i]) > 0 {
+			t.Fatalf("leaf padding decreasing at slot %d (occ=%04x)", i, v.occ)
+		}
+	}
+	if want := lcpLen(v.keys[v.firstSlot()], v.keys[v.lastSlot()]); v.pfx != want {
+		t.Fatalf("leaf pfx %d, want %d (occ=%04x)", v.pfx, want, v.occ)
+	}
+	for i := 0; i < Fanout; i++ {
+		if want := be64(v.keys[i][v.pfx:]); v.pw[i] != want {
+			t.Fatalf("leaf pw[%d] = %#x, want %#x (occ=%04x)", i, v.pw[i], want, v.occ)
+		}
+	}
+}
+
+// walkLeaves applies fn to every leaf in the tree.
+func walkLeaves(n node, fn func(*leafNode)) {
+	switch v := n.(type) {
+	case *leafNode:
+		fn(v)
+	case *innerNode:
+		for i := 0; i <= v.n; i++ {
+			walkLeaves(v.child[i], fn)
+		}
+	}
+}
+
+// TestGappedLeafInvariantsUnderChurn hammers the tree with mixed
+// inserts, overwrites and deletes against a sorted oracle, revalidating
+// the gap-padding invariants and full scan order at checkpoints.
+func TestGappedLeafInvariantsUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New()
+	ref := map[string]uint64{}
+	for round := 0; round < 60000; round++ {
+		k := []byte(string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26))))
+		switch rng.Intn(3) {
+		case 0, 1:
+			tr.Insert(k, uint64(round))
+			ref[string(k)] = uint64(round)
+		case 2:
+			_, present := ref[string(k)]
+			delete(ref, string(k))
+			if tr.Delete(k) != present {
+				t.Fatalf("round %d: delete %q disagreed with oracle", round, k)
+			}
+		}
+		if round%5000 == 4999 {
+			if tr.Len() != len(ref) {
+				t.Fatalf("round %d: size %d, oracle %d", round, tr.Len(), len(ref))
+			}
+			walkLeaves(tr.root, func(l *leafNode) { checkLeafPadding(t, l) })
+			want := make([]string, 0, len(ref))
+			for k := range ref {
+				want = append(want, k)
+			}
+			sort.Strings(want)
+			i := 0
+			tr.Scan(nil, func(k []byte, v uint64) bool {
+				if i >= len(want) || string(k) != want[i] || ref[want[i]] != v {
+					t.Fatalf("round %d: scan mismatch at %d", round, i)
+				}
+				i++
+				return true
+			})
+			if i != len(want) {
+				t.Fatalf("round %d: scan saw %d of %d", round, i, len(want))
+			}
+		}
+	}
+}
+
+// Overwriting an existing key must not allocate: Insert only copies key
+// bytes once it knows the key is absent.
+func TestInsertOverwriteNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	keys := randKeys(rng, 4096, 10)
+	tr := New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		tr.Insert(keys[i%len(keys)], uint64(i))
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("overwriting Insert allocates %.1f/op, want 0", allocs)
 	}
 }
 

@@ -143,7 +143,8 @@ func (s BuildStats) Total() time.Duration {
 type Encoder struct {
 	scheme  Scheme
 	dict    dict.Dictionary
-	kern    dict.Kernel // concrete encode kernel, captured once at build
+	kern    dict.Kernel      // concrete encode kernel, captured once at build
+	batch   dict.BatchKernel // concrete batch kernel for the bulk paths
 	entries []dict.Entry
 	stats   BuildStats
 
@@ -234,6 +235,11 @@ func Build(scheme Scheme, samples [][]byte, opt Options) (*Encoder, error) {
 	// per symbol. The Dictionary interface remains the correctness
 	// reference (the differential tests compare the two).
 	e.kern, _ = e.dict.(dict.Kernel)
+	// The batch kernel drives the bulk paths (EncodeAll and everything
+	// built on it): word-parallel loops over whole key batches, pinned
+	// byte-identical to the per-key kernel by the batch differential
+	// suite.
+	e.batch, _ = e.dict.(dict.BatchKernel)
 	e.stats.DictBuild = time.Since(t2)
 	e.stats.Entries = len(e.entries)
 	return e, nil
@@ -258,7 +264,7 @@ func buildDictionary(scheme Scheme, opt Options, entries []dict.Entry) (dict.Dic
 }
 
 // Clone returns an encoder that shares the read-only build artifacts (the
-// dictionary, its entries and the captured kernel) but owns fresh
+// dictionary, its entries and the captured kernels) but owns fresh
 // point-encode state. Dictionary lookups are immutable after Build, so
 // clones are independent single-writer encoders over one dictionary —
 // the per-shard encoder a concurrent serving layer needs (see

@@ -166,3 +166,39 @@ func FuzzEncodedBounds(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBatchEncode: the batch kernels behind EncodeAll must be
+// byte-identical to the per-key encode path for arbitrary batches,
+// including empty keys and ragged lengths carved from the fuzz input.
+func FuzzBatchEncode(f *testing.F) {
+	encs, _ := fuzzEncoders(f)
+	f.Add([]byte("com.gmail@alice\x00bob\x00\x00carol"), uint8(3))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0xFF, 0x00, 0xFF, 0x00, 0xFF}, uint8(2))
+	f.Add([]byte("aaaaaaaabbbbbbbbccccccccdddddddd"), uint8(7))
+	f.Fuzz(func(t *testing.T, raw []byte, nkeys uint8) {
+		if len(raw) > 1024 {
+			raw = raw[:1024]
+		}
+		n := int(nkeys%32) + 1
+		keys := make([][]byte, n)
+		for i := range keys {
+			lo := i * len(raw) / n
+			hi := (i + 1) * len(raw) / n
+			keys[i] = raw[lo:hi]
+		}
+		for _, e := range encs {
+			got := e.EncodeAll(keys)
+			if len(got) != n {
+				t.Fatalf("scheme %v: EncodeAll returned %d of %d", e.Scheme(), len(got), n)
+			}
+			for i, k := range keys {
+				want := e.Encode(k)
+				if !bytes.Equal(got[i], want) {
+					t.Fatalf("scheme %v: batch[%d](%q) = %x, per-key %x",
+						e.Scheme(), i, k, got[i], want)
+				}
+			}
+		}
+	})
+}

@@ -13,6 +13,20 @@ import (
 // boundary and symbol are implied by the array offset.
 type SingleCharArray struct {
 	codes [256]hutucker.Code
+	// maxLen is the longest code in the table; the batch kernel uses it to
+	// bound how many codes fit the 64-bit staging word so a whole 8-symbol
+	// run can skip the per-symbol overflow check (see AppendEncodeBatch).
+	maxLen uint
+	useAsm bool // amd64 assembly kernel enabled (see kernel_asm_amd64.go)
+
+	// pairBits/pairLens fuse every two-byte source combination into one
+	// precomputed code (pairBits[c1<<8|c2] = bits of c1 followed by bits
+	// of c2, pairLens the summed length). The batch kernel then issues
+	// one table load and one staging step per two source bytes, halving
+	// the serial shift-or dependency chain that dominates encode. Built
+	// only when 2*maxLen fits the 64-bit staging word; 576 KiB.
+	pairBits []uint64
+	pairLens []uint8
 }
 
 // NewSingleCharArray builds the dictionary from exactly 256 entries whose
@@ -30,6 +44,22 @@ func NewSingleCharArray(entries []Entry) (*SingleCharArray, error) {
 			return nil, fmt.Errorf("dict: entry %d: %w", i, err)
 		}
 		d.codes[i] = e.Code
+		if l := uint(e.Code.Len); l > d.maxLen {
+			d.maxLen = l
+		}
+	}
+	d.useAsm = asmKernels
+	if d.maxLen <= 32 {
+		d.pairBits = make([]uint64, 1<<16)
+		d.pairLens = make([]uint8, 1<<16)
+		for a := 0; a < 256; a++ {
+			ca := d.codes[a]
+			for b := 0; b < 256; b++ {
+				cb := d.codes[b]
+				d.pairBits[a<<8|b] = ca.Bits<<uint(cb.Len) | cb.Bits
+				d.pairLens[a<<8|b] = ca.Len + cb.Len
+			}
+		}
 	}
 	return d, nil
 }
@@ -58,6 +88,8 @@ func (d *SingleCharArray) MemoryUsage() int { return 256 * 9 }
 type DoubleCharArray struct {
 	alphabet int
 	codes    []hutucker.Code
+	maxLen   uint // longest code; see SingleCharArray.maxLen
+	useAsm   bool // amd64 assembly kernel enabled (full byte alphabet only)
 }
 
 // DoubleCharEntries returns the number of entries of a Double-Char
@@ -93,7 +125,13 @@ func NewDoubleCharArray(alphabet int, entries []Entry) (*DoubleCharArray, error)
 			return nil, fmt.Errorf("dict: entry %d: %w", i, err)
 		}
 		d.codes[i] = e.Code
+		if l := uint(e.Code.Len); l > d.maxLen {
+			d.maxLen = l
+		}
 	}
+	// The assembly kernel hard-codes the production byte alphabet (index
+	// stride c1*257); shrunken test alphabets go through the Go loops.
+	d.useAsm = asmKernels && alphabet == 256
 	return d, nil
 }
 

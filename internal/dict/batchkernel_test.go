@@ -1,0 +1,299 @@
+package dict
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitops"
+	"repro/internal/hutucker"
+)
+
+// randCode returns a code of the given length whose bits fit it, as the
+// constructors require.
+func randCode(rng *rand.Rand, l int) hutucker.Code {
+	var bits uint64
+	if l > 0 {
+		bits = rng.Uint64() & ((1 << uint(l)) - 1)
+	}
+	return hutucker.Code{Bits: bits, Len: uint8(l)}
+}
+
+// singleFixture builds a Single-Char dictionary with code lengths drawn
+// from [minLen, maxLen] — wide ranges force the staging-word spill paths.
+func singleFixture(t testing.TB, rng *rand.Rand, minLen, maxLen int) *SingleCharArray {
+	t.Helper()
+	entries := make([]Entry, 256)
+	for i := range entries {
+		entries[i] = Entry{
+			Boundary:  []byte{byte(i)},
+			SymbolLen: 1,
+			Code:      randCode(rng, minLen+rng.Intn(maxLen-minLen+1)),
+		}
+	}
+	d, err := NewSingleCharArray(entries)
+	if err != nil {
+		t.Fatalf("NewSingleCharArray: %v", err)
+	}
+	return d
+}
+
+func doubleFixture(t testing.TB, rng *rand.Rand, alphabet, minLen, maxLen int) *DoubleCharArray {
+	t.Helper()
+	entries := make([]Entry, DoubleCharEntries(alphabet))
+	for i := range entries {
+		sl := uint8(2)
+		if i%(alphabet+1) == 0 {
+			sl = 1
+		}
+		entries[i] = Entry{
+			SymbolLen: sl,
+			Code:      randCode(rng, minLen+rng.Intn(maxLen-minLen+1)),
+		}
+	}
+	d, err := NewDoubleCharArray(alphabet, entries)
+	if err != nil {
+		t.Fatalf("NewDoubleCharArray: %v", err)
+	}
+	return d
+}
+
+func trieFixture(t testing.TB, rng *rand.Rand, depth int) *BitmapTrie {
+	t.Helper()
+	boundaries := randomCoveringBoundaries(rng, 2000, depth, 256)
+	tr, err := NewBitmapTrie(depth, makeEntries(t, boundaries))
+	if err != nil {
+		t.Fatalf("NewBitmapTrie: %v", err)
+	}
+	return tr
+}
+
+// batchCases yields key batches covering the tricky shapes: empty
+// batches, empty keys, single keys, ragged tails around the 8-byte word
+// size, and long keys.
+func batchCases(rng *rand.Rand, alphabet int) [][][]byte {
+	key := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(alphabet))
+		}
+		return b
+	}
+	cases := [][][]byte{
+		{},
+		{{}},
+		{{}, {}, {}},
+		{key(1)},
+		{key(7), key(8), key(9)},
+		{key(15), {}, key(16), key(17), {}},
+		{key(64), key(63), key(65)},
+		{key(256)},
+	}
+	for i := 0; i < 16; i++ {
+		batch := make([][]byte, rng.Intn(20))
+		for j := range batch {
+			batch[j] = key(rng.Intn(40))
+		}
+		cases = append(cases, batch)
+	}
+	return cases
+}
+
+// refBatch is the batch contract restated over the per-key reference
+// kernel: encode each key, pad, record the offset.
+func refBatch(k Kernel, keys [][]byte) ([]byte, []int) {
+	var a bitops.Appender
+	a.Reset(nil)
+	offs := make([]int, len(keys)+1)
+	for i, key := range keys {
+		k.AppendEncode(&a, key)
+		a.Pad()
+		buf, _ := a.Finish()
+		offs[i+1] = len(buf)
+	}
+	buf, _ := a.Finish()
+	return buf, offs
+}
+
+func runBatch(b BatchKernel, keys [][]byte) ([]byte, []int) {
+	var a bitops.Appender
+	a.Reset(nil)
+	offs := make([]int, len(keys)+1)
+	b.AppendEncodeBatch(&a, keys, offs)
+	buf, _ := a.Finish()
+	return buf, offs
+}
+
+func checkBatchMatches(t *testing.T, name string, d interface {
+	Kernel
+	BatchKernel
+}, keys [][]byte) {
+	t.Helper()
+	wantBuf, wantOffs := refBatch(d, keys)
+	gotBuf, gotOffs := runBatch(d, keys)
+	if !bytes.Equal(gotBuf, wantBuf) {
+		t.Fatalf("%s: batch buffer diverges from per-key kernel\n got %x\nwant %x", name, gotBuf, wantBuf)
+	}
+	for i := range wantOffs {
+		if gotOffs[i] != wantOffs[i] {
+			t.Fatalf("%s: offs[%d] = %d, want %d", name, i, gotOffs[i], wantOffs[i])
+		}
+	}
+}
+
+// TestBatchKernelMatchesPerKey pins every batch kernel byte-identical to
+// the per-key reference across all dictionary structures, including the
+// spill-heavy long-code configurations and ragged batch shapes.
+func TestBatchKernelMatchesPerKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dicts := []struct {
+		name string
+		d    interface {
+			Kernel
+			BatchKernel
+		}
+		alphabet int
+	}{
+		{"Single-Char/short", singleFixture(t, rng, 1, 8), 256},
+		{"Single-Char/mixed", singleFixture(t, rng, 1, 24), 256},
+		{"Single-Char/long", singleFixture(t, rng, 40, 63), 256},
+		{"Double-Char/256", doubleFixture(t, rng, 256, 1, 16), 256},
+		{"Double-Char/256-long", doubleFixture(t, rng, 256, 30, 63), 256},
+		{"Double-Char/16", doubleFixture(t, rng, 16, 1, 12), 16},
+		{"3-Grams", trieFixture(t, rng, 3), 256},
+		{"4-Grams", trieFixture(t, rng, 4), 256},
+	}
+	for _, tc := range dicts {
+		t.Run(tc.name, func(t *testing.T) {
+			for ci, keys := range batchCases(rng, tc.alphabet) {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("case %d: panic: %v", ci, r)
+						}
+					}()
+					checkBatchMatches(t, fmt.Sprintf("%s case %d", tc.name, ci), tc.d, keys)
+				}()
+			}
+		})
+	}
+}
+
+// TestBatchKernelGoPathMatches drives the pure-Go word-parallel loops
+// directly, so asm-enabled builds still differentially cover the
+// mandatory fallback they would otherwise bypass.
+func TestBatchKernelGoPathMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	single := singleFixture(t, rng, 1, 20)
+	double := doubleFixture(t, rng, 256, 1, 20)
+	for ci, keys := range batchCases(rng, 256) {
+		for _, key := range keys {
+			var want, got bitops.Appender
+			want.Reset(nil)
+			got.Reset(nil)
+			single.AppendEncode(&want, key)
+			single.encodeWords(&got, key)
+			wb, wn := want.Finish()
+			gb, gn := got.Finish()
+			if wn != gn || !bytes.Equal(wb, gb) {
+				t.Fatalf("Single-Char case %d: encodeWords diverges for key %x", ci, key)
+			}
+			want.Reset(nil)
+			got.Reset(nil)
+			double.AppendEncode(&want, key)
+			double.encodeWords(&got, key)
+			wb, wn = want.Finish()
+			gb, gn = got.Finish()
+			if wn != gn || !bytes.Equal(wb, gb) {
+				t.Fatalf("Double-Char case %d: encodeWords diverges for key %x", ci, key)
+			}
+		}
+	}
+}
+
+// TestBatchKernelAsmLeg reports whether the assembly kernels are active
+// and, when they are, cross-checks them against the pure-Go batch loops
+// on top of the per-key pinning already done above.
+func TestBatchKernelAsmLeg(t *testing.T) {
+	if !asmKernels {
+		t.Skip("assembly kernels disabled in this build/CPU")
+	}
+	rng := rand.New(rand.NewSource(44))
+	single := singleFixture(t, rng, 1, 18)
+	double := doubleFixture(t, rng, 256, 1, 18)
+	if !single.useAsm || !double.useAsm {
+		t.Fatalf("asmKernels set but dictionaries did not enable the asm path")
+	}
+	for _, keys := range batchCases(rng, 256) {
+		var asmA, goA bitops.Appender
+		offsAsm := make([]int, len(keys)+1)
+		offsGo := make([]int, len(keys)+1)
+
+		asmA.Reset(nil)
+		single.appendEncodeBatchAsm(&asmA, keys, offsAsm)
+		goA.Reset(nil)
+		for i, key := range keys {
+			single.encodeWords(&goA, key)
+			offsGo[i+1] = goA.Pad()
+		}
+		ab, _ := asmA.Finish()
+		gb, _ := goA.Finish()
+		if !bytes.Equal(ab, gb) {
+			t.Fatalf("Single-Char asm kernel diverges from Go batch loop")
+		}
+		for i := range offsGo {
+			if offsAsm[i] != offsGo[i] {
+				t.Fatalf("Single-Char asm offs[%d] = %d, want %d", i, offsAsm[i], offsGo[i])
+			}
+		}
+
+		asmA.Reset(nil)
+		double.appendEncodeBatchAsm(&asmA, keys, offsAsm)
+		goA.Reset(nil)
+		for i, key := range keys {
+			double.encodeWords(&goA, key)
+			offsGo[i+1] = goA.Pad()
+		}
+		ab, _ = asmA.Finish()
+		gb, _ = goA.Finish()
+		if !bytes.Equal(ab, gb) {
+			t.Fatalf("Double-Char asm kernel diverges from Go batch loop")
+		}
+		for i := range offsGo {
+			if offsAsm[i] != offsGo[i] {
+				t.Fatalf("Double-Char asm offs[%d] = %d, want %d", i, offsAsm[i], offsGo[i])
+			}
+		}
+	}
+}
+
+// TestBatchKernelAppendsMidStream checks the batch kernels compose with
+// a non-empty appender: offsets are absolute byte counts, not per-batch.
+func TestBatchKernelAppendsMidStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	d := singleFixture(t, rng, 1, 12)
+	keys := [][]byte{[]byte("alpha"), []byte("beta-gamma-delta"), {}}
+
+	var a bitops.Appender
+	a.Reset(nil)
+	d.AppendEncode(&a, []byte("prefix"))
+	start := a.Pad()
+	offs := make([]int, len(keys)+1)
+	offs[0] = start
+	d.AppendEncodeBatch(&a, keys, offs)
+	buf, _ := a.Finish()
+
+	var ref bitops.Appender
+	ref.Reset(nil)
+	refKeys, refOffs := refBatch(d, keys)
+	_ = ref
+	if !bytes.Equal(buf[start:], refKeys) {
+		t.Fatalf("mid-stream batch bytes diverge")
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i]-start != refOffs[i] {
+			t.Fatalf("mid-stream offs[%d] = %d, want %d", i, offs[i]-start, refOffs[i]+start)
+		}
+	}
+}

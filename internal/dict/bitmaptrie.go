@@ -20,7 +20,30 @@ type BitmapTrie struct {
 	depth   int // maximum boundary length K (3 or 4)
 	symLens []uint8
 	codes   []hutucker.Code
+
+	// Root dispatch table, precomputed at build for the batch encode
+	// kernel: the root level's rank/select walk is identical for every
+	// symbol starting with the same byte, so one 256-entry table replaces
+	// a Rank256 (four popcounts) plus the branch logic per symbol.
+	// rootChild[c] >= 0 names the level-1 node to continue the floor walk
+	// from; otherwise the walk already resolved and rootIdx[c] is the
+	// floor entry (possibly -1 = below coverage, rejected by checkIdx).
+	rootChild [256]int32
+	rootIdx   [256]int32
+
+	// root2 extends the dispatch to the first two bytes (built for
+	// depth >= 2, 256 KiB): one load replaces the top two levels'
+	// rank/select walks whenever at least two source bytes remain.
+	// v >= 0 continues the floor walk from levels[2][v] at depth 2
+	// (possible only when depth >= 3); v < 0 is the resolved floor entry
+	// ^v, except the root2Below sentinel marking below-coverage pairs
+	// (rejected through checkIdx like everywhere else).
+	root2 []int32
 }
+
+// root2Below marks a two-byte prefix below the dictionary's first
+// boundary; hitting it is the same coverage violation checkIdx rejects.
+const root2Below = int32(-1) << 31
 
 type btNode struct {
 	bitmap    [4]uint64
@@ -90,7 +113,91 @@ func NewBitmapTrie(depth int, entries []Entry) (*BitmapTrie, error) {
 		t.levels[d] = nodes
 		cur = next
 	}
+	t.buildRootTable()
+	t.buildRoot2Table()
 	return t, nil
+}
+
+// buildRootTable replays floorIdx's depth-0 iteration for every first
+// byte. Entries either resolve outright (no branch, or depth-1 trie) or
+// record the level-1 node the walk continues from.
+func (t *BitmapTrie) buildRootTable() {
+	root := &t.levels[0][0]
+	for c := 0; c < 256; c++ {
+		t.rootChild[c] = -1
+		r := bitops.Rank256(&root.bitmap, c)
+		if bitops.Bit256(&root.bitmap, c) {
+			if t.depth == 1 {
+				t.rootIdx[c] = int32(int(root.startIdx) + boolInt(root.term) + r - 1)
+			} else {
+				t.rootChild[c] = int32(root.childBase + uint32(r-1))
+			}
+			continue
+		}
+		if t.depth == 1 {
+			t.rootIdx[c] = int32(int(root.startIdx) + boolInt(root.term) + r - 1)
+			continue
+		}
+		if r > 0 {
+			ch := &t.levels[1][root.childBase+uint32(r-1)]
+			t.rootIdx[c] = int32(int(ch.startIdx) + int(ch.count) - 1)
+			continue
+		}
+		idx := int(root.startIdx) - 1
+		if root.term {
+			idx = int(root.startIdx)
+		}
+		t.rootIdx[c] = int32(idx)
+	}
+}
+
+// buildRoot2Table replays the first two iterations of floorFrom for
+// every byte pair, assuming at least two source bytes remain (the batch
+// kernel falls back to the one-byte tables otherwise, because the
+// end-of-key terminator branch resolves differently).
+func (t *BitmapTrie) buildRoot2Table() {
+	if t.depth < 2 {
+		return
+	}
+	t.root2 = make([]int32, 1<<16)
+	for c0 := 0; c0 < 256; c0++ {
+		for c1 := 0; c1 < 256; c1++ {
+			t.root2[c0<<8|c1] = t.resolve2(byte(c0), byte(c1))
+		}
+	}
+}
+
+func (t *BitmapTrie) resolve2(c0, c1 byte) int32 {
+	res := func(idx int) int32 {
+		if idx < 0 {
+			return root2Below
+		}
+		return ^int32(idx)
+	}
+	ni := uint32(0)
+	for d, c := range [2]byte{c0, c1} {
+		node := &t.levels[d][ni]
+		r := bitops.Rank256(&node.bitmap, int(c))
+		if d == t.depth-1 {
+			// Hit or miss, the deepest level resolves with the same
+			// rank arithmetic (floorFrom's two depth-1 branches).
+			return res(int(node.startIdx) + boolInt(node.term) + r - 1)
+		}
+		if bitops.Bit256(&node.bitmap, int(c)) {
+			ni = node.childBase + uint32(r-1)
+			continue
+		}
+		if r > 0 {
+			ch := &t.levels[d+1][node.childBase+uint32(r-1)]
+			return res(int(ch.startIdx) + int(ch.count) - 1)
+		}
+		idx := int(node.startIdx) - 1
+		if node.term {
+			idx = int(node.startIdx)
+		}
+		return res(idx)
+	}
+	return int32(ni)
 }
 
 // Lookup walks at most depth levels, using popcounts to locate children,

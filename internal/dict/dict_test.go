@@ -13,7 +13,7 @@ import (
 // makeEntries builds a valid covering entry set from a sorted list of
 // unique boundaries (each starting the axis at "\x00"). Symbols are the
 // interval common prefixes; codes are sequential fixed-length.
-func makeEntries(t *testing.T, boundaries [][]byte) []Entry {
+func makeEntries(t testing.TB, boundaries [][]byte) []Entry {
 	t.Helper()
 	entries := make([]Entry, len(boundaries))
 	for i, b := range boundaries {

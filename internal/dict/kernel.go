@@ -112,8 +112,14 @@ func (t *BitmapTrie) AppendEncode(a *bitops.Appender, key []byte) int {
 // floorIdx is Lookup restated over (key, pos) so the encode kernel never
 // constructs a sub-slice per symbol. It returns the floor entry's index.
 func (t *BitmapTrie) floorIdx(key []byte, pos int) int {
-	node := &t.levels[0][0]
-	for d := 0; ; d++ {
+	return t.floorFrom(key, pos, &t.levels[0][0], 0)
+}
+
+// floorFrom continues the floor walk from an arbitrary (node, depth)
+// state; the batch kernel enters it at depth 1 after dispatching the
+// first byte through the precomputed root table.
+func (t *BitmapTrie) floorFrom(key []byte, pos int, node *btNode, start int) int {
+	for d := start; ; d++ {
 		if pos+d == len(key) {
 			idx := int(node.startIdx) - 1
 			if node.term {

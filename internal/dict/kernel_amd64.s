@@ -1,0 +1,156 @@
+//go:build amd64 && !purego && gc
+
+#include "textflag.h"
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// Shared register plan for both encode kernels (R14 is the goroutine
+// pointer and R15 may hold the dynamic-link base, so both stay
+// untouched):
+//
+//	R8  code table base (16-byte stride: bits at +0, len at +8)
+//	R9  next source byte
+//	R10 remaining source bytes
+//	R11 next output word slot
+//	R12 staging accumulator, left-aligned (bit 63 oldest)
+//	R13 valid bits in R12, 0..63 between symbols
+//	DI  completed words emitted
+//	AX BX CX DX scratch
+//
+// Staging one code of length CL with BITS right-aligned:
+//
+//	room = 64 - n
+//	fits (CL <= room):  acc |= BITS << (room-CL); n += CL; emit on n==64
+//	spill (CL > room):  rem = CL-room; acc |= BITS >> rem; emit;
+//	                    acc = BITS << (64-rem); n = rem
+//
+// which is exactly bitops.Appender.AppendWord's spill rule, so the
+// emitted stream is bit-identical to the Go kernels.
+
+// func encodeSingleAsm(tab *hutucker.Code, key *byte, klen int, words *uint64) (acc, n uint64, nWords int)
+TEXT ·encodeSingleAsm(SB), NOSPLIT, $0-56
+	MOVQ tab+0(FP), R8
+	MOVQ key+8(FP), R9
+	MOVQ klen+16(FP), R10
+	MOVQ words+24(FP), R11
+	XORQ R12, R12
+	XORQ R13, R13
+	XORQ DI, DI
+
+loop:
+	TESTQ R10, R10
+	JZ    done
+	MOVBLZX (R9), AX
+	INCQ  R9
+	DECQ  R10
+	SHLQ  $4, AX
+	MOVQ  (R8)(AX*1), BX      // BITS
+	MOVBLZX 8(R8)(AX*1), CX   // CL
+	MOVQ  $64, DX
+	SUBQ  R13, DX             // room = 64 - n
+	CMPQ  CX, DX
+	JA    spill
+	SUBQ  CX, DX              // room - CL
+	SHLXQ DX, BX, BX
+	ORQ   BX, R12
+	ADDQ  CX, R13
+	CMPQ  R13, $64
+	JNE   loop
+	MOVQ  R12, (R11)          // register full: emit
+	ADDQ  $8, R11
+	INCQ  DI
+	XORQ  R12, R12
+	XORQ  R13, R13
+	JMP   loop
+
+spill:
+	SUBQ  DX, CX              // rem = CL - room
+	SHRXQ CX, BX, DX
+	ORQ   DX, R12
+	MOVQ  R12, (R11)
+	ADDQ  $8, R11
+	INCQ  DI
+	MOVQ  $64, DX
+	SUBQ  CX, DX
+	SHLXQ DX, BX, R12         // acc = BITS << (64-rem)
+	MOVQ  CX, R13             // n = rem
+	JMP   loop
+
+done:
+	MOVQ R12, acc+32(FP)
+	MOVQ R13, n+40(FP)
+	MOVQ DI, nWords+48(FP)
+	RET
+
+// func encodeDoubleAsm(tab *hutucker.Code, key *byte, klen int, words *uint64) (acc, n uint64, nWords int)
+//
+// Pair loop over the production byte alphabet: idx = c1*257 + 1 + c2.
+// A trailing lone byte (terminator entry) is left to the Go wrapper.
+TEXT ·encodeDoubleAsm(SB), NOSPLIT, $0-56
+	MOVQ tab+0(FP), R8
+	MOVQ key+8(FP), R9
+	MOVQ klen+16(FP), R10
+	MOVQ words+24(FP), R11
+	XORQ R12, R12
+	XORQ R13, R13
+	XORQ DI, DI
+
+loop:
+	CMPQ  R10, $2
+	JL    done
+	MOVBLZX (R9), AX
+	MOVBLZX 1(R9), BX
+	ADDQ  $2, R9
+	SUBQ  $2, R10
+	MOVQ  AX, DX
+	SHLQ  $8, DX
+	ADDQ  DX, AX              // c1*257
+	ADDQ  BX, AX
+	INCQ  AX                  // idx = c1*257 + 1 + c2
+	SHLQ  $4, AX
+	MOVQ  (R8)(AX*1), BX      // BITS
+	MOVBLZX 8(R8)(AX*1), CX   // CL
+	MOVQ  $64, DX
+	SUBQ  R13, DX             // room = 64 - n
+	CMPQ  CX, DX
+	JA    spill
+	SUBQ  CX, DX
+	SHLXQ DX, BX, BX
+	ORQ   BX, R12
+	ADDQ  CX, R13
+	CMPQ  R13, $64
+	JNE   loop
+	MOVQ  R12, (R11)
+	ADDQ  $8, R11
+	INCQ  DI
+	XORQ  R12, R12
+	XORQ  R13, R13
+	JMP   loop
+
+spill:
+	SUBQ  DX, CX
+	SHRXQ CX, BX, DX
+	ORQ   DX, R12
+	MOVQ  R12, (R11)
+	ADDQ  $8, R11
+	INCQ  DI
+	MOVQ  $64, DX
+	SUBQ  CX, DX
+	SHLXQ DX, BX, R12
+	MOVQ  CX, R13
+	JMP   loop
+
+done:
+	MOVQ R12, acc+32(FP)
+	MOVQ R13, n+40(FP)
+	MOVQ DI, nWords+48(FP)
+	RET

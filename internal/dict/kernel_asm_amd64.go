@@ -1,0 +1,111 @@
+//go:build amd64 && !purego && gc
+
+package dict
+
+import (
+	"sync"
+	"unsafe"
+
+	"repro/internal/bitops"
+	"repro/internal/hutucker"
+)
+
+// asmKernels reports whether the amd64 assembly encode kernels run in
+// this process: they are compiled in on amd64 (disable with the purego
+// build tag) and enabled at runtime on the AVX2/BMI2 feature class
+// (Haswell / x86-64-v3 and newer) — the kernels lean on BMI2's
+// SHLX/SHRX flagless variable shifts for the code-staging hot loop.
+// Variable-length bit concatenation is inherently serial in the bit
+// offset, so the leg is scalar assembly gated on that feature class
+// rather than a ymm-vectorized loop; see DESIGN.md.
+var asmKernels = haveFastKernelCPU()
+
+// The assembly walks the code table with a fixed 16-byte stride and
+// loads the length byte at offset 8; pin hutucker.Code's layout at
+// compile time so a struct change fails the build instead of the
+// kernels.
+var (
+	_ [16]byte = [unsafe.Sizeof(hutucker.Code{})]byte{}
+	_ [8]byte  = [unsafe.Offsetof(hutucker.Code{}.Len)]byte{}
+)
+
+func haveFastKernelCPU() bool {
+	if maxLeaf, _, _, _ := cpuid(0, 0); maxLeaf < 7 {
+		return false
+	}
+	_, ebx, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	const bmi2 = 1 << 8
+	return ebx&(avx2|bmi2) == avx2|bmi2
+}
+
+// Implemented in kernel_amd64.s. The encode kernels emit every
+// completed 64-bit word of the output stream into words (the caller
+// sizes it generously from the dictionary's longest code) and return
+// the leftover partial word left-aligned in acc with n valid top bits.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func encodeSingleAsm(tab *hutucker.Code, key *byte, klen int, words *uint64) (acc, n uint64, nWords int)
+func encodeDoubleAsm(tab *hutucker.Code, key *byte, klen int, words *uint64) (acc, n uint64, nWords int)
+
+// wordScratch pools the per-batch word buffers the assembly kernels
+// emit into; encode batches run on pooled worker goroutines, so the
+// scratch follows the same lifetime.
+var wordScratch = sync.Pool{New: func() any {
+	s := make([]uint64, 64)
+	return &s
+}}
+
+// drainWords replays the assembly kernel's output into the appender:
+// full words in one byte-aligned bulk store (every key starts on a byte
+// boundary, so AppendWords64 takes its 8-byte-write path), then the
+// left-aligned remainder right-shifted into AppendWord's expected form.
+// The resulting bit stream is identical to the per-key kernel's —
+// concatenation is associative in the chunking.
+func drainWords(a *bitops.Appender, words []uint64, acc, n uint64) {
+	a.AppendWords64(words)
+	if n > 0 {
+		a.AppendWord(acc>>(64-n), uint(n))
+	}
+}
+
+func (d *SingleCharArray) appendEncodeBatchAsm(a *bitops.Appender, keys [][]byte, offs []int) {
+	sp := wordScratch.Get().(*[]uint64)
+	s := *sp
+	for i, key := range keys {
+		if len(key) == 0 {
+			offs[i+1] = a.Pad()
+			continue
+		}
+		if need := len(key)*int(d.maxLen)/64 + 1; need > len(s) {
+			s = make([]uint64, need)
+		}
+		acc, n, nw := encodeSingleAsm(&d.codes[0], &key[0], len(key), &s[0])
+		drainWords(a, s[:nw], acc, n)
+		offs[i+1] = a.Pad()
+	}
+	*sp = s
+	wordScratch.Put(sp)
+}
+
+func (d *DoubleCharArray) appendEncodeBatchAsm(a *bitops.Appender, keys [][]byte, offs []int) {
+	sp := wordScratch.Get().(*[]uint64)
+	s := *sp
+	for i, key := range keys {
+		if len(key) >= 2 {
+			if need := len(key)/2*int(d.maxLen)/64 + 1; need > len(s) {
+				s = make([]uint64, need)
+			}
+			acc, n, nw := encodeDoubleAsm(&d.codes[0], &key[0], len(key), &s[0])
+			drainWords(a, s[:nw], acc, n)
+		}
+		if len(key)%2 == 1 {
+			// Trailing lone byte: the terminator entry, staged by the
+			// wrapper so the assembly loop stays pair-only.
+			c := d.codes[int(key[len(key)-1])*(d.alphabet+1)]
+			a.AppendWord(c.Bits, uint(c.Len))
+		}
+		offs[i+1] = a.Pad()
+	}
+	*sp = s
+	wordScratch.Put(sp)
+}

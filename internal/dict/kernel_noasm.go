@@ -1,0 +1,22 @@
+//go:build !amd64 || purego || !gc
+
+package dict
+
+import "repro/internal/bitops"
+
+// asmKernels reports whether this build includes the amd64 assembly
+// encode kernels. Non-amd64 targets, gccgo, and builds with the purego
+// tag use the word-parallel pure-Go batch kernels only.
+const asmKernels = false
+
+// The stubs below are unreachable (useAsm is never set when asmKernels
+// is false); they exist so the package compiles identically across
+// build configurations.
+
+func (d *SingleCharArray) appendEncodeBatchAsm(a *bitops.Appender, keys [][]byte, offs []int) {
+	panic("dict: assembly kernel called in a build without assembly")
+}
+
+func (d *DoubleCharArray) appendEncodeBatchAsm(a *bitops.Appender, keys [][]byte, offs []int) {
+	panic("dict: assembly kernel called in a build without assembly")
+}

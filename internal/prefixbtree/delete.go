@@ -89,6 +89,7 @@ func (t *Tree) rebalance(p *innerNode, idx int) {
 			k, v := l.popSlot(l.n - 1)
 			t.leafPlace(c, k, v)
 			p.keys[left] = shortestSep(l.fullKey(nil, l.n-1), c.fullKey(nil, 0))
+			p.pad()
 			return
 		}
 		if right >= 0 && fillOf(p.child[right]) > minFill {
@@ -96,6 +97,7 @@ func (t *Tree) rebalance(p *innerNode, idx int) {
 			k, v := r.popSlot(0)
 			t.leafPlace(c, k, v)
 			p.keys[idx] = shortestSep(c.fullKey(nil, c.n-1), r.fullKey(nil, 0))
+			p.pad()
 			return
 		}
 		if left >= 0 {
@@ -113,10 +115,12 @@ func (t *Tree) rebalance(p *innerNode, idx int) {
 			c.keys[0] = p.keys[left]
 			c.child[0] = l.child[l.n]
 			p.keys[left] = l.keys[l.n-1]
-			l.keys[l.n-1] = nil
 			l.child[l.n] = nil
 			l.n--
 			c.n++
+			l.pad()
+			c.pad()
+			p.pad()
 			return
 		}
 		if right >= 0 && fillOf(p.child[right]) > minFill {
@@ -127,9 +131,11 @@ func (t *Tree) rebalance(p *innerNode, idx int) {
 			p.keys[idx] = r.keys[0]
 			copy(r.keys[:r.n-1], r.keys[1:r.n])
 			copy(r.child[:r.n], r.child[1:r.n+1])
-			r.keys[r.n-1] = nil
 			r.child[r.n] = nil
 			r.n--
+			r.pad()
+			c.pad()
+			p.pad()
 			return
 		}
 		if left >= 0 {
@@ -159,12 +165,13 @@ func mergePrefixInners(l, r *innerNode, sep []byte) {
 	copy(l.keys[l.n+1:], r.keys[:r.n])
 	copy(l.child[l.n+1:], r.child[:r.n+1])
 	l.n += r.n + 1
+	l.pad()
 }
 
 func (p *innerNode) removeAt(i int) {
 	copy(p.keys[i:], p.keys[i+1:p.n])
 	copy(p.child[i+1:], p.child[i+2:p.n+1])
-	p.keys[p.n-1] = nil
 	p.child[p.n] = nil
 	p.n--
+	p.pad()
 }

@@ -62,6 +62,7 @@ func TestDeleteMatchesPlainBTree(t *testing.T) {
 	if pt.Len() != bt.Len() || pt.Len() != len(live) {
 		t.Fatalf("sizes diverge: %d vs %d vs %d", pt.Len(), bt.Len(), len(live))
 	}
+	checkInnerInvariants(t, pt.root)
 	var a, b []string
 	pt.Scan(nil, func(k []byte, _ uint64) bool { a = append(a, string(k)); return true })
 	bt.Scan(nil, func(k []byte, _ uint64) bool { b = append(b, string(k)); return true })

@@ -7,7 +7,10 @@
 // than on a plain B+tree.
 package prefixbtree
 
-import "bytes"
+import (
+	"bytes"
+	"encoding/binary"
+)
 
 // Fanout is the number of key slots per node.
 const Fanout = 16
@@ -39,9 +42,59 @@ type leafNode struct {
 }
 
 type innerNode struct {
-	keys  [Fanout][]byte // suffix-truncated separators (owned copies)
+	// keys holds the suffix-truncated separators (owned copies); slots
+	// n..Fanout-1 duplicate keys[n-1] (see pad) so upperBound can run
+	// fixed-shape probes over a non-decreasing array, exactly as in the
+	// plain btree package. Leaves stay packed: reprefix rewrites every
+	// suffix slot on prefix changes anyway, so a gapped layout would not
+	// save the shifts there.
+	keys  [Fanout][]byte
+	pw    [Fanout]uint64 // probe words: keys[i][pfx:] packed big-endian
 	child [Fanout + 1]node
 	n     int
+	pfx   uint8 // shared separator prefix backing the probe words
+}
+
+// pad duplicates the last separator into the unused key slots and
+// refreshes the shared prefix and probe words; inner mutations must call
+// it whenever n or a separator changes. Inner mutations happen only on
+// child splits and rebalances, so the full refresh is amortized across
+// the leaf operations between them.
+func (in *innerNode) pad() {
+	if in.n == 0 {
+		for i := range in.keys {
+			in.keys[i] = nil
+			in.pw[i] = 0
+		}
+		in.pfx = 0
+		return
+	}
+	last := in.keys[in.n-1]
+	for i := in.n; i < Fanout; i++ {
+		in.keys[i] = last
+	}
+	p := lcpLen(in.keys[0], last)
+	if p > 255 {
+		p = 255
+	}
+	in.pfx = uint8(p)
+	for i := range in.pw {
+		in.pw[i] = be64(in.keys[i][p:])
+	}
+}
+
+// be64 packs up to the first 8 bytes of b big-endian, zero-padded on the
+// right, exactly as in the btree package: strict word order implies
+// strict byte-string order, equal words are resolved with byte compares.
+func be64(b []byte) uint64 {
+	if len(b) >= 8 {
+		return binary.BigEndian.Uint64(b)
+	}
+	var w uint64
+	for _, c := range b {
+		w = w<<8 | uint64(c)
+	}
+	return w << (8 * (8 - uint(len(b))))
 }
 
 func (*leafNode) isNode()  {}
@@ -76,17 +129,53 @@ func (l *leafNode) lowerBound(key []byte) int {
 	return lo
 }
 
+// upperBound returns the first index with key < keys[i], i.e. the child
+// to descend into: one byte-compare for the shared separator prefix,
+// then five fixed integer probes over the padded probe-word array
+// (16 -> 8 -> 4 -> 2 -> 1), byte compares again only on equal-word runs,
+// clamped to n. This mirrors innerNode.upperBound in the btree package.
 func (in *innerNode) upperBound(key []byte) int {
-	lo, hi := 0, in.n
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if bytes.Compare(key, in.keys[mid]) < 0 {
-			hi = mid
-		} else {
-			lo = mid + 1
+	p := int(in.pfx)
+	if p > 0 {
+		pre := in.keys[0]
+		if len(key) < p {
+			if bytes.Compare(key, pre[:len(key)]) > 0 {
+				return in.n
+			}
+			return 0 // below, or a proper prefix of, every separator
 		}
+		switch c := bytes.Compare(key[:p], pre[:p]); {
+		case c < 0:
+			return 0
+		case c > 0:
+			return in.n
+		}
+		key = key[p:]
 	}
-	return lo
+	kw := be64(key)
+	b := 0
+	if in.pw[7] < kw {
+		b = 8
+	}
+	if in.pw[b+3] < kw {
+		b += 4
+	}
+	if in.pw[b+1] < kw {
+		b += 2
+	}
+	if in.pw[b] < kw {
+		b++
+	}
+	if b < Fanout && in.pw[b] < kw {
+		b++
+	}
+	for b < Fanout && in.pw[b] == kw && bytes.Compare(key, in.keys[b][p:]) >= 0 {
+		b++
+	}
+	if b > in.n {
+		b = in.n
+	}
+	return b
 }
 
 // Get returns the value stored under key.
@@ -167,6 +256,7 @@ func (t *Tree) Insert(key []byte, val uint64) {
 		r.keys[0] = sep
 		r.child[0] = t.root
 		r.child[1] = right
+		r.pad()
 		t.root = r
 		t.height++
 	}
@@ -186,6 +276,7 @@ func (t *Tree) insert(n node, key []byte, val uint64) ([]byte, node) {
 			v.keys[idx] = sep
 			v.child[idx+1] = right
 			v.n++
+			v.pad()
 			return nil, nil
 		}
 		return v.splitInsert(idx, sep, right)
@@ -272,13 +363,14 @@ func (v *innerNode) splitInsert(idx int, sep []byte, right node) ([]byte, node) 
 	v.n = mid
 	copy(v.keys[:], keys[:mid])
 	copy(v.child[:], child[:mid+1])
-	for j := mid; j < Fanout; j++ {
-		v.keys[j] = nil
-		v.child[j+1] = nil
+	for j := mid + 1; j < Fanout+1; j++ {
+		v.child[j] = nil
 	}
+	v.pad()
 	r := &innerNode{n: total - mid - 1}
 	copy(r.keys[:], keys[mid+1:total])
 	copy(r.child[:], child[mid+1:total+1])
+	r.pad()
 	return up, r
 }
 
@@ -327,9 +419,18 @@ func BulkLoad(keys [][]byte, vals []uint64) *Tree {
 		for j := i + 1; j < end; j++ {
 			lcp = lcp[:lcpLen(lcp, keys[j])]
 		}
+		// One arena allocation holds the leaf's suffix bytes, instead of
+		// one allocation per key.
+		total := 0
+		for j := i; j < end; j++ {
+			total += len(keys[j]) - len(lcp)
+		}
+		arena := make([]byte, 0, total)
 		l := &leafNode{prefix: append([]byte(nil), lcp...)}
 		for j := i; j < end; j++ {
-			l.sufs[j-i] = append([]byte(nil), keys[j][len(lcp):]...)
+			off := len(arena)
+			arena = append(arena, keys[j][len(lcp):]...)
+			l.sufs[j-i] = arena[off:len(arena):len(arena)]
 			if vals != nil {
 				l.vals[j-i] = vals[j]
 			} else {
@@ -370,6 +471,7 @@ func BulkLoad(keys [][]byte, vals []uint64) *Tree {
 					in.n++
 				}
 			}
+			in.pad()
 			up = append(up, in)
 			upSeps = append(upSeps, seps[i])
 		}
@@ -398,11 +500,13 @@ type Stats struct {
 	MemoryBytes              int
 }
 
-// ComputeStats traverses the tree.
+// ComputeStats traverses the tree. Inner nodes carry the extra 8-byte
+// probe-word slot backing the branchless separator search; leaves keep
+// the plain 16-byte slots.
 func (t *Tree) ComputeStats() Stats {
 	var s Stats
 	walkStats(t.root, &s)
-	s.MemoryBytes = (s.Leaves+s.Inners)*(16+Fanout*16) +
+	s.MemoryBytes = s.Leaves*(16+Fanout*16) + s.Inners*(16+Fanout*24) +
 		s.PrefixBytes + s.SuffixBytes + s.SeparatorBytes
 	return s
 }

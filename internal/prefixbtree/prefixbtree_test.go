@@ -27,6 +27,41 @@ func randKeys(rng *rand.Rand, n, maxLen int) [][]byte {
 	return out
 }
 
+// checkInnerInvariants walks every inner node and verifies the padded
+// separator array, the shared prefix, and the probe words that
+// upperBound's fixed-shape search relies on.
+func checkInnerInvariants(t *testing.T, n node) {
+	t.Helper()
+	in, ok := n.(*innerNode)
+	if !ok {
+		return
+	}
+	if in.n > 0 {
+		last := in.keys[in.n-1]
+		for i := in.n; i < Fanout; i++ {
+			if !bytes.Equal(in.keys[i], last) {
+				t.Fatalf("pad slot %d = %q, want %q", i, in.keys[i], last)
+			}
+		}
+		p := lcpLen(in.keys[0], last)
+		if p > 255 {
+			p = 255
+		}
+		if int(in.pfx) != p {
+			t.Fatalf("pfx = %d, want %d", in.pfx, p)
+		}
+		for i := range in.pw {
+			if want := be64(in.keys[i][in.pfx:]); in.pw[i] != want {
+				t.Fatalf("pw[%d] = %#x, want %#x (key %q pfx %d)",
+					i, in.pw[i], want, in.keys[i], in.pfx)
+			}
+		}
+	}
+	for i := 0; i <= in.n; i++ {
+		checkInnerInvariants(t, in.child[i])
+	}
+}
+
 func TestInsertGetRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	keys := randKeys(rng, 5000, 12)
@@ -34,6 +69,7 @@ func TestInsertGetRandom(t *testing.T) {
 	for i, k := range keys {
 		tr.Insert(k, uint64(i))
 	}
+	checkInnerInvariants(t, tr.root)
 	if tr.Len() != len(keys) {
 		t.Fatalf("Len=%d, want %d", tr.Len(), len(keys))
 	}

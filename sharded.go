@@ -385,6 +385,37 @@ func (s *ShardedIndex) upsertShard(shard int, key []byte, val uint64) (existing 
 	return 0, false, storedLen, err
 }
 
+// upsertShardEncoded is upsertShard for a key whose stored form enc was
+// already produced by a bulk encode: the adaptive migration re-encodes
+// whole batches through EncodeAll (the word-parallel batch kernels)
+// instead of paying a scratch point-encode per record. enc must be the
+// key's stored form — an EncodeAll/EncodeBits result, or the key itself
+// when the index is uncompressed (see encodeBatch). The insert copies
+// enc, so callers may hand out slices of a transient shared backing.
+func (s *ShardedIndex) upsertShardEncoded(shard int, key, enc []byte, val uint64) (existing uint64, existed bool, err error) {
+	s.trackLen(len(key))
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	if v, ok := sh.be.get(enc); ok {
+		sh.mu.Unlock()
+		return v, true, nil
+	}
+	err = sh.be.insert(append([]byte(nil), enc...), val)
+	sh.mu.Unlock()
+	return 0, false, err
+}
+
+// encodeBatch bulk-encodes keys into their stored forms through the
+// parallel encode pipeline (and its batch kernels). It returns nil when
+// the index stores keys uncompressed — callers then use the keys as the
+// stored forms directly.
+func (s *ShardedIndex) encodeBatch(keys [][]byte) [][]byte {
+	if s.cenc == nil {
+		return nil
+	}
+	return s.cenc.EncodeAll(keys)
+}
+
 // Bulk loads keys[i] -> vals[i]: the keys are partitioned once by the
 // partitioner, then every shard loads its partition in parallel, each
 // running the parallel bulk-encode pipeline over its own slice of the
