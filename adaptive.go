@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/lifecycle"
+	"repro/internal/telemetry"
 )
 
 // AdaptiveIndex automates the full dictionary lifecycle the paper leaves
@@ -136,6 +137,11 @@ type AdaptiveIndex struct {
 	closed  atomic.Bool
 
 	skewTick atomic.Int64 // inserts since construction, for ResplitAbove cadence
+
+	// met instruments the public ops; trace is the structured rebuild
+	// event ring (see observe.go). Both are always-on from construction.
+	met   opMetrics
+	trace *telemetry.EventTrace
 }
 
 // AdaptiveOptions configures an AdaptiveIndex. The zero value serves
@@ -272,6 +278,8 @@ func NewAdaptiveIndex(backend Backend, opts AdaptiveOptions) (*AdaptiveIndex, er
 		opts:    opts,
 		mask:    uint64(opts.Shards - 1),
 		shards:  make([]*adaptiveShard, opts.Shards),
+		met:     newOpMetrics(),
+		trace:   telemetry.NewEventTrace(0),
 	}
 	initial := lifecycle.Sampling
 	if opts.Encoder != nil {
@@ -407,6 +415,7 @@ func (a *AdaptiveIndex) Put(key []byte, val uint64) error {
 	a.trackLen(len(key))
 	h := shardHash(key)
 	i := int(h & a.mask)
+	t := a.met.put.Begin(uint64(i))
 	sh := a.shards[i]
 	storedLen, inserted := 0, false
 	sh.mu.Lock()
@@ -415,6 +424,7 @@ func (a *AdaptiveIndex) Put(key []byte, val uint64) error {
 		existing, existed, n, err := g.idx.upsertShard(genShard(g, key, h), key, recordID(i, slot))
 		if err != nil {
 			sh.mu.Unlock()
+			a.met.put.End(t)
 			return err
 		}
 		if existed {
@@ -428,13 +438,14 @@ func (a *AdaptiveIndex) Put(key []byte, val uint64) error {
 		}
 	}
 	sh.mu.Unlock()
+	a.met.put.End(t)
 	if inserted {
 		sig := a.ctl.Observe(key, storedLen)
 		if !a.opts.Manual {
 			if sig != lifecycle.None {
-				a.triggerAsync(a.revalidateDrift)
+				a.triggerAsync(driftReason(sig), a.revalidateDrift)
 			} else if a.skewCheck() {
-				a.triggerAsync(a.revalidateSkew)
+				a.triggerAsync("skew", a.revalidateSkew)
 			}
 		}
 	} else {
@@ -450,6 +461,8 @@ func (a *AdaptiveIndex) Put(key []byte, val uint64) error {
 func (a *AdaptiveIndex) Get(key []byte) (uint64, bool) {
 	h := shardHash(key)
 	i := int(h & a.mask)
+	t := a.met.get.Begin(uint64(i))
+	defer a.met.get.End(t)
 	sh := a.shards[i]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -473,6 +486,7 @@ func (a *AdaptiveIndex) Delete(key []byte) (bool, error) {
 	}
 	h := shardHash(key)
 	i := int(h & a.mask)
+	mt := a.met.del.Begin(uint64(i))
 	sh := a.shards[i]
 	found := false
 	sh.mu.Lock()
@@ -484,6 +498,7 @@ func (a *AdaptiveIndex) Delete(key []byte) (bool, error) {
 			g.recs[i].live--
 			if _, err := g.idx.deleteShard(t, key); err != nil {
 				sh.mu.Unlock()
+				a.met.del.End(mt)
 				return false, err
 			}
 		}
@@ -492,6 +507,7 @@ func (a *AdaptiveIndex) Delete(key []byte) (bool, error) {
 		}
 	}
 	sh.mu.Unlock()
+	a.met.del.End(mt)
 	return found, nil
 }
 
@@ -553,8 +569,10 @@ func (a *AdaptiveIndex) Bulk(keys [][]byte, vals []uint64) error {
 			a.ctl.ObserveBulk(k)
 		}
 	}
-	if !a.opts.Manual && a.ctl.Check() != lifecycle.None {
-		a.triggerAsync(a.revalidateDrift)
+	if !a.opts.Manual {
+		if sig := a.ctl.Check(); sig != lifecycle.None {
+			a.triggerAsync(driftReason(sig), a.revalidateDrift)
+		}
 	}
 	return nil
 }
@@ -639,6 +657,7 @@ func (a *AdaptiveIndex) bulkLoad(keys [][]byte, vals []uint64) (viaPuts bool, er
 func (a *AdaptiveIndex) Rebuild() error {
 	a.rebuildMu.Lock()
 	defer a.rebuildMu.Unlock()
+	a.trace.Emit("trigger", -1, 0, "explicit")
 	err := a.rebuildLocked()
 	if err != nil && !errors.Is(err, ErrClosed) && a.ctl.Degraded() {
 		err = fmt.Errorf("%w: %w", ErrDegraded, err)
@@ -692,8 +711,10 @@ func (a *AdaptiveIndex) Close() error {
 // triggerAsync starts one background rebuild; concurrent signals collapse
 // into it. revalidate re-checks the trigger's reason once the goroutine
 // holds rebuildMu — an explicit Rebuild may have serviced the signal, or
-// a failure may have armed the retry backoff, while it waited.
-func (a *AdaptiveIndex) triggerAsync(revalidate func() bool) {
+// a failure may have armed the retry backoff, while it waited. reason
+// names the trigger for the event trace ("first-build", "drift", "skew")
+// and is only recorded once revalidation confirms the rebuild will run.
+func (a *AdaptiveIndex) triggerAsync(reason string, revalidate func() bool) {
 	if a.closed.Load() {
 		return
 	}
@@ -712,6 +733,7 @@ func (a *AdaptiveIndex) triggerAsync(revalidate func() bool) {
 		if a.closed.Load() || !revalidate() {
 			return
 		}
+		a.trace.Emit("trigger", -1, 0, reason)
 		// Failures are recorded in the lifecycle health stats (LastError,
 		// ConsecutiveFailures, NextRetryAt); background rebuilds have no
 		// caller to return an error to.
@@ -921,26 +943,41 @@ func (a *AdaptiveIndex) rebuildLocked() (err error) {
 		ca.SetCancel(w.cancel)
 	}
 	stopWatchdog := a.startWatchdog(w)
+	start := time.Now()
+	var buildCPR float64
 	// Any failure from here on rolls the lifecycle back and feeds the
 	// retry/breaker policy; any panic is isolated here (the shard maps
 	// were already restored by migrateConcurrent's own recovery before
-	// the panic converts to an error).
+	// the panic converts to an error). The trace records the terminal
+	// event — cutover on success; abort plus the resulting backoff or
+	// breaker state on failure — so /debug/events tells the whole story.
 	defer func() {
 		if r := recover(); r != nil {
 			err = a.recoveredErr(r)
 		}
 		stopWatchdog()
 		a.watch.Store(nil)
-		if err != nil {
-			_ = a.ctl.Abort()
-			if !errors.Is(err, ErrClosed) {
-				a.ctl.RecordFailure(err)
+		if err == nil {
+			a.trace.Emit("cutover", -1, time.Since(start).Nanoseconds(),
+				fmt.Sprintf("gen=%d cpr=%.3f", a.ctl.Generation(), buildCPR))
+			return
+		}
+		a.trace.Emit("abort", a.lastShard, time.Since(start).Nanoseconds(), err.Error())
+		_ = a.ctl.Abort()
+		if !errors.Is(err, ErrClosed) {
+			a.ctl.RecordFailure(err)
+			st := a.ctl.Stats()
+			if st.Degraded {
+				a.trace.Emit("degraded", -1, 0, fmt.Sprintf("failures=%d", st.ConsecutiveFailures))
+			} else {
+				a.trace.Emit("backoff", -1, 0, fmt.Sprintf("failures=%d", st.ConsecutiveFailures))
 			}
 		}
 	}()
 	if err := a.checkpoint("build-start", -1); err != nil {
 		return err
 	}
+	a.trace.Emit("build-start", -1, 0, "")
 	samples := a.ctl.SampleSnapshot()
 	if len(samples) == 0 {
 		// A cutover resets the reservoir, so an explicit Rebuild issued
@@ -955,7 +992,9 @@ func (a *AdaptiveIndex) rebuildLocked() (err error) {
 	if err != nil {
 		return err
 	}
-	buildCPR := enc.CompressionRate(samples)
+	buildCPR = enc.CompressionRate(samples)
+	a.trace.Emit("build-done", -1, time.Since(start).Nanoseconds(),
+		fmt.Sprintf("cpr=%.3f samples=%d", buildCPR, len(samples)))
 	// Range mode re-samples split points from the same reservoir snapshot
 	// the dictionary is built from: the migration that re-encodes every
 	// record also re-balances the partition to current traffic.
@@ -971,8 +1010,10 @@ func (a *AdaptiveIndex) rebuildLocked() (err error) {
 		return err
 	}
 	if a.backend == SuRF {
+		a.trace.Emit("migrate-start", -1, 0, "stop-the-world")
 		err = a.migrateStopTheWorld(next)
 	} else {
+		a.trace.Emit("migrate-start", -1, 0, "concurrent")
 		err = a.migrateConcurrent(next)
 	}
 	if err != nil {
@@ -1019,14 +1060,17 @@ func (a *AdaptiveIndex) migrateConcurrent(next *generation) (err error) {
 		sh.mu.Unlock()
 	}
 	for i := range a.shards {
+		copyStart := time.Now()
 		if err := a.migrateShard(i, old, next); err != nil {
 			return err
 		}
+		a.trace.Emit("shard-copied", i, time.Since(copyStart).Nanoseconds(), "")
 		sh := a.shards[i]
 		sh.mu.Lock()
 		sh.read = next
 		sh.mu.Unlock()
 		a.migrated.Add(1)
+		a.trace.Emit("shard-flipped", i, 0, "")
 		if err := a.checkpoint("shard-flipped", i); err != nil {
 			return err
 		}
@@ -1207,7 +1251,10 @@ func (a *AdaptiveIndex) Scan(lo, hi []byte, fn func(key []byte, val uint64) bool
 		}
 		return genBounds{lo: loEnc, hi: g.cenc.EncodeBound(hi)}
 	}
-	return a.mergeScan(bounds, fn)
+	t := a.met.scan.Begin(0)
+	n := a.mergeScan(bounds, fn)
+	a.met.scan.End(t)
+	return n
 }
 
 // ScanPrefix visits every stored key that starts with prefix, in
@@ -1226,7 +1273,10 @@ func (a *AdaptiveIndex) ScanPrefix(prefix []byte, fn func(key []byte, val uint64
 		lo, hi := g.cenc.EncodePrefix(prefix, maxLen)
 		return genBounds{lo: lo, hi: hi, hiIncl: true}
 	}
-	return a.mergeScan(bounds, fn)
+	t := a.met.scan.Begin(0)
+	n := a.mergeScan(bounds, fn)
+	a.met.scan.End(t)
+	return n
 }
 
 // scanSnap pins one scan's view of the generation map: which generation

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/datagen"
+	"repro/internal/telemetry"
 	"repro/server"
 )
 
@@ -53,8 +54,22 @@ func main() {
 		pipeline   = flag.Int("pipeline", 256, "max outstanding requests per connection")
 		jsonPath   = flag.String("json", "", "write the figure record to this file (-fig serve)")
 		quick      = flag.Bool("quick", false, "-fig serve: shorter phases and smaller keyspace")
+		metricsURL = flag.String("metrics", "", "hopeserve /metrics URL; scraped before and after the run for a server-side report")
+		dumpOnly   = flag.Bool("dump-metrics", false, "with -metrics: fetch the exposition once, print it, and exit (no load)")
 	)
 	flag.Parse()
+
+	if *dumpOnly {
+		if *metricsURL == "" {
+			log.Fatal("-dump-metrics needs -metrics <url>")
+		}
+		body, err := telemetry.ScrapeRaw(*metricsURL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(body)
+		return
+	}
 
 	if *fig == "serve" {
 		if err := runFigServe(*connList, *numKeys, *qps, *warmup, *duration, *dataset, *seed, *quick, *jsonPath); err != nil {
@@ -71,6 +86,12 @@ func main() {
 		log.Fatal(err)
 	}
 	keys := wireSafe(datagen.Generate(kind, *numKeys, *seed))
+	var before map[string]float64
+	if *metricsURL != "" {
+		if before, err = telemetry.Scrape(*metricsURL); err != nil {
+			log.Fatalf("scrape before run: %v", err)
+		}
+	}
 	res, err := bench.RunLoad(bench.LoadConfig{
 		Addr:       *addr,
 		Conns:      *conns,
@@ -88,12 +109,49 @@ func main() {
 	if res != nil {
 		printResult(res, *qps)
 	}
+	if *metricsURL != "" {
+		after, serr := telemetry.Scrape(*metricsURL)
+		if serr != nil {
+			log.Fatalf("scrape after run: %v", serr)
+		}
+		printServerReport(before, after)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	if res.ProtoErrors > 0 {
 		log.Fatalf("%d protocol errors", res.ProtoErrors)
 	}
+}
+
+// printServerReport prints the server's own view of the run: per-command
+// count deltas between the two scrapes, with the server-side latency
+// quantiles (cumulative over the server's lifetime — the client-side
+// table above is the per-run record).
+func printServerReport(before, after map[string]float64) {
+	q := func(name, quantile string) string {
+		v := after[name+`_latency_seconds{quantile="`+quantile+`"}`] * 1e6
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	}
+	var rows [][]string
+	for _, op := range []string{"get", "set", "del", "range", "stats"} {
+		name := "hope_server_" + op
+		delta := after[name+"_total"] - before[name+"_total"]
+		if delta == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			op, strconv.FormatFloat(delta, 'f', 0, 64),
+			q(name, "0.5"), q(name, "0.99"), q(name, "0.999"),
+		})
+	}
+	bench.Table(os.Stdout, "Server-side view (scrape delta; quantiles cumulative)",
+		[]string{"Op", "Count", "p50 (us)", "p99 (us)", "p999 (us)"}, rows)
+	fmt.Printf("server: store_len %.0f, index gets %+.0f, protocol errors %+.0f, connections %+.0f\n",
+		after["hope_server_store_len"],
+		after["hope_index_get_total"]-before["hope_index_get_total"],
+		after["hope_server_protocol_errors_total"]-before["hope_server_protocol_errors_total"],
+		after["hope_server_connections_total"]-before["hope_server_connections_total"])
 }
 
 func printResult(res *bench.LoadResult, targetQPS float64) {

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"syscall"
@@ -27,6 +29,7 @@ import (
 
 	hope "repro"
 	"repro/internal/datagen"
+	"repro/internal/telemetry"
 	"repro/server"
 )
 
@@ -46,6 +49,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "keyspace and sampling seed")
 		maxConns = flag.Int("maxconns", server.DefaultMaxConns, "concurrent connection cap (excess dials queue in the listen backlog)")
 		grace    = flag.Duration("grace", 10*time.Second, "drain budget after SIGINT/SIGTERM")
+		debug    = flag.String("debug-addr", "", "HTTP debug listen address serving /metrics, /debug/vars, /debug/events and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -61,6 +65,18 @@ func main() {
 	})
 	if err := srv.Listen(); err != nil {
 		log.Fatal(err)
+	}
+	if *debug != "" {
+		dln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug endpoints on http://%s (/metrics /debug/vars /debug/events /debug/pprof)", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, telemetry.Handler(srv.Registry(), srv.Trace())); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 	log.Printf("serving %s/%s (%d keys preloaded) on %s", *store, *scheme, preloaded, srv.Addr())
 	if err := srv.RunUntilSignal(*grace, syscall.SIGINT, syscall.SIGTERM); err != nil {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/server"
 )
 
@@ -39,12 +40,12 @@ type LoadConfig struct {
 // silently thinning the arrival rate (the coordinated-omission error
 // closed-loop harnesses make).
 type LoadResult struct {
-	Hists       map[string]*Hist // per op kind: "get" "set" "del" "range"
-	Sent        uint64           // measured-phase ops sent
-	Recv        uint64           // measured-phase replies received
-	ProtoErrors uint64           // ERR replies (any phase)
-	Elapsed     time.Duration    // measured phase wall clock
-	AchievedQPS float64          // measured-phase replies / Elapsed
+	Hists       map[string]*telemetry.Hist // per op kind: "get" "set" "del" "range"
+	Sent        uint64                     // measured-phase ops sent
+	Recv        uint64                     // measured-phase replies received
+	ProtoErrors uint64                     // ERR replies (any phase)
+	Elapsed     time.Duration              // measured phase wall clock
+	AchievedQPS float64                    // measured-phase replies / Elapsed
 }
 
 // LoadOps enumerates the op kinds in reporting order.
@@ -52,11 +53,11 @@ var LoadOps = []string{"get", "set", "del", "range"}
 
 // Hist returns the named op histogram (an empty one if the mix produced
 // no such ops).
-func (r *LoadResult) Hist(op string) *Hist {
+func (r *LoadResult) Hist(op string) *telemetry.Hist {
 	if h := r.Hists[op]; h != nil {
 		return h
 	}
-	return &Hist{}
+	return &telemetry.Hist{}
 }
 
 // pendingOp rides the per-connection FIFO from sender to receiver: which
@@ -78,7 +79,7 @@ var opNames = [numOps]string{"get", "set", "del", "range"}
 
 // connStats is one connection's private accounting, merged after the run.
 type connStats struct {
-	hists [numOps]Hist
+	hists [numOps]telemetry.Hist
 	sent  uint64
 	recv  uint64
 	err   error
@@ -141,12 +142,12 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	wg.Wait()
 
 	res := &LoadResult{
-		Hists:       map[string]*Hist{},
+		Hists:       map[string]*telemetry.Hist{},
 		Elapsed:     end.Sub(measureFrom),
 		ProtoErrors: protoErrs.Load(),
 	}
 	for k := range opNames {
-		res.Hists[opNames[k]] = &Hist{}
+		res.Hists[opNames[k]] = &telemetry.Hist{}
 	}
 	var firstErr error
 	for i := range stats {

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+func nowNs() int64 { return time.Now().UnixNano() }
+
+// Event is one structured lifecycle occurrence: a rebuild trigger, a
+// per-shard copy or flip, a cutover, an abort. Events are typed by a
+// short stable string (the schema the tests and /debug/events consumers
+// key on) and carry the shard they concern (-1 when whole-index), an
+// optional duration, and a free-form detail.
+type Event struct {
+	Seq    uint64 `json:"seq"`     // monotonically increasing, gap-free per trace
+	TimeNs int64  `json:"time_ns"` // wall clock, UnixNano
+	Type   string `json:"type"`
+	Shard  int    `json:"shard"`            // -1 when the event is not shard-scoped
+	DurNs  int64  `json:"dur_ns,omitempty"` // phase duration when the event closes one
+	Detail string `json:"detail,omitempty"` // reason / error / measurements
+}
+
+// EventTrace is a fixed-capacity ring buffer of Events: emitters pay one
+// mutex acquisition and no allocation (the ring is preallocated), readers
+// snapshot the surviving window in order. Lifecycle event rates are
+// rebuild-scale — a handful per migration — so a mutex here costs nothing
+// while keeping Snapshot trivially consistent.
+type EventTrace struct {
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // total events ever emitted; ring index = seq % cap
+}
+
+// DefaultTraceCap holds roughly a dozen full rebuild traces of a
+// many-shard index before the window slides.
+const DefaultTraceCap = 512
+
+// NewEventTrace returns a trace retaining the most recent capacity
+// events (<= 0 selects DefaultTraceCap).
+func NewEventTrace(capacity int) *EventTrace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &EventTrace{ring: make([]Event, capacity)}
+}
+
+// Emit appends one event, stamping its sequence number and time.
+func (t *EventTrace) Emit(typ string, shard int, durNs int64, detail string) {
+	t.mu.Lock()
+	seq := t.next
+	t.next++
+	t.ring[seq%uint64(len(t.ring))] = Event{
+		Seq: seq, TimeNs: nowNs(), Type: typ, Shard: shard, DurNs: durNs, Detail: detail,
+	}
+	t.mu.Unlock()
+}
+
+// Len reports how many events the trace currently retains.
+func (t *EventTrace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.ring)) {
+		return int(t.next)
+	}
+	return len(t.ring)
+}
+
+// Snapshot copies the retained events oldest-first. Sequence numbers are
+// gap-free within the returned slice; the first event's Seq reveals how
+// many older events the ring has already dropped.
+func (t *EventTrace) Snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	capacity := uint64(len(t.ring))
+	start := uint64(0)
+	if n > capacity {
+		start = n - capacity
+	}
+	out := make([]Event, 0, n-start)
+	for seq := start; seq < n; seq++ {
+		out = append(out, t.ring[seq%capacity])
+	}
+	return out
+}

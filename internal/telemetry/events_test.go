@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventTraceOrderAndWrap(t *testing.T) {
+	tr := NewEventTrace(4)
+	if got := tr.Snapshot(); len(got) != 0 {
+		t.Fatalf("fresh trace holds %d events", len(got))
+	}
+	for i := 0; i < 10; i++ {
+		tr.Emit("tick", i, int64(i), "")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want capacity 4", tr.Len())
+	}
+	events := tr.Snapshot()
+	if len(events) != 4 {
+		t.Fatalf("snapshot holds %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		wantSeq := uint64(6 + i) // events 0..5 slid out of the window
+		if e.Seq != wantSeq || e.Shard != int(wantSeq) {
+			t.Fatalf("event %d = %+v, want seq %d", i, e, wantSeq)
+		}
+	}
+}
+
+func TestEventTraceConcurrentEmit(t *testing.T) {
+	tr := NewEventTrace(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Emit("tick", -1, 0, "")
+			}
+		}()
+	}
+	wg.Wait()
+	events := tr.Snapshot()
+	if len(events) != 128 {
+		t.Fatalf("retained %d, want 128", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("sequence gap at %d: %d -> %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+// TestHandlerEndpoints drives every debug endpoint the Handler mounts.
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	c.Add(0, 7)
+	reg.MustRegister("handler_test_total", &c)
+	tr := NewEventTrace(8)
+	tr.Emit("trigger", -1, 0, "explicit")
+	tr.Emit("cutover", -1, 123, "gen=1")
+
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	metrics, err := Scrape(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics["handler_test_total"] != 7 {
+		t.Fatalf("/metrics missing counter: %v", metrics)
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(events) != 2 || events[0].Type != "trigger" || events[1].Type != "cutover" {
+		t.Fatalf("/debug/events = %+v", events)
+	}
+	if events[1].DurNs != 123 || events[1].Detail != "gen=1" {
+		t.Fatalf("event fields lost: %+v", events[1])
+	}
+
+	vars, err := ScrapeRaw(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(vars, "handler_test_total") {
+		t.Fatalf("/debug/vars missing registry snapshot: %s", vars)
+	}
+
+	prof, err := ScrapeRaw(srv.URL + "/debug/pprof/cmdline")
+	if err != nil || prof == "" {
+		t.Fatalf("pprof cmdline: %q err %v", prof, err)
+	}
+
+	// Nil trace: /debug/events serves an empty array, not a null or 500.
+	srv2 := httptest.NewServer(Handler(reg, nil))
+	defer srv2.Close()
+	body, err := ScrapeRaw(srv2.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(body) != "[]" {
+		t.Fatalf("nil-trace events = %q, want []", body)
+	}
+}

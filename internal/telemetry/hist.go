@@ -1,7 +1,19 @@
-package bench
+// Package telemetry is the dependency-free metrics core shared by every
+// layer of the repository: striped atomic counters, gauges, an HDR-style
+// log-linear latency histogram (single-writer Hist, promoted from
+// internal/bench, and its lock-free multi-writer twin AtomicHist), sampled
+// per-op latency recorders whose hot path performs zero allocations, a
+// structured lifecycle event trace, and a Registry that snapshots
+// everything into a stable name → value map and renders Prometheus text
+// exposition by hand. Nothing here imports anything outside the standard
+// library, and the hot-path types (Counter.Inc, OpStats.Begin/End,
+// AtomicHist.Record) never touch a mutex.
+package telemetry
 
 import (
+	"math"
 	"math/bits"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,7 +32,9 @@ const histBuckets = 59 * histSub
 // across connections. Latency distributions span four-plus orders of
 // magnitude under load, which is exactly the regime where a fixed-width
 // histogram either clips the tail or loses the body — log-linear buckets
-// keep both.
+// keep both. Hist is single-writer (the load generator's per-connection
+// accounting); concurrent recorders use AtomicHist and read through its
+// Snapshot.
 type Hist struct {
 	counts   [histBuckets]uint64
 	total    uint64
@@ -85,6 +99,9 @@ func (h *Hist) Mean() time.Duration {
 // Max reports the exact maximum recorded duration.
 func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
 
+// Min reports the exact minimum recorded duration.
+func (h *Hist) Min() time.Duration { return time.Duration(h.min) }
+
 // Percentile reports the p-th percentile (0 < p <= 100) to within the
 // bucket quantization, clamped to the exact observed min/max.
 func (h *Hist) Percentile(p float64) time.Duration {
@@ -131,4 +148,76 @@ func (h *Hist) Merge(o *Hist) {
 	for i := range h.counts {
 		h.counts[i] += o.counts[i]
 	}
+}
+
+// AtomicHist is the multi-writer twin of Hist: the same log-linear
+// buckets, every field atomic, so any number of goroutines can Record
+// concurrently with no lock and no coordination beyond the cache traffic
+// of the touched bucket. Percentile math happens on a Snapshot (a plain
+// Hist), keeping the read-side complexity out of the hot path. Construct
+// with NewAtomicHist — the zero value's min sentinel is unset.
+type AtomicHist struct {
+	counts [histBuckets]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64 // math.MaxInt64 until the first Record
+	max    atomic.Int64
+}
+
+// NewAtomicHist returns an empty concurrent histogram.
+func NewAtomicHist() *AtomicHist {
+	h := &AtomicHist{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Record adds one duration (negative values clamp to zero). Safe for any
+// number of concurrent callers; allocation-free.
+func (h *AtomicHist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIdx(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count reports how many durations were recorded.
+func (h *AtomicHist) Count() uint64 { return h.total.Load() }
+
+// Snapshot copies the histogram into a plain Hist for percentile math.
+// Under concurrent recorders the copy is not a single atomic cut — total
+// is read first, so the bucket sums it is compared against are always at
+// least as fresh and every percentile target lands in a bucket.
+func (h *AtomicHist) Snapshot() Hist {
+	var s Hist
+	s.total = h.total.Load()
+	if s.total == 0 {
+		return s
+	}
+	s.sum = h.sum.Load()
+	s.min = h.min.Load()
+	s.max = h.max.Load()
+	if s.min == math.MaxInt64 {
+		// A racing Record bumped total before publishing min; read as 0
+		// rather than the sentinel.
+		s.min = 0
+	}
+	for i := range s.counts {
+		s.counts[i] = h.counts[i].Load()
+	}
+	return s
 }

@@ -1,9 +1,10 @@
-package bench
+package telemetry
 
 import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 )
@@ -87,5 +88,64 @@ func TestHistEmptyAndClamp(t *testing.T) {
 	h.Record(1 << 40)
 	if got := h.Percentile(100); got != 1<<40 {
 		t.Fatalf("p100 = %d, want exact observed max %d", got, int64(1)<<40)
+	}
+}
+
+// TestAtomicHistMatchesHist: serial recording through the atomic variant
+// must snapshot to exactly what the single-writer Hist records.
+func TestAtomicHistMatchesHist(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var plain Hist
+	ah := NewAtomicHist()
+	for i := 0; i < 50000; i++ {
+		v := time.Duration(rng.Int63n(5_000_000))
+		plain.Record(v)
+		ah.Record(v)
+	}
+	snap := ah.Snapshot()
+	if snap.Count() != plain.Count() || snap.Mean() != plain.Mean() ||
+		snap.Min() != plain.Min() || snap.Max() != plain.Max() {
+		t.Fatalf("snapshot mismatch: count %d/%d mean %v/%v min %v/%v max %v/%v",
+			snap.Count(), plain.Count(), snap.Mean(), plain.Mean(),
+			snap.Min(), plain.Min(), snap.Max(), plain.Max())
+	}
+	for _, p := range []float64{50, 99, 99.9} {
+		if snap.Percentile(p) != plain.Percentile(p) {
+			t.Fatalf("p%v: atomic %v, plain %v", p, snap.Percentile(p), plain.Percentile(p))
+		}
+	}
+}
+
+// TestAtomicHistConcurrent hammers one histogram from many goroutines —
+// under -race this is the lock-freedom proof — and checks the totals add
+// up and the extrema survived the CAS loops.
+func TestAtomicHistConcurrent(t *testing.T) {
+	ah := NewAtomicHist()
+	const workers, per = 8, 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				ah.Record(time.Duration(1 + rng.Int63n(1_000_000)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := ah.Snapshot()
+	if snap.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", snap.Count(), workers*per)
+	}
+	if snap.Min() < 1 || snap.Max() > 1_000_000 {
+		t.Fatalf("extrema out of range: min %v max %v", snap.Min(), snap.Max())
+	}
+	var bucketSum uint64
+	for i := range snap.counts {
+		bucketSum += snap.counts[i]
+	}
+	if bucketSum != snap.total {
+		t.Fatalf("bucket sum %d != total %d", bucketSum, snap.total)
 	}
 }

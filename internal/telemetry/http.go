@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// expvarRegs backs the process-wide expvar publication: expvar.Publish
+// panics on duplicate names and offers no unpublish, so the Var is
+// published once per name and indirects through this map — a Handler
+// rebuilt for a new registry (tests, server restarts in one process)
+// just repoints the name.
+var (
+	expvarMu   sync.Mutex
+	expvarRegs = make(map[string]*Registry)
+)
+
+// publishExpvar exposes reg's snapshot under the given expvar name
+// (idempotent; later calls repoint the name at the new registry).
+func publishExpvar(name string, reg *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if _, ok := expvarRegs[name]; !ok {
+		expvar.Publish(name, expvar.Func(func() any {
+			expvarMu.Lock()
+			r := expvarRegs[name]
+			expvarMu.Unlock()
+			if r == nil {
+				return nil
+			}
+			return r.Snapshot()
+		}))
+	}
+	expvarRegs[name] = reg
+}
+
+// Handler assembles the debug surface hopeserve exposes on -debug-addr:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/debug/vars    expvar JSON (reg published under "hope", plus the
+//	               standard cmdline/memstats vars)
+//	/debug/events  the lifecycle event trace as a JSON array, oldest
+//	               first (empty array when trace is nil)
+//	/debug/pprof/  the standard net/http/pprof profiles
+//
+// The handler holds no locks across requests and is safe to serve while
+// every instrument is being written at full rate.
+func Handler(reg *Registry, trace *EventTrace) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	publishExpvar("hope", reg)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		events := []Event{}
+		if trace != nil {
+			events = trace.Snapshot()
+		}
+		json.NewEncoder(w).Encode(events)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ScrapeRaw fetches url and returns the response body — the raw
+// Prometheus text a smoke test greps.
+func ScrapeRaw(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("telemetry: scrape %s: %s", url, resp.Status)
+	}
+	return string(body), nil
+}
+
+// Scrape fetches a /metrics endpoint and parses the text exposition into
+// a flat name → value map (labels folded into the name as rendered, e.g.
+// `hope_server_get_latency_seconds{quantile="0.99"}`). It understands
+// exactly the subset WritePrometheus emits plus any other simple
+// name/value lines.
+func Scrape(url string) (map[string]float64, error) {
+	body, err := ScrapeRaw(url)
+	if err != nil {
+		return nil, err
+	}
+	return ParsePrometheus(strings.NewReader(body))
+}
+
+// ParsePrometheus parses Prometheus text exposition samples into a flat
+// map; comment and malformed lines are skipped.
+func ParsePrometheus(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		name, valStr := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = v
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,311 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// numStripes is the stripe count for Counter and OpStats: enough that
+// callers with a natural partition (shard index, connection id) spread
+// hot increments across cache lines, small enough that summing on the
+// read side stays trivial. Power of two so the hint masks.
+const numStripes = 8
+
+// stripe is one cache-line-padded counter cell.
+type stripe struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing striped counter. Inc takes a hint
+// — any value with a stable distribution, typically a shard index or
+// connection id — to pick the stripe, so unrelated hot paths do not fight
+// over one cache line. The zero value is ready to use.
+type Counter struct {
+	stripes [numStripes]stripe
+}
+
+// Inc adds one to the stripe the hint selects. Allocation-free.
+func (c *Counter) Inc(hint uint64) { c.stripes[hint&(numStripes-1)].n.Add(1) }
+
+// Add adds delta to the stripe the hint selects.
+func (c *Counter) Add(hint uint64, delta uint64) {
+	c.stripes[hint&(numStripes-1)].n.Add(delta)
+}
+
+// Value sums the stripes — a moment's snapshot under concurrent writers.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.stripes {
+		total += c.stripes[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is a settable instantaneous value. The zero value is ready.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// OpStats instruments one operation kind: a striped invocation counter
+// plus a sampled latency histogram. The hot path is two calls with no
+// allocation and no defer:
+//
+//	t := stats.Begin(hint) // count++, maybe start the clock
+//	... the operation ...
+//	stats.End(t)           // record time.Since(t) when sampled
+//
+// Begin returns the zero time.Time for unsampled invocations, so the
+// common case pays one striped atomic add and a branch; only every
+// (sampleMask+1)-th invocation per stripe pays the two clock reads.
+// Construct with NewOpStats.
+type OpStats struct {
+	stripes    [numStripes]stripe
+	sampleMask uint64 // pow2-1; 0 records every invocation
+	hist       *AtomicHist
+}
+
+// NewOpStats returns an OpStats sampling one latency in sampleEvery
+// invocations (rounded down to a power of two; <= 1 records every one).
+func NewOpStats(sampleEvery int) *OpStats {
+	o := &OpStats{hist: NewAtomicHist()}
+	if sampleEvery > 1 {
+		p := 1
+		for p*2 <= sampleEvery {
+			p *= 2
+		}
+		o.sampleMask = uint64(p - 1)
+	}
+	return o
+}
+
+// Begin counts one invocation on the hint's stripe and, when this
+// invocation is sampled, returns the start time; otherwise it returns the
+// zero time.Time. Allocation-free.
+func (o *OpStats) Begin(hint uint64) time.Time {
+	n := o.stripes[hint&(numStripes-1)].n.Add(1)
+	if n&o.sampleMask != 0 {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// End records the latency of a sampled invocation (no-op for the zero
+// time Begin returned when unsampled). Allocation-free.
+func (o *OpStats) End(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	o.hist.Record(time.Since(start))
+}
+
+// Count reports total invocations (sampled or not).
+func (o *OpStats) Count() uint64 {
+	var total uint64
+	for i := range o.stripes {
+		total += o.stripes[i].n.Load()
+	}
+	return total
+}
+
+// Hist returns a snapshot of the sampled latency distribution.
+func (o *OpStats) Hist() Hist { return o.hist.Snapshot() }
+
+// Registry names a set of instruments and reads them out two ways: a
+// stable name → value snapshot (the flat map behind the server's stats
+// verb and /debug/vars) and hand-rendered Prometheus text exposition
+// (/metrics). Register accepts *Counter, *Gauge, *OpStats, *AtomicHist,
+// and func() float64. Registration takes a mutex; reading instruments
+// does not block their writers.
+type Registry struct {
+	mu    sync.Mutex
+	names []string // sorted
+	items map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: make(map[string]any)}
+}
+
+// Register adds one named instrument. Names must be unique and should be
+// Prometheus-shaped ([a-z0-9_], e.g. "hope_index_get"); OpStats and
+// AtomicHist expand into derived series (<name>_total, <name>_p50_us, …)
+// in snapshots.
+func (r *Registry) Register(name string, item any) error {
+	switch item.(type) {
+	case *Counter, *Gauge, *OpStats, *AtomicHist, func() float64:
+	default:
+		return fmt.Errorf("telemetry: unsupported instrument type %T for %q", item, name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.items[name]; dup {
+		return fmt.Errorf("telemetry: duplicate instrument %q", name)
+	}
+	r.items[name] = item
+	i := sort.SearchStrings(r.names, name)
+	r.names = append(r.names, "")
+	copy(r.names[i+1:], r.names[i:])
+	r.names[i] = name
+	return nil
+}
+
+// MustRegister is Register for construction-time wiring, where a
+// duplicate name is a programming error.
+func (r *Registry) MustRegister(name string, item any) {
+	if err := r.Register(name, item); err != nil {
+		panic(err)
+	}
+}
+
+// GaugeFunc registers a computed gauge.
+func (r *Registry) GaugeFunc(name string, fn func() float64) error {
+	return r.Register(name, fn)
+}
+
+// instruments copies the (name, item) list out so snapshotting never
+// holds the registry mutex while calling gauge functions.
+func (r *Registry) instruments() ([]string, map[string]any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.names...)
+	items := make(map[string]any, len(r.items))
+	for k, v := range r.items {
+		items[k] = v
+	}
+	return names, items
+}
+
+// histSeries appends one histogram's derived series to a snapshot map.
+func histSeries(out map[string]float64, name string, count uint64, h Hist) {
+	out[name+"_total"] = float64(count)
+	if h.Count() == 0 {
+		return
+	}
+	out[name+"_sampled"] = float64(h.Count())
+	out[name+"_p50_us"] = float64(h.Percentile(50)) / 1e3
+	out[name+"_p99_us"] = float64(h.Percentile(99)) / 1e3
+	out[name+"_p999_us"] = float64(h.Percentile(99.9)) / 1e3
+	out[name+"_mean_us"] = float64(h.Mean()) / 1e3
+	out[name+"_max_us"] = float64(h.Max()) / 1e3
+}
+
+// Snapshot reads every instrument into a flat name → value map. OpStats
+// and AtomicHist expand to <name>_total plus, once anything was sampled,
+// <name>_{sampled,p50_us,p99_us,p999_us,mean_us,max_us}.
+func (r *Registry) Snapshot() map[string]float64 {
+	names, items := r.instruments()
+	out := make(map[string]float64, len(names)*2)
+	for _, name := range names {
+		switch v := items[name].(type) {
+		case *Counter:
+			out[name] = float64(v.Value())
+		case *Gauge:
+			out[name] = float64(v.Value())
+		case func() float64:
+			out[name] = v()
+		case *OpStats:
+			histSeries(out, name, v.Count(), v.Hist())
+		case *AtomicHist:
+			h := v.Snapshot()
+			histSeries(out, name, h.Count(), h)
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4), hand-rolled: counters and gauges as single
+// samples, OpStats/AtomicHist as summaries with p50/p99/p999 quantiles in
+// seconds plus a <name>_total counter for the unsampled invocation count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	names, items := r.instruments()
+	var buf []byte
+	for _, name := range names {
+		buf = buf[:0]
+		switch v := items[name].(type) {
+		case *Counter:
+			buf = appendSample(buf, name, "counter", float64(v.Value()))
+		case *Gauge:
+			buf = appendSample(buf, name, "gauge", float64(v.Value()))
+		case func() float64:
+			buf = appendSample(buf, name, "gauge", v())
+		case *OpStats:
+			buf = appendSummary(buf, name, v.Count(), v.Hist())
+		case *AtomicHist:
+			h := v.Snapshot()
+			buf = appendSummary(buf, name, h.Count(), h)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendFloat(buf []byte, v float64) []byte {
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+func appendSample(buf []byte, name, typ string, v float64) []byte {
+	buf = append(buf, "# TYPE "...)
+	buf = append(buf, name...)
+	buf = append(buf, ' ')
+	buf = append(buf, typ...)
+	buf = append(buf, '\n')
+	buf = append(buf, name...)
+	buf = append(buf, ' ')
+	buf = appendFloat(buf, v)
+	return append(buf, '\n')
+}
+
+// appendSummary renders one latency histogram as a Prometheus summary
+// named <name>_latency_seconds (quantiles over the *sampled* population)
+// plus a <name>_total counter carrying the full invocation count.
+func appendSummary(buf []byte, name string, count uint64, h Hist) []byte {
+	buf = append(buf, "# TYPE "...)
+	buf = append(buf, name...)
+	buf = append(buf, "_total counter\n"...)
+	buf = append(buf, name...)
+	buf = append(buf, "_total "...)
+	buf = strconv.AppendUint(buf, count, 10)
+	buf = append(buf, '\n')
+
+	buf = append(buf, "# TYPE "...)
+	buf = append(buf, name...)
+	buf = append(buf, "_latency_seconds summary\n"...)
+	for _, q := range [...]struct {
+		label string
+		p     float64
+	}{{"0.5", 50}, {"0.99", 99}, {"0.999", 99.9}} {
+		buf = append(buf, name...)
+		buf = append(buf, "_latency_seconds{quantile=\""...)
+		buf = append(buf, q.label...)
+		buf = append(buf, "\"} "...)
+		buf = appendFloat(buf, float64(h.Percentile(q.p))/1e9)
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, name...)
+	buf = append(buf, "_latency_seconds_sum "...)
+	buf = appendFloat(buf, float64(h.Mean())*float64(h.Count())/1e9)
+	buf = append(buf, '\n')
+	buf = append(buf, name...)
+	buf = append(buf, "_latency_seconds_count "...)
+	buf = strconv.AppendUint(buf, h.Count(), 10)
+	return append(buf, '\n')
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterStripes(t *testing.T) {
+	var c Counter
+	for hint := uint64(0); hint < 100; hint++ {
+		c.Inc(hint)
+	}
+	c.Add(3, 17)
+	if got := c.Value(); got != 117 {
+		t.Fatalf("value = %d, want 117", got)
+	}
+}
+
+func TestOpStatsSampling(t *testing.T) {
+	o := NewOpStats(4)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		start := o.Begin(0) // single stripe: deterministic 1-in-4 sampling
+		o.End(start)
+	}
+	if o.Count() != n {
+		t.Fatalf("count = %d, want %d", o.Count(), n)
+	}
+	h := o.Hist()
+	if got := h.Count(); got != n/4 {
+		t.Fatalf("sampled = %d, want %d", got, n/4)
+	}
+
+	all := NewOpStats(1)
+	for i := 0; i < 100; i++ {
+		all.End(all.Begin(uint64(i)))
+	}
+	ha := all.Hist()
+	if got := ha.Count(); got != 100 {
+		t.Fatalf("sampleEvery=1 recorded %d, want every invocation", got)
+	}
+}
+
+func TestRegistrySnapshotAndNames(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	c.Add(0, 5)
+	var g Gauge
+	g.Set(-3)
+	o := NewOpStats(1)
+	o.End(o.Begin(0))
+	reg.MustRegister("test_counter", &c)
+	reg.MustRegister("test_gauge", &g)
+	reg.MustRegister("test_op", o)
+	reg.MustRegister("test_fn", func() float64 { return 2.5 })
+
+	if err := reg.Register("test_counter", &c); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	if err := reg.Register("test_bad", 42); err == nil {
+		t.Fatal("unsupported instrument type must fail")
+	}
+
+	snap := reg.Snapshot()
+	if snap["test_counter"] != 5 || snap["test_gauge"] != -3 || snap["test_fn"] != 2.5 {
+		t.Fatalf("snapshot scalars wrong: %v", snap)
+	}
+	if snap["test_op_total"] != 1 || snap["test_op_sampled"] != 1 {
+		t.Fatalf("op series missing: %v", snap)
+	}
+	for _, want := range []string{"test_op_p50_us", "test_op_p99_us", "test_op_p999_us", "test_op_mean_us", "test_op_max_us"} {
+		if _, ok := snap[want]; !ok {
+			t.Fatalf("snapshot missing %s: %v", want, snap)
+		}
+	}
+}
+
+func TestWritePrometheusAndParseRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	c.Add(0, 42)
+	reg.MustRegister("rt_requests_total", &c)
+	reg.MustRegister("rt_temp", func() float64 { return 1.5 })
+	o := NewOpStats(1)
+	for i := 0; i < 10; i++ {
+		start := o.Begin(0)
+		time.Sleep(time.Microsecond)
+		o.End(start)
+	}
+	reg.MustRegister("rt_op", o)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE rt_requests_total counter",
+		"rt_requests_total 42",
+		"# TYPE rt_temp gauge",
+		"rt_temp 1.5",
+		"# TYPE rt_op_total counter",
+		"rt_op_total 10",
+		"# TYPE rt_op_latency_seconds summary",
+		`rt_op_latency_seconds{quantile="0.99"}`,
+		"rt_op_latency_seconds_count 10",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	parsed, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed["rt_requests_total"] != 42 || parsed["rt_temp"] != 1.5 || parsed["rt_op_total"] != 10 {
+		t.Fatalf("parse round-trip wrong: %v", parsed)
+	}
+	if v := parsed[`rt_op_latency_seconds{quantile="0.99"}`]; v <= 0 {
+		t.Fatalf("quantile sample missing or zero: %v", parsed)
+	}
+}
+
+// TestRegistryRaceStress is the satellite's concurrency gate: many
+// goroutines hammer every instrument kind while others snapshot and
+// render, all under -race.
+func TestRegistryRaceStress(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	var g Gauge
+	o := NewOpStats(4)
+	ah := NewAtomicHist()
+	reg.MustRegister("stress_counter", &c)
+	reg.MustRegister("stress_gauge", &g)
+	reg.MustRegister("stress_op", o)
+	reg.MustRegister("stress_hist", ah)
+	reg.MustRegister("stress_fn", func() float64 { return float64(g.Value()) })
+
+	const writers, iters = 4, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc(uint64(i))
+				g.Set(int64(i))
+				o.End(o.Begin(uint64(w)))
+				ah.Record(time.Duration(i))
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				snap := reg.Snapshot()
+				if snap["stress_counter"] > writers*iters {
+					t.Errorf("counter overshot: %v", snap["stress_counter"])
+					return
+				}
+				var sb strings.Builder
+				if err := reg.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != writers*iters {
+		t.Fatalf("final counter = %d, want %d", got, writers*iters)
+	}
+	if got := o.Count(); got != writers*iters {
+		t.Fatalf("final op count = %d, want %d", got, writers*iters)
+	}
+}

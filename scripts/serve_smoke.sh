@@ -1,13 +1,16 @@
 #!/bin/sh
 # serve_smoke.sh — end-to-end smoke of the network serving layer with the
 # real binaries: build hopeserve + hopeload, serve a preloaded compressed
-# store, drive an open-loop load at >=10k target QPS, then SIGTERM the
-# server and require a clean drain (exit 0). hopeload exits non-zero on
-# any protocol error or dead connection, so "the load ran" also means
-# "zero errors". Used by `make serve-smoke` and the CI serve-smoke leg.
+# store with the HTTP debug listener up, drive an open-loop load at
+# >=10k target QPS while scraping /metrics mid-load (fails on missing or
+# zero core series), then SIGTERM the server and require a clean drain
+# (exit 0). hopeload exits non-zero on any protocol error or dead
+# connection, so "the load ran" also means "zero errors". Used by
+# `make serve-smoke` and the CI serve-smoke leg.
 set -eu
 
 ADDR=${ADDR:-127.0.0.1:7979}
+DEBUG_ADDR=${DEBUG_ADDR:-127.0.0.1:7989}
 KEYS=${KEYS:-50000}
 QPS=${QPS:-12000}
 DURATION=${DURATION:-3s}
@@ -19,7 +22,8 @@ trap 'rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/hopeserve" ./cmd/hopeserve
 go build -o "$tmpdir/hopeload" ./cmd/hopeload
 
-"$tmpdir/hopeserve" -addr "$ADDR" -store sharded -scheme Double-Char \
+"$tmpdir/hopeserve" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" \
+    -store sharded -scheme Double-Char \
     -preload "$KEYS" -dataset email -seed 42 &
 SERVE_PID=$!
 
@@ -36,13 +40,44 @@ while ! "$tmpdir/hopeload" -addr "$ADDR" -conns 1 -qps 100 -duration 100ms \
     sleep 0.1
 done
 
+# Main load runs in the background so /metrics is scraped under live
+# traffic, not after it.
 "$tmpdir/hopeload" -addr "$ADDR" -conns 4 -qps "$QPS" -duration "$DURATION" \
-    -warmup "$WARMUP" -keys "$KEYS" -dataset email -seed 42 -set 0.05 -range 0.02
+    -warmup "$WARMUP" -keys "$KEYS" -dataset email -seed 42 -set 0.05 -range 0.02 &
+LOAD_PID=$!
+
+# Scrape mid-load (past the warmup) and assert the core series exist and
+# are moving. hopeload doubles as the scraper, so the check needs no curl.
+sleep 2
+"$tmpdir/hopeload" -metrics "http://$DEBUG_ADDR/metrics" -dump-metrics \
+    > "$tmpdir/metrics.txt"
+for series in hope_server_get_total hope_server_set_total \
+        hope_index_get_total hope_index_len; do
+    val=$(awk -v s="$series" '$1 == s { print $2 }' "$tmpdir/metrics.txt")
+    if [ -z "$val" ]; then
+        echo "serve_smoke: /metrics is missing $series" >&2
+        kill "$LOAD_PID" "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    case "$val" in
+    0|0.0)
+        echo "serve_smoke: $series is zero under live load" >&2
+        kill "$LOAD_PID" "$SERVE_PID" 2>/dev/null || true
+        exit 1
+        ;;
+    esac
+done
+
+if ! wait "$LOAD_PID"; then
+    echo "serve_smoke: load run failed" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
 
 # Graceful drain: SIGTERM must produce exit 0 within the server's grace.
 kill -TERM "$SERVE_PID"
 if wait "$SERVE_PID"; then
-    echo "serve_smoke: OK (>=${QPS} target QPS, zero errors, clean drain)"
+    echo "serve_smoke: OK (>=${QPS} target QPS, zero errors, live /metrics, clean drain)"
 else
     echo "serve_smoke: server did not drain cleanly" >&2
     exit 1

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	hope "repro"
+	"repro/internal/telemetry"
 )
 
 // Config tunes a Server. The zero value is usable: listen on an ephemeral
@@ -33,6 +34,11 @@ type Config struct {
 	MaxConns int
 	// Logf receives connection-level diagnostics. Nil discards them.
 	Logf func(format string, args ...any)
+	// Registry receives the server's instruments (per-command op stats,
+	// connection and error counters, store gauges) and — when the store
+	// implements hope.Instrumented — the store's own metrics. Nil creates
+	// a private registry, retrievable with Server.Registry().
+	Registry *telemetry.Registry
 }
 
 // DefaultMaxConns is the connection cap when Config.MaxConns is zero.
@@ -59,15 +65,25 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	shutdown bool
 
-	// Serving counters, exposed through the stats command.
-	connsTotal  atomic.Uint64
-	cmdGet      atomic.Uint64
-	cmdSet      atomic.Uint64
-	cmdDel      atomic.Uint64
-	cmdRange    atomic.Uint64
-	getHits     atomic.Uint64
-	rangeKeys   atomic.Uint64
-	protoErrors atomic.Uint64
+	// connsTotal both counts accepted connections and hands each one its
+	// id — the stripe hint its commands use, so connections spread their
+	// counter increments across cache lines.
+	connsTotal atomic.Uint64
+
+	// Serving instruments, exposed through the stats verb and the
+	// registry. Command latencies are recorded on every invocation (no
+	// sampling): the wire round trip dominates, so a clock read per
+	// command is noise.
+	reg         *telemetry.Registry
+	trace       *telemetry.EventTrace // store's lifecycle trace, nil without one
+	cmdGet      *telemetry.OpStats
+	cmdSet      *telemetry.OpStats
+	cmdDel      *telemetry.OpStats
+	cmdRange    *telemetry.OpStats
+	cmdStats    *telemetry.OpStats
+	getHits     telemetry.Counter
+	rangeKeys   telemetry.Counter
+	protoErrors telemetry.Counter
 }
 
 // New builds a Server over store. The store is borrowed until Shutdown,
@@ -82,13 +98,77 @@ func New(store hope.Store, cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Server{
-		store: store,
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.MaxConns),
-		conns: make(map[net.Conn]struct{}),
+	s := &Server{
+		store:    store,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxConns),
+		conns:    make(map[net.Conn]struct{}),
+		reg:      cfg.Registry,
+		cmdGet:   telemetry.NewOpStats(1),
+		cmdSet:   telemetry.NewOpStats(1),
+		cmdDel:   telemetry.NewOpStats(1),
+		cmdRange: telemetry.NewOpStats(1),
+		cmdStats: telemetry.NewOpStats(1),
+	}
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	s.registerMetrics()
+	return s
+}
+
+// registerMetrics wires the server's instruments — and the store's, when
+// it exposes any — into the registry. A shared registry may already hold
+// some of these names (two servers over one store); collisions are
+// diagnostics, not fatal.
+func (s *Server) registerMetrics() {
+	for _, e := range []struct {
+		name string
+		item any
+	}{
+		{"hope_server_get", s.cmdGet},
+		{"hope_server_set", s.cmdSet},
+		{"hope_server_del", s.cmdDel},
+		{"hope_server_range", s.cmdRange},
+		{"hope_server_stats", s.cmdStats},
+		{"hope_server_get_hits_total", &s.getHits},
+		{"hope_server_range_keys_total", &s.rangeKeys},
+		{"hope_server_protocol_errors_total", &s.protoErrors},
+		{"hope_server_connections_total", func() float64 { return float64(s.connsTotal.Load()) }},
+		{"hope_server_connections_current", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.conns))
+		}},
+		{"hope_server_draining", func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		}},
+		{"hope_server_store_len", func() float64 { return float64(s.store.Len()) }},
+	} {
+		if err := s.reg.Register(e.name, e.item); err != nil {
+			s.cfg.Logf("metrics: %v", err)
+		}
+	}
+	if ins, ok := s.store.(hope.Instrumented); ok {
+		if err := ins.RegisterMetrics(s.reg); err != nil {
+			s.cfg.Logf("metrics: store: %v", err)
+		}
+	}
+	if tr, ok := s.store.(hope.Traced); ok {
+		s.trace = tr.Trace()
 	}
 }
+
+// Registry returns the server's metrics registry (the configured one, or
+// the private registry New created).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Trace returns the store's lifecycle event trace, or nil when the store
+// keeps none.
+func (s *Server) Trace() *telemetry.EventTrace { return s.trace }
 
 // Listen binds the configured address. Separate from Serve so callers can
 // learn the ephemeral port (Addr) before the accept loop starts.
@@ -130,14 +210,14 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
-		s.connsTotal.Add(1)
+		id := s.connsTotal.Add(1)
 		s.track(conn, true)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer func() { <-s.sem }()
 			defer s.track(conn, false)
-			s.handle(conn)
+			s.handle(conn, id)
 		}()
 	}
 }
@@ -260,7 +340,7 @@ func (s *Server) RunUntilSignal(grace time.Duration, sigs ...os.Signal) error {
 // small requests is parsed (and answered) per syscall pair.
 const connBufSize = 64 << 10
 
-func (s *Server) handle(conn net.Conn) {
+func (s *Server) handle(conn net.Conn, id uint64) {
 	defer conn.Close()
 	r := bufio.NewReaderSize(conn, connBufSize)
 	w := bufio.NewWriterSize(conn, connBufSize)
@@ -268,7 +348,7 @@ func (s *Server) handle(conn net.Conn) {
 		line, err := r.ReadSlice('\n')
 		if err != nil {
 			if err == bufio.ErrBufferFull {
-				s.protoErrors.Add(1)
+				s.protoErrors.Inc(id)
 				fmt.Fprintf(w, "ERR line exceeds %d bytes\n", MaxLineLen)
 				w.Flush()
 				return
@@ -285,12 +365,12 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		if len(line) > MaxLineLen {
-			s.protoErrors.Add(1)
+			s.protoErrors.Inc(id)
 			fmt.Fprintf(w, "ERR line exceeds %d bytes\n", MaxLineLen)
 			w.Flush()
 			return
 		}
-		if !s.dispatch(trimLine(line), w) {
+		if !s.dispatch(trimLine(line), w, id) {
 			w.Flush()
 			return
 		}
@@ -313,48 +393,53 @@ func trimLine(line []byte) []byte {
 }
 
 // dispatch executes one request line, writing the reply into w. It
-// returns false when the connection should close (quit).
-func (s *Server) dispatch(line []byte, w *bufio.Writer) bool {
+// returns false when the connection should close (quit). id is the
+// connection's accept ordinal, used as the stripe hint for counters.
+func (s *Server) dispatch(line []byte, w *bufio.Writer, id uint64) bool {
 	cmd, rest := nextToken(line)
 	switch string(cmd) {
 	case "get":
 		key, rest := nextToken(rest)
 		if len(key) == 0 || len(rest) != 0 {
-			return s.errf(w, "usage: get <key>")
+			return s.errf(w, id, "usage: get <key>")
 		}
-		s.cmdGet.Add(1)
+		t := s.cmdGet.Begin(id)
 		if v, ok := s.store.Get(key); ok {
-			s.getHits.Add(1)
+			s.getHits.Inc(id)
 			w.WriteString("VAL ")
 			w.Write(strconv.AppendUint(nil, v, 10))
 			w.WriteByte('\n')
 		} else {
 			w.WriteString("NF\n")
 		}
+		s.cmdGet.End(t)
 	case "set":
 		key, rest := nextToken(rest)
 		valTok, rest := nextToken(rest)
 		if len(key) == 0 || len(valTok) == 0 || len(rest) != 0 {
-			return s.errf(w, "usage: set <key> <val>")
+			return s.errf(w, id, "usage: set <key> <val>")
 		}
 		v, err := strconv.ParseUint(string(valTok), 10, 64)
 		if err != nil {
-			return s.errf(w, "bad value %q", valTok)
+			return s.errf(w, id, "bad value %q", valTok)
 		}
-		s.cmdSet.Add(1)
+		t := s.cmdSet.Begin(id)
 		if err := s.store.Put(key, v); err != nil {
-			return s.errf(w, "put: %v", err)
+			s.cmdSet.End(t)
+			return s.errf(w, id, "put: %v", err)
 		}
+		s.cmdSet.End(t)
 		w.WriteString("STORED\n")
 	case "del":
 		key, rest := nextToken(rest)
 		if len(key) == 0 || len(rest) != 0 {
-			return s.errf(w, "usage: del <key>")
+			return s.errf(w, id, "usage: del <key>")
 		}
-		s.cmdDel.Add(1)
+		t := s.cmdDel.Begin(id)
 		ok, err := s.store.Delete(key)
+		s.cmdDel.End(t)
 		if err != nil {
-			return s.errf(w, "delete: %v", err)
+			return s.errf(w, id, "delete: %v", err)
 		}
 		if ok {
 			w.WriteString("DEL\n")
@@ -366,11 +451,11 @@ func (s *Server) dispatch(line []byte, w *bufio.Writer) bool {
 		hiTok, rest := nextToken(rest)
 		limTok, rest := nextToken(rest)
 		if len(loTok) == 0 || len(hiTok) == 0 || len(limTok) == 0 || len(rest) != 0 {
-			return s.errf(w, "usage: range <lo|-> <hi|-> <limit>")
+			return s.errf(w, id, "usage: range <lo|-> <hi|-> <limit>")
 		}
 		limit, err := strconv.Atoi(string(limTok))
 		if err != nil || limit <= 0 || limit > MaxRangeLimit {
-			return s.errf(w, "bad limit %q (1..%d)", limTok, MaxRangeLimit)
+			return s.errf(w, id, "bad limit %q (1..%d)", limTok, MaxRangeLimit)
 		}
 		var lo, hi []byte
 		if !bytes.Equal(loTok, []byte("-")) {
@@ -379,7 +464,7 @@ func (s *Server) dispatch(line []byte, w *bufio.Writer) bool {
 		if !bytes.Equal(hiTok, []byte("-")) {
 			hi = hiTok
 		}
-		s.cmdRange.Add(1)
+		t := s.cmdRange.Begin(id)
 		hexBuf := make([]byte, 0, 128)
 		n := s.store.Scan(lo, hi, func(key []byte, val uint64) bool {
 			hexBuf = hexBuf[:0]
@@ -392,31 +477,39 @@ func (s *Server) dispatch(line []byte, w *bufio.Writer) bool {
 			limit--
 			return limit > 0
 		})
-		s.rangeKeys.Add(uint64(n))
+		s.cmdRange.End(t)
+		s.rangeKeys.Add(id, uint64(n))
 		w.WriteString("END\n")
 	case "stats":
 		if len(rest) != 0 {
-			return s.errf(w, "usage: stats")
+			return s.errf(w, id, "usage: stats")
 		}
+		t := s.cmdStats.Begin(id)
 		s.writeStats(w)
+		s.cmdStats.End(t)
 	case "quit":
 		return false
 	default:
-		return s.errf(w, "unknown command %q", cmd)
+		return s.errf(w, id, "unknown command %q", cmd)
 	}
 	return true
 }
 
 // errf writes an ERR reply and keeps the connection open: protocol errors
 // are per-request, not per-connection.
-func (s *Server) errf(w *bufio.Writer, format string, args ...any) bool {
-	s.protoErrors.Add(1)
+func (s *Server) errf(w *bufio.Writer, id uint64, format string, args ...any) bool {
+	s.protoErrors.Inc(id)
 	w.WriteString("ERR ")
 	fmt.Fprintf(w, format, args...)
 	w.WriteByte('\n')
 	return true
 }
 
+// writeStats renders the stats verb: the legacy integer counters first
+// (wire-compatible with earlier servers), then every registry series —
+// per-command latency percentiles, lifecycle health, store gauges — as
+// STAT lines, so a plain telnet client sees the same surface /metrics
+// exposes.
 func (s *Server) writeStats(w *bufio.Writer) {
 	s.mu.Lock()
 	curr := len(s.conns)
@@ -424,13 +517,13 @@ func (s *Server) writeStats(w *bufio.Writer) {
 	stats := map[string]uint64{
 		"curr_connections":  uint64(curr),
 		"total_connections": s.connsTotal.Load(),
-		"cmd_get":           s.cmdGet.Load(),
-		"cmd_set":           s.cmdSet.Load(),
-		"cmd_del":           s.cmdDel.Load(),
-		"cmd_range":         s.cmdRange.Load(),
-		"get_hits":          s.getHits.Load(),
-		"range_keys":        s.rangeKeys.Load(),
-		"protocol_errors":   s.protoErrors.Load(),
+		"cmd_get":           s.cmdGet.Count(),
+		"cmd_set":           s.cmdSet.Count(),
+		"cmd_del":           s.cmdDel.Count(),
+		"cmd_range":         s.cmdRange.Count(),
+		"get_hits":          s.getHits.Value(),
+		"range_keys":        s.rangeKeys.Value(),
+		"protocol_errors":   s.protoErrors.Value(),
 		"store_len":         uint64(s.store.Len()),
 	}
 	names := make([]string, 0, len(stats))
@@ -440,6 +533,19 @@ func (s *Server) writeStats(w *bufio.Writer) {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(w, "STAT %s %d\n", name, stats[name])
+	}
+	snap := s.reg.Snapshot()
+	names = names[:0]
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w.WriteString("STAT ")
+		w.WriteString(name)
+		w.WriteByte(' ')
+		w.Write(strconv.AppendFloat(nil, snap[name], 'g', -1, 64))
+		w.WriteByte('\n')
 	}
 	fmt.Fprintf(w, "STAT draining %v\n", s.draining.Load())
 	w.WriteString("END\n")

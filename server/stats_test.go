@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	hope "repro"
+)
+
+// TestStatsTypedRoundTrip drives real traffic through a server over an
+// adaptive store and round-trips the stats verb through the typed
+// accessors: legacy counters, per-command latency percentiles, and the
+// lifecycle health block must all arrive parsed and consistent.
+func TestStatsTypedRoundTrip(t *testing.T) {
+	store, err := hope.Open(hope.BTree, hope.WithAdaptive(hope.AdaptiveOptions{
+		Shards: 2, Manual: true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, store, Config{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := c.Set([]byte(fmt.Sprintf("stat-key-%03d", i)), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, ok, err := c.Get([]byte(fmt.Sprintf("stat-key-%03d", i))); err != nil || !ok {
+			t.Fatalf("get %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if _, _, err := c.Get([]byte("stat-missing")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Range(nil, nil, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.StatsTyped()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.CmdCount("get"); got != n+1 {
+		t.Fatalf("CmdCount(get) = %d, want %d", got, n+1)
+	}
+	if got := st.CmdCount("set"); got != n {
+		t.Fatalf("CmdCount(set) = %d, want %d", got, n)
+	}
+	if got := st.CmdCount("range"); got != 1 {
+		t.Fatalf("CmdCount(range) = %d, want 1", got)
+	}
+	// Legacy counters and the typed series must agree.
+	if st.Uint("cmd_get") != st.CmdCount("get") {
+		t.Fatalf("cmd_get %d != hope_server_get_total %d", st.Uint("cmd_get"), st.CmdCount("get"))
+	}
+	if got := st.Uint("get_hits"); got != n {
+		t.Fatalf("get_hits = %d, want %d", got, n)
+	}
+	if got := st.Uint("range_keys"); got != 10 {
+		t.Fatalf("range_keys = %d, want 10", got)
+	}
+	if got := st.Uint("store_len"); got != n {
+		t.Fatalf("store_len = %d, want %d", got, n)
+	}
+	// Server commands record every latency, so percentiles must be live
+	// and ordered.
+	p50, p99 := st.LatencyUs("get", "p50"), st.LatencyUs("get", "p99")
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("get latency p50=%v p99=%v, want 0 < p50 <= p99", p50, p99)
+	}
+	if max := st.LatencyUs("set", "max"); max <= 0 {
+		t.Fatalf("set max latency = %v, want > 0", max)
+	}
+	if st.Draining() {
+		t.Fatal("Draining() = true on a live server")
+	}
+
+	// The adaptive store's lifecycle block rides along.
+	if !st.Has("hope_lifecycle_state") {
+		t.Fatal("adaptive store exported no hope_lifecycle_state")
+	}
+	lc := st.Lifecycle()
+	if lc.Generation != 0 || lc.Rebuilds != 0 || lc.Degraded {
+		t.Fatalf("lifecycle = %+v, want pristine generation 0", lc)
+	}
+	if lc.Seen == 0 {
+		t.Fatalf("lifecycle Seen = 0, want the %d observed inserts", n)
+	}
+
+	// A plain sharded store must degrade gracefully: no lifecycle block,
+	// zero-valued accessors, no errors.
+	plain, err := hope.Open(hope.BTree, hope.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr2 := startServer(t, plain, Config{})
+	c2, err := Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	st2, err := c2.StatsTyped()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Has("hope_lifecycle_state") {
+		t.Fatal("plain sharded store exported lifecycle metrics")
+	}
+	if lc := st2.Lifecycle(); lc != (LifecycleHealth{}) {
+		t.Fatalf("Lifecycle() on plain store = %+v, want zero value", lc)
+	}
+	if !st2.Has("hope_index_get_total") {
+		t.Fatal("sharded store exported no hope_index_get_total")
+	}
+}

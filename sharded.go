@@ -70,6 +70,12 @@ type ShardedIndex struct {
 	maxKeyLen atomic.Int64
 
 	scratch sync.Pool // *pointScratch; Get's zero-alloc encode buffers
+
+	// met instruments the public ops (always-on, sampled latencies; see
+	// observe.go). Internal shard-routed entry points (getShard and
+	// friends) are not counted — AdaptiveIndex drives those and keeps its
+	// own instruments, so nothing double-counts.
+	met opMetrics
 }
 
 // indexShard is one lock stripe: a search tree plus the shard-owned
@@ -159,6 +165,7 @@ func NewShardedIndexWithPartitioner(backend Backend, enc *core.Encoder, p Partit
 		enc:     enc,
 		shards:  make([]*indexShard, p.NumShards()),
 		part:    p,
+		met:     newOpMetrics(),
 	}
 	if enc != nil {
 		s.cenc = core.NewConcurrentEncoder(enc)
@@ -270,7 +277,10 @@ func (s *ShardedIndex) trackLen(n int) {
 // lock, so concurrent writers to different shards never share bit-buffer
 // state.
 func (s *ShardedIndex) Put(key []byte, val uint64) error {
-	_, err := s.putShard(s.shardIdx(key), key, val)
+	shard := s.shardIdx(key)
+	t := s.met.put.Begin(uint64(shard))
+	_, err := s.putShard(shard, key, val)
+	s.met.put.End(t)
 	return err
 }
 
@@ -299,7 +309,11 @@ func (s *ShardedIndex) putShard(shard int, key []byte, val uint64) (storedLen in
 // state: the encode destination comes from a pool, the shard probe runs
 // under a read lock, and the buffer returns to the pool afterwards.
 func (s *ShardedIndex) Get(key []byte) (uint64, bool) {
-	return s.getShard(s.shardIdx(key), key)
+	shard := s.shardIdx(key)
+	t := s.met.get.Begin(uint64(shard))
+	v, ok := s.getShard(shard, key)
+	s.met.get.End(t)
+	return v, ok
 }
 
 // getShard is Get routed to a known shard (see putShard).
@@ -326,7 +340,11 @@ func (s *ShardedIndex) getShard(shard int, key []byte) (uint64, bool) {
 // buffers — see TestPointOpScratchNotRetained), but holds the shard's
 // write lock for the tree mutation.
 func (s *ShardedIndex) Delete(key []byte) (bool, error) {
-	return s.deleteShard(s.shardIdx(key), key)
+	shard := s.shardIdx(key)
+	t := s.met.del.Begin(uint64(shard))
+	ok, err := s.deleteShard(shard, key)
+	s.met.del.End(t)
+	return ok, err
 }
 
 // deleteShard is Delete routed to a known shard (see putShard).
@@ -551,6 +569,7 @@ func (s *ShardedIndex) TreeMemoryUsage() int {
 // valid only during the callback — and may stop the scan by returning
 // false. See the type comment for the cross-shard consistency contract.
 func (s *ShardedIndex) Scan(lo, hi []byte, fn func(key []byte, val uint64) bool) int {
+	t := s.met.scan.Begin(0)
 	var loEnc, hiEnc []byte
 	if s.cenc != nil {
 		loEnc = s.cenc.EncodeBound(lo)
@@ -561,23 +580,30 @@ func (s *ShardedIndex) Scan(lo, hi []byte, fn func(key []byte, val uint64) bool)
 	} else {
 		loEnc, hiEnc = lo, hi
 	}
-	return s.planScan(loEnc, hiEnc, false, fn)
+	n := s.planScan(loEnc, hiEnc, false, fn)
+	s.met.scan.End(t)
+	return n
 }
 
 // ScanPrefix visits every stored key that starts with prefix, in ascending
 // order, and returns how many keys it visited. Bound translation follows
 // Index.ScanPrefix (exact lower bound, interval-ceiling upper bound).
 func (s *ShardedIndex) ScanPrefix(prefix []byte, fn func(key []byte, val uint64) bool) int {
+	t := s.met.scan.Begin(0)
+	var n int
 	if s.cenc != nil {
 		maxLen := int(s.maxKeyLen.Load())
 		if len(prefix) > maxLen {
 			maxLen = len(prefix)
 		}
 		lo, hi := s.cenc.EncodePrefix(prefix, maxLen)
-		return s.planScan(lo, hi, true, fn)
+		n = s.planScan(lo, hi, true, fn)
+	} else {
+		hi := prefixSuccessor(prefix)
+		n = s.planScan(prefix, hi, false, fn)
 	}
-	hi := prefixSuccessor(prefix)
-	return s.planScan(prefix, hi, false, fn)
+	s.met.scan.End(t)
+	return n
 }
 
 // planScan routes a translated (encoded-space) scan to the cheapest
