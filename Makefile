@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint chaos serve-smoke bench bench-tree bench-ycsb bench-drift bench-scan bench-serve bench-check figures clean
+.PHONY: all build test lint chaos crash-restore serve-smoke restore-smoke bench bench-tree bench-ycsb bench-drift bench-scan bench-serve bench-restore bench-check figures clean
 
 all: lint test build
 
@@ -26,12 +26,31 @@ chaos:
 		-run 'TestAdaptiveChaos|TestAdaptiveQuiesce|TestAdaptiveClose|TestAdaptiveWatchdog|TestAdaptivePanic|TestAdaptiveBreaker|TestAdaptiveAutoBackoff|TestAdaptiveSkew|TestAdaptiveAbortRestores' \
 		.
 
+# crash-restore is the persistence fault-injection soak: the snapshot
+# round-trip matrix across every store shape, the kill-at-every-VFS-
+# checkpoint crash matrix (a fired fault must either fail the snapshot or
+# leave a fully committed generation — never a readable partial), the
+# read-path fault refusals, the torn-generation fallback ladder, and the
+# snapshot-under-concurrent-writers soak, all under the race detector.
+crash-restore:
+	$(GO) test -race -count=1 -timeout 15m -v \
+		-run 'TestPersist|TestServerSnapshotOnDrain|TestServerDrainHookErrorSurfaces' \
+		./...
+
 # serve-smoke is the end-to-end network smoke: build the real hopeserve +
 # hopeload binaries, serve a preloaded compressed store, drive an
 # open-loop load at >=10k target QPS with zero tolerated protocol errors,
 # then SIGTERM the server and require a clean graceful drain (exit 0).
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# restore-smoke is the end-to-end crash-recovery smoke: build the real
+# hopeserve binary, serve a compressed store with periodic snapshots,
+# write through the wire protocol, SIGKILL the process mid-serve, restart
+# it from the snapshot directory, and require every acknowledged-and-
+# snapshotted key back plus a live hope_restore series on /metrics.
+restore-smoke:
+	./scripts/restore_smoke.sh
 
 # bench records the encode-path performance trajectory: serial kernel vs
 # parallel bulk EncodeAll per scheme, written to BENCH_encode.json so
@@ -81,6 +100,15 @@ bench-serve:
 	$(GO) run ./cmd/hopeload -fig serve -dataset email -keys 50000 \
 		-qps 12000 -connlist 2,8 -warmup 1s -duration 4s -json BENCH_serve.json
 
+# bench-restore records the restart trajectory: cold boot (dictionary
+# build + encode + bulk load) vs snapshot restore across schemes ×
+# backends × corpus sizes, written to BENCH_restore.json. benchdiff
+# -mode restore gates both boot times and the cold/restore speedup — the
+# figure's claim that restarting from a snapshot beats a cold re-encode.
+bench-restore:
+	$(GO) run ./cmd/hopebench -fig restore -dataset email -keys 30000 \
+		-json BENCH_restore.json
+
 # bench-check is the perf-regression gate: regenerate the encode and YCSB
 # records at their `make bench`/`make bench-ycsb` parameters and fail on a
 # >15% median regression in any encode latency or YCSB throughput figure
@@ -112,6 +140,10 @@ bench-check:
 		-json BENCH_tree.fresh.json
 	$(GO) run ./cmd/benchdiff -mode tree BENCH_tree.json BENCH_tree.fresh.json
 	@rm -f BENCH_tree.fresh.json
+	$(GO) run ./cmd/hopebench -fig restore -dataset email -keys 30000 \
+		-json BENCH_restore.fresh.json
+	$(GO) run ./cmd/benchdiff -mode restore BENCH_restore.json BENCH_restore.fresh.json
+	@rm -f BENCH_restore.fresh.json
 
 # figures regenerates the paper's evaluation artifacts at laptop scale.
 figures:
@@ -119,4 +151,5 @@ figures:
 
 clean:
 	rm -f BENCH_encode.fresh.json BENCH_ycsb.fresh.json BENCH_drift.fresh.json \
-		BENCH_scan.fresh.json BENCH_serve.fresh.json BENCH_tree.fresh.json
+		BENCH_scan.fresh.json BENCH_serve.fresh.json BENCH_tree.fresh.json \
+		BENCH_restore.fresh.json

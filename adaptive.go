@@ -266,6 +266,14 @@ func slotOf(id uint64) int            { return int(uint32(id)) }
 // Deprecated: use Open(backend, WithAdaptive(opts)), which returns the
 // same index behind the unified Store interface.
 func NewAdaptiveIndex(backend Backend, opts AdaptiveOptions) (*AdaptiveIndex, error) {
+	return newAdaptiveIndexWithSplits(backend, opts, nil)
+}
+
+// newAdaptiveIndexWithSplits is the constructor proper. splits, when
+// non-nil, seed generation 0's range partitioner — the restore path hands
+// back the persisted split points so the restored trees keep the dumped
+// partition instead of starting unseeded.
+func newAdaptiveIndexWithSplits(backend Backend, opts AdaptiveOptions, splits [][]byte) (*AdaptiveIndex, error) {
 	if opts.Shards <= 0 {
 		opts.Shards = DefaultShards()
 	}
@@ -286,7 +294,7 @@ func NewAdaptiveIndex(backend Backend, opts AdaptiveOptions) (*AdaptiveIndex, er
 		initial = lifecycle.Steady
 	}
 	a.ctl = lifecycle.NewController(opts.Lifecycle, initial)
-	gen, err := a.newGeneration(opts.Encoder, nil)
+	gen, err := a.newGeneration(opts.Encoder, splits)
 	if err != nil {
 		return nil, err
 	}
@@ -409,6 +417,9 @@ func (a *AdaptiveIndex) trackLen(n int) {
 // presence probe and the insert-if-absent share the work the old
 // probe-then-put sequence paid twice.
 func (a *AdaptiveIndex) Put(key []byte, val uint64) error {
+	if a.closed.Load() {
+		return ErrClosed
+	}
 	if a.backend == SuRF {
 		return ErrImmutableBackend
 	}
@@ -481,6 +492,9 @@ func (a *AdaptiveIndex) Get(key []byte) (uint64, bool) {
 // Delete removes key from every write generation, reporting whether it
 // was present.
 func (a *AdaptiveIndex) Delete(key []byte) (bool, error) {
+	if a.closed.Load() {
+		return false, ErrClosed
+	}
 	if a.backend == SuRF {
 		return false, ErrImmutableBackend
 	}
@@ -555,6 +569,9 @@ func (a *AdaptiveIndex) MemoryUsage() int {
 // Put loop (overwrite semantics). Bulk excludes rebuilds for its
 // duration and must not run concurrently with other writers.
 func (a *AdaptiveIndex) Bulk(keys [][]byte, vals []uint64) error {
+	if a.closed.Load() {
+		return ErrClosed
+	}
 	if vals != nil && len(vals) != len(keys) {
 		return fmt.Errorf("hope: %d keys but %d values", len(keys), len(vals))
 	}
@@ -692,13 +709,13 @@ func (a *AdaptiveIndex) Quiesce() {
 	defer a.rebuildMu.Unlock()
 }
 
-// Close shuts the rebuild machinery down: new rebuilds (explicit or
-// automatic) are refused with ErrClosed, an in-flight rebuild is
-// cancelled at its next checkpoint (waking any interruptible stall) and
-// aborts down the usual restore path, and Close blocks until the
-// background goroutine has fully exited. The index keeps serving reads,
-// writes, and scans afterwards — only the dictionary is frozen. Close is
-// idempotent and always returns nil.
+// Close makes the index final: new rebuilds (explicit or automatic) and
+// mutations (Put, Delete, Bulk) are refused with ErrClosed, an in-flight
+// rebuild is cancelled at its next checkpoint (waking any interruptible
+// stall) and aborts down the usual restore path, and Close blocks until
+// the background goroutine has fully exited. Reads and scans keep serving
+// the final contents — which is what lets a snapshot-on-drain serialize a
+// closed-to-writes index. Close is idempotent and always returns nil.
 func (a *AdaptiveIndex) Close() error {
 	a.closed.Store(true)
 	if w := a.watch.Load(); w != nil {

@@ -19,12 +19,14 @@ import (
 //     back to frozen-dictionary serving. Reads and writes keep flowing on
 //     the current generation; a successful Rebuild (explicit, or the
 //     automatic half-open probe) closes the breaker.
-//   - ErrClosed: Close was called; rebuilds are refused (point ops and
-//     scans keep serving).
+//   - ErrClosed: Close was called. Every Store refuses mutations (Put,
+//     Delete, Bulk) with it afterwards, the adaptive index additionally
+//     refuses rebuilds, and a Persistent refuses Snapshot. Reads and scans
+//     keep serving the closed store's final contents.
 var (
 	ErrMigrationTimeout = errors.New("hope: migration watchdog timed out")
 	ErrDegraded         = errors.New("hope: adaptive index degraded, serving frozen dictionary")
-	ErrClosed           = errors.New("hope: adaptive index closed")
+	ErrClosed           = errors.New("hope: store is closed")
 )
 
 // ErrRebuildPanic reports a panic recovered inside a rebuild or migration:

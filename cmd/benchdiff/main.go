@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.15] [-mode encode|ycsb|drift|scan|serve|tree] baseline.json current.json
+//	benchdiff [-threshold 0.15] [-mode encode|ycsb|drift|scan|serve|tree|restore] baseline.json current.json
 //
 // Mode encode compares BENCH_encode.json records (the encode-path latency
 // record `make bench` writes); mode ycsb compares BENCH_ycsb.json records
@@ -17,12 +17,15 @@
 // record `make bench-serve` writes, gating p99 per op); mode tree
 // compares BENCH_tree.json records (the end-to-end search-tree record
 // `make bench-tree` writes, gating load throughput plus point, scan and
-// insert latencies). Rows are
+// insert latencies); mode restore compares BENCH_restore.json records
+// (the restart record `make bench-restore` writes, gating the cold and
+// restore boot times and the cold/restore speedup). Rows are
 // matched by identity key — (dataset, scheme) for encode, (dataset,
 // workload, backend, config, threads) for ycsb, (dataset, config, window)
 // for drift, (dataset, backend, config, partition, shards) for scan,
 // (dataset, store, config, workload, conns, op) for serve,
-// (dataset, backend, config) for tree. For
+// (dataset, backend, config) for tree,
+// (dataset, backend, config, keys) for restore. For
 // every gated
 // metric the tool collects the per-row current/baseline ratios and
 // compares the metric's median ratio against the threshold: latencies fail
@@ -105,11 +108,22 @@ var treeMetrics = []metric{
 	{name: "insert_ns"},
 }
 
+// Restore gates both boot paths of the restart figure plus their ratio:
+// restore_sec catches a slow restore (decode or parallel bulk path),
+// cold_sec catches a slow from-scratch build, and speedup is the
+// figure's claim itself — snapshot restore must keep beating the cold
+// re-encode by roughly the recorded margin.
+var restoreMetrics = []metric{
+	{name: "cold_sec"},
+	{name: "restore_sec"},
+	{name: "speedup", higherBetter: true},
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.15, "maximum tolerated median regression (0.15 = ±15%)")
-	mode := flag.String("mode", "encode", "record kind: encode (BENCH_encode.json), ycsb (BENCH_ycsb.json), drift (BENCH_drift.json), scan (BENCH_scan.json), serve (BENCH_serve.json) or tree (BENCH_tree.json)")
+	mode := flag.String("mode", "encode", "record kind: encode (BENCH_encode.json), ycsb (BENCH_ycsb.json), drift (BENCH_drift.json), scan (BENCH_scan.json), serve (BENCH_serve.json), tree (BENCH_tree.json) or restore (BENCH_restore.json)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] [-mode encode|ycsb|drift|scan|serve|tree] baseline.json current.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.15] [-mode encode|ycsb|drift|scan|serve|tree|restore] baseline.json current.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -157,8 +171,14 @@ func main() {
 		if err == nil {
 			cur, err = readTreeRows(flag.Arg(1))
 		}
+	case "restore":
+		metrics = restoreMetrics
+		base, err = readRestoreRows(flag.Arg(0))
+		if err == nil {
+			cur, err = readRestoreRows(flag.Arg(1))
+		}
 	default:
-		err = fmt.Errorf("unknown -mode %q (want encode, ycsb, drift, scan, serve or tree)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want encode, ycsb, drift, scan, serve, tree or restore)", *mode)
 	}
 	if err != nil {
 		fatal(err)
@@ -331,6 +351,34 @@ func flattenTree(rows []bench.TreeBenchRow) []row {
 				"point_ns":          r.PointNs,
 				"scan_ns":           r.ScanNs,
 				"insert_ns":         r.InsertNs,
+			},
+		}
+	}
+	return out
+}
+
+func readRestoreRows(path string) ([]row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := bench.ReadRestoreBenchJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return flattenRestore(rows), nil
+}
+
+func flattenRestore(rows []bench.RestoreBenchRow) []row {
+	out := make([]row, len(rows))
+	for i, r := range rows {
+		out[i] = row{
+			key: fmt.Sprintf("%s/%s/%s/k%d", r.Dataset, r.Backend, r.Config, r.Keys),
+			vals: map[string]float64{
+				"cold_sec":    r.ColdSec,
+				"restore_sec": r.RestoreSec,
+				"speedup":     r.Speedup,
 			},
 		}
 	}

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: table1, 8, 9, 10, 11, 12, 13, 14, 15, 16, ablation, encode, tree, ycsb, drift, scan, all")
+	fig := flag.String("fig", "all", "figure to reproduce: table1, 8, 9, 10, 11, 12, 13, 14, 15, 16, ablation, encode, tree, ycsb, drift, scan, restore, all")
 	dataset := flag.String("dataset", "email", "dataset: email, wiki, url, all")
 	keys := flag.Int("keys", 100000, "number of keys (paper: 14-25M)")
 	ops := flag.Int("ops", 100000, "number of workload operations (paper: 10M)")
@@ -34,10 +34,10 @@ func main() {
 	threads := flag.String("threads", "1,2,4,8", "goroutine sweep for -fig ycsb (comma-separated)")
 	shards := flag.String("shards", "1,4,8,16", "shard-count sweep for -fig scan (comma-separated)")
 	workloads := flag.String("workloads", "A,B,C,D,E,F", "YCSB workloads for -fig ycsb (comma-separated)")
-	jsonOut := flag.String("json", "", "also write results as JSON to this file (fig=encode, tree, ycsb, drift and scan)")
+	jsonOut := flag.String("json", "", "also write results as JSON to this file (fig=encode, tree, ycsb, drift, scan and restore)")
 	flag.Parse()
-	if *jsonOut != "" && *fig != "encode" && *fig != "tree" && *fig != "ycsb" && *fig != "drift" && *fig != "scan" {
-		fatal(fmt.Errorf("-json only applies to -fig encode, tree, ycsb, drift and scan"))
+	if *jsonOut != "" && *fig != "encode" && *fig != "tree" && *fig != "ycsb" && *fig != "drift" && *fig != "scan" && *fig != "restore" {
+		fatal(fmt.Errorf("-json only applies to -fig encode, tree, ycsb, drift, scan and restore"))
 	}
 	threadSweep, err := parseIntList(*threads, "-threads")
 	if err != nil {
@@ -70,12 +70,13 @@ func main() {
 	var ycsbRows []bench.YCSBBenchRow
 	var driftRows []bench.DriftBenchRow
 	var scanRows []bench.ScanBenchRow
+	var restoreRows []bench.RestoreBenchRow
 	for _, ds := range datasets {
 		cfg := bench.Config{
 			Dataset: ds, NumKeys: *keys, NumOps: *ops,
 			SampleFrac: *sample, Seed: *seed, Quick: *quick,
 		}
-		if err := run(*fig, cfg, workloadSweep, threadSweep, shardSweep, &encodeRows, &treeRows, &ycsbRows, &driftRows, &scanRows); err != nil {
+		if err := run(*fig, cfg, workloadSweep, threadSweep, shardSweep, &encodeRows, &treeRows, &ycsbRows, &driftRows, &scanRows, &restoreRows); err != nil {
 			fatal(err)
 		}
 	}
@@ -95,6 +96,8 @@ func main() {
 			werr = bench.WriteDriftBenchJSON(f, driftRows)
 		case "scan":
 			werr = bench.WriteScanBenchJSON(f, scanRows)
+		case "restore":
+			werr = bench.WriteRestoreBenchJSON(f, restoreRows)
 		default:
 			werr = bench.WriteEncodeBenchJSON(f, encodeRows)
 		}
@@ -151,11 +154,11 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(fig string, cfg bench.Config, workloads []ycsb.Kind, threads, shards []int, encodeRows *[]bench.EncodeBenchRow, treeRows *[]bench.TreeBenchRow, ycsbRows *[]bench.YCSBBenchRow, driftRows *[]bench.DriftBenchRow, scanRows *[]bench.ScanBenchRow) error {
+func run(fig string, cfg bench.Config, workloads []ycsb.Kind, threads, shards []int, encodeRows *[]bench.EncodeBenchRow, treeRows *[]bench.TreeBenchRow, ycsbRows *[]bench.YCSBBenchRow, driftRows *[]bench.DriftBenchRow, scanRows *[]bench.ScanBenchRow, restoreRows *[]bench.RestoreBenchRow) error {
 	switch fig {
 	case "all":
-		for _, f := range []string{"table1", "8", "9", "10", "11", "12", "13", "14", "15", "16", "ablation", "tree", "ycsb", "drift", "scan"} {
-			if err := run(f, cfg, workloads, threads, shards, encodeRows, treeRows, ycsbRows, driftRows, scanRows); err != nil {
+		for _, f := range []string{"table1", "8", "9", "10", "11", "12", "13", "14", "15", "16", "ablation", "tree", "ycsb", "drift", "scan", "restore"} {
+			if err := run(f, cfg, workloads, threads, shards, encodeRows, treeRows, ycsbRows, driftRows, scanRows, restoreRows); err != nil {
 				return err
 			}
 		}
@@ -192,8 +195,30 @@ func run(fig string, cfg bench.Config, workloads []ycsb.Kind, threads, shards []
 		return driftBench(cfg, driftRows)
 	case "scan":
 		return scanBench(cfg, shards, scanRows)
+	case "restore":
+		return restoreBench(cfg, restoreRows)
 	}
 	return fmt.Errorf("unknown figure %q", fig)
+}
+
+// restoreBench runs the restart figure: cold dictionary-build + bulk load
+// versus snapshot restore, across schemes, backends and corpus sizes.
+func restoreBench(cfg bench.Config, restoreRows *[]bench.RestoreBenchRow) error {
+	rows, err := bench.RunFigRestore(cfg, bench.ScanBackends, bench.RestoreSizes(cfg))
+	if err != nil {
+		return err
+	}
+	*restoreRows = append(*restoreRows, rows...)
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Backend, r.Config, strconv.Itoa(r.Keys),
+			bench.F3(r.ColdSec), bench.F3(r.SnapshotSec), bench.F3(r.RestoreSec),
+			bench.F(r.Speedup), bench.F3(r.SnapshotMB)})
+	}
+	bench.Table(os.Stdout, fmt.Sprintf("Restart (%s): cold re-encode vs snapshot restore (GOMAXPROCS=%d)",
+		cfg.Dataset, runtime.GOMAXPROCS(0)),
+		[]string{"Backend", "Config", "Keys", "Cold (s)", "Snapshot (s)", "Restore (s)", "Speedup", "Snap (MB)"}, out)
+	return nil
 }
 
 // scanBench runs the scan-partitioning figure: YCSB-E throughput, hash vs

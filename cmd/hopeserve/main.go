@@ -14,9 +14,17 @@
 // dictionary online. SIGINT/SIGTERM trigger a graceful drain: stop
 // accepting, answer everything in flight, then quiesce and close the
 // store within -grace.
+//
+// With -snapshot-dir the store is crash-safe: a valid snapshot in the
+// directory is restored on boot (preload is skipped — the disk image
+// wins), -snapshot-every takes periodic snapshots while serving, and the
+// drain takes a final one after quiesce, before close. A crash between
+// snapshots loses only the writes since the last committed generation;
+// it never leaves a partial index.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -50,19 +58,56 @@ func main() {
 		maxConns = flag.Int("maxconns", server.DefaultMaxConns, "concurrent connection cap (excess dials queue in the listen backlog)")
 		grace    = flag.Duration("grace", 10*time.Second, "drain budget after SIGINT/SIGTERM")
 		debug    = flag.String("debug-addr", "", "HTTP debug listen address serving /metrics, /debug/vars, /debug/events and /debug/pprof (empty = disabled)")
+		snapDir  = flag.String("snapshot-dir", "", "snapshot directory: restore from it on boot, snapshot into it on drain (empty = no persistence)")
+		snapEvry = flag.Duration("snapshot-every", 0, "periodic snapshot interval while serving (0 = drain-time snapshot only; needs -snapshot-dir)")
 	)
 	flag.Parse()
+	if *snapEvry > 0 && *snapDir == "" {
+		log.Fatal("-snapshot-every needs -snapshot-dir")
+	}
 
-	st, preloaded, err := buildStore(*backend, *store, *shards, *rangePrt, *scheme, *sample, *preload, *dataset, *seed)
+	st, preloaded, err := buildStore(*backend, *store, *shards, *rangePrt, *scheme, *sample, *preload, *dataset, *seed, *snapDir)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	srv := server.New(st, server.Config{
+	cfg := server.Config{
 		Addr:     *addr,
 		MaxConns: *maxConns,
 		Logf:     log.Printf,
-	})
+	}
+	if *snapDir != "" {
+		p := st.(*hope.Persistent)
+		if p.Restored() {
+			log.Printf("restored generation %d (%d keys) from %s", p.Generation(), st.Len(), *snapDir)
+		}
+		// The final image: after quiesce every acknowledged write has
+		// landed, so the drain snapshot captures exactly what clients saw.
+		cfg.OnDrain = func() error {
+			if err := p.Snapshot(); err != nil {
+				return fmt.Errorf("drain snapshot: %w", err)
+			}
+			log.Printf("drain snapshot committed generation %d", p.Generation())
+			return nil
+		}
+		if *snapEvry > 0 {
+			go func() {
+				tick := time.NewTicker(*snapEvry)
+				defer tick.Stop()
+				for range tick.C {
+					switch err := p.Snapshot(); {
+					case err == nil:
+						log.Printf("periodic snapshot committed generation %d", p.Generation())
+					case errors.Is(err, hope.ErrClosed):
+						return // drained; the final snapshot already ran
+					default:
+						log.Printf("periodic snapshot: %v", err)
+					}
+				}
+			}()
+		}
+	}
+	srv := server.New(st, cfg)
 	if err := srv.Listen(); err != nil {
 		log.Fatal(err)
 	}
@@ -86,10 +131,13 @@ func main() {
 }
 
 // buildStore assembles the hope.Open option list the flags describe and
-// bulk-loads the generated keyspace. The returned value is a hope.Store —
-// this command never names (or asserts to) a concrete index type.
+// bulk-loads the generated keyspace. With snapDir the store opens through
+// the persistence layer, and a restored snapshot replaces the preload —
+// the disk image is the state clients last saw acknowledged. Apart from
+// the Persistent assertions behind the -snapshot-dir flag, this command is
+// written against the hope.Store interface alone.
 func buildStore(backend, store string, shards int, rangePrt bool, scheme string,
-	sample float64, preload int, dataset string, seed int64) (hope.Store, int, error) {
+	sample float64, preload int, dataset string, seed int64, snapDir string) (hope.Store, int, error) {
 
 	be, err := parseBackend(backend)
 	if err != nil {
@@ -157,9 +205,15 @@ func buildStore(backend, store string, shards int, rangePrt bool, scheme string,
 		return nil, 0, fmt.Errorf("unknown -store %q (want index, sharded or adaptive)", store)
 	}
 
+	if snapDir != "" {
+		opts = append(opts, hope.WithSnapshotDir(snapDir))
+	}
 	st, err := hope.Open(be, opts...)
 	if err != nil {
 		return nil, 0, err
+	}
+	if p, ok := st.(*hope.Persistent); ok && p.Restored() {
+		return st, 0, nil // the snapshot supersedes the preload
 	}
 	if len(keys) > 0 {
 		if err := st.Bulk(keys, nil); err != nil {

@@ -2,6 +2,7 @@ package hope
 
 import (
 	"bytes"
+	"errors"
 	"sort"
 	"testing"
 
@@ -184,20 +185,26 @@ func storeConformance(t *testing.T, open func(t *testing.T) Store) {
 		if err := s.Close(); err != nil {
 			t.Fatalf("second close: %v (Close must be idempotent)", err)
 		}
-		// A closed store keeps serving: only background machinery stops.
+		// A closed store is final: reads keep serving, mutations refuse.
 		for i, k := range corpus[:32] {
 			if v, ok := s.Get(k); !ok || v != uint64(i) {
 				t.Fatalf("get %q after close = (%d,%v), want (%d,true)", k, v, ok, i)
 			}
 		}
-		if err := s.Put([]byte("post-close-key"), 7); err != nil {
-			t.Fatalf("put after close: %v", err)
+		if err := s.Put([]byte("post-close-key"), 7); !errors.Is(err, ErrClosed) {
+			t.Fatalf("put after close: err = %v, want ErrClosed", err)
 		}
-		if v, ok := s.Get([]byte("post-close-key")); !ok || v != 7 {
-			t.Fatalf("get of post-close write = (%d,%v), want (7,true)", v, ok)
+		if _, ok := s.Get([]byte("post-close-key")); ok {
+			t.Fatal("put after close took effect; closed store must be final")
 		}
-		if n := s.Scan(nil, nil, func([]byte, uint64) bool { return true }); n != 33 {
-			t.Fatalf("scan after close visited %d keys, want 33", n)
+		if _, err := s.Delete(corpus[0]); !errors.Is(err, ErrClosed) {
+			t.Fatalf("delete after close: err = %v, want ErrClosed", err)
+		}
+		if err := s.Bulk([][]byte{[]byte("post-close-bulk")}, nil); !errors.Is(err, ErrClosed) {
+			t.Fatalf("bulk after close: err = %v, want ErrClosed", err)
+		}
+		if n := s.Scan(nil, nil, func([]byte, uint64) bool { return true }); n != 32 {
+			t.Fatalf("scan after close visited %d keys, want 32", n)
 		}
 	})
 }

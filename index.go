@@ -69,6 +69,8 @@ type Index struct {
 	// upper bound dominates every stored continuation of the prefix.
 	maxKeyLen int
 
+	closed bool // set by Close; mutations refused afterwards
+
 	buf []byte // scratch for point-operation encodes
 }
 
@@ -160,6 +162,9 @@ func (x *Index) trackLen(key []byte) {
 // many keys at once (it runs the parallel encoder and, for SuRF, is the
 // only way to populate the index).
 func (x *Index) Put(key []byte, val uint64) error {
+	if x.closed {
+		return ErrClosed
+	}
 	x.trackLen(key)
 	return x.be.insert(x.encodeOwned(key), val)
 }
@@ -171,6 +176,9 @@ func (x *Index) Get(key []byte) (uint64, bool) {
 
 // Delete removes key, reporting whether it was present.
 func (x *Index) Delete(key []byte) (bool, error) {
+	if x.closed {
+		return false, ErrClosed
+	}
 	return x.be.remove(x.encodePoint(key))
 }
 
@@ -179,6 +187,9 @@ func (x *Index) Delete(key []byte) (bool, error) {
 // the SuRF backend this both builds the filter and retains the sorted
 // encoded run it filters for.
 func (x *Index) Bulk(keys [][]byte, vals []uint64) error {
+	if x.closed {
+		return ErrClosed
+	}
 	if vals != nil && len(vals) != len(keys) {
 		return fmt.Errorf("hope: %d keys but %d values", len(keys), len(vals))
 	}

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	hope "repro"
+	"repro/internal/core"
+)
+
+// RestoreBenchRow is one cell of the restart benchmark: the same corpus
+// brought to serving readiness along the two boot paths the persistence
+// layer distinguishes. Cold is the from-scratch path — build the
+// dictionary from a sample, encode every key, bulk-load the tree.
+// Restore is the snapshot path — hope.Open with WithSnapshotDir, which
+// reassembles the stored dictionary and bulk-loads the already-encoded
+// runs without re-encoding anything. `make bench-restore` writes the
+// rows to BENCH_restore.json — the record cmd/benchdiff gates with
+// -mode restore. Speedup (cold/restore) above 1 is the figure's claim:
+// restart from a snapshot must beat a cold re-encode, and by more the
+// heavier the encoding scheme.
+type RestoreBenchRow struct {
+	Dataset string `json:"dataset"`
+	Backend string `json:"backend"`
+	Config  string `json:"config"`
+	Shards  int    `json:"shards"`
+	Keys    int    `json:"keys"`
+	// ColdSec is dictionary build + encode + bulk load from raw keys.
+	ColdSec float64 `json:"cold_sec"`
+	// SnapshotSec is the checkpoint cost: one Snapshot() commit.
+	SnapshotSec float64 `json:"snapshot_sec"`
+	// RestoreSec is hope.Open restoring from the committed snapshot.
+	RestoreSec float64 `json:"restore_sec"`
+	SnapshotMB float64 `json:"snapshot_mb"`
+	Speedup    float64 `json:"speedup"` // ColdSec / RestoreSec
+	// MaxProcs records GOMAXPROCS during the run — the multi-core caveat
+	// marker: restore bulk-loads shards in parallel, so on a single-core
+	// runner its advantage is purely the skipped dictionary build and
+	// re-encode, with no parallelism component.
+	MaxProcs int `json:"maxprocs"`
+}
+
+// RestoreConfigs returns the encoder configurations the restore figure
+// sweeps: the uncompressed baseline (restore saves only the tree load),
+// the cheap-to-build FIVC scheme, and a dictionary-heavy VIVC scheme
+// whose cold build cost the snapshot path amortizes away entirely.
+func RestoreConfigs(quick bool) []TreeConfig {
+	limit := 1 << 16
+	if quick {
+		limit = 1 << 12
+	}
+	return []TreeConfig{
+		{Name: "Uncompressed", Plain: true},
+		{Name: "Double-Char", Scheme: core.DoubleChar},
+		{Name: "3-Grams", Scheme: core.ThreeGrams, DictLimit: limit},
+	}
+}
+
+// RestoreSizes returns the corpus sizes the figure sweeps, derived from
+// the run's key budget: a half-size point to show the trend and the full
+// corpus for the headline cell.
+func RestoreSizes(cfg Config) []int {
+	return []int{cfg.NumKeys / 2, cfg.NumKeys}
+}
+
+// RunFigRestore is the restart figure: for each scheme × backend × size
+// it times the cold boot (dictionary build + encode + bulk load), takes
+// one snapshot, then times hope.Open restoring from it, verifying the
+// restored store actually came from disk and holds every key.
+func RunFigRestore(cfg Config, backends []hope.Backend, sizes []int) ([]RestoreBenchRow, error) {
+	all := cfg.Keys()
+	var rows []RestoreBenchRow
+	for _, tc := range RestoreConfigs(cfg.Quick) {
+		for _, backend := range backends {
+			for _, n := range sizes {
+				if n > len(all) {
+					n = len(all)
+				}
+				row, err := runRestoreCell(cfg, backend, tc, all[:n])
+				if err != nil {
+					return nil, fmt.Errorf("restore fig %s/%s/%d: %w", tc.Name, backend, n, err)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// restoreShards is the shard count every cell uses: enough for the
+// parallel restore path to exercise its per-shard fan-out without
+// drowning small corpora in partitioning overhead.
+const restoreShards = 4
+
+func runRestoreCell(cfg Config, backend hope.Backend, tc TreeConfig, keys [][]byte) (RestoreBenchRow, error) {
+	dir, err := os.MkdirTemp("", "hope-restore-")
+	if err != nil {
+		return RestoreBenchRow{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Cold boot: everything between process start and serving readiness
+	// that the snapshot path gets to skip — sampling, dictionary build,
+	// key encode, tree load. The store opens through the persistence
+	// layer so the subsequent snapshot captures exactly this state.
+	samples := cfg.Sample(keys)
+	t0 := time.Now()
+	enc, _, err := tc.BuildEncoder(samples)
+	if err != nil {
+		return RestoreBenchRow{}, err
+	}
+	st, err := hope.Open(backend,
+		hope.WithEncoder(enc),
+		hope.WithShards(restoreShards),
+		hope.WithSnapshotDir(dir))
+	if err != nil {
+		return RestoreBenchRow{}, err
+	}
+	if err := st.Bulk(keys, nil); err != nil {
+		return RestoreBenchRow{}, err
+	}
+	coldSec := time.Since(t0).Seconds()
+
+	p := st.(*hope.Persistent)
+	t0 = time.Now()
+	if err := p.Snapshot(); err != nil {
+		return RestoreBenchRow{}, err
+	}
+	snapSec := time.Since(t0).Seconds()
+	if err := st.Close(); err != nil {
+		return RestoreBenchRow{}, err
+	}
+	snapBytes, err := dirBytes(dir)
+	if err != nil {
+		return RestoreBenchRow{}, err
+	}
+
+	// Restore boot: the snapshot alone reconstructs the store — no
+	// encoder option, no keys, no shape flags.
+	t0 = time.Now()
+	st2, err := hope.Open(backend, hope.WithSnapshotDir(dir))
+	if err != nil {
+		return RestoreBenchRow{}, err
+	}
+	restoreSec := time.Since(t0).Seconds()
+	defer st2.Close()
+	p2 := st2.(*hope.Persistent)
+	if !p2.Restored() {
+		return RestoreBenchRow{}, fmt.Errorf("restore did not come from disk")
+	}
+	if got := st2.Len(); got != len(keys) {
+		return RestoreBenchRow{}, fmt.Errorf("restored %d keys, want %d", got, len(keys))
+	}
+
+	row := RestoreBenchRow{
+		Dataset:     cfg.Dataset.String(),
+		Backend:     string(backend),
+		Config:      tc.Name,
+		Shards:      restoreShards,
+		Keys:        len(keys),
+		ColdSec:     coldSec,
+		SnapshotSec: snapSec,
+		RestoreSec:  restoreSec,
+		SnapshotMB:  float64(snapBytes) / (1 << 20),
+		MaxProcs:    runtime.GOMAXPROCS(0),
+	}
+	if restoreSec > 0 {
+		row.Speedup = coldSec / restoreSec
+	}
+	return row, nil
+}
+
+// dirBytes sums the sizes of the committed snapshot files in dir.
+func dirBytes(dir string) (int64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range ents {
+		info, err := e.Info()
+		if err != nil {
+			return 0, err
+		}
+		total += info.Size()
+	}
+	return total, nil
+}
+
+// WriteRestoreBenchJSON writes the rows as indented JSON
+// (BENCH_restore.json).
+func WriteRestoreBenchJSON(w io.Writer, rows []RestoreBenchRow) error {
+	e := json.NewEncoder(w)
+	e.SetIndent("", "  ")
+	return e.Encode(rows)
+}
+
+// ReadRestoreBenchJSON decodes a BENCH_restore.json record
+// (cmd/benchdiff).
+func ReadRestoreBenchJSON(r io.Reader) ([]RestoreBenchRow, error) {
+	var rows []RestoreBenchRow
+	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -158,6 +158,11 @@ type Encoder struct {
 	// lookup is fully decided).
 	maxBoundary int
 
+	// structOpt retains the options that shape the dictionary STRUCTURE
+	// (not the symbol selection): what Reassemble must be handed to
+	// rebuild an encode-identical lookup structure from the entries alone.
+	structOpt Options
+
 	app appender // reusable encode state
 }
 
@@ -165,7 +170,7 @@ type Encoder struct {
 // code assignment, dictionary construction.
 func Build(scheme Scheme, samples [][]byte, opt Options) (*Encoder, error) {
 	opt.fill()
-	e := &Encoder{scheme: scheme}
+	e := &Encoder{scheme: scheme, structOpt: structuralOptions(opt)}
 
 	t0 := time.Now()
 	var intervals []symbolselect.Interval
@@ -288,8 +293,23 @@ func (e *Encoder) NumEntries() int { return e.dict.NumEntries() }
 func (e *Encoder) MemoryUsage() int { return e.dict.MemoryUsage() }
 
 // Entries exposes the dictionary's interval entries (read-only; used by
-// the decoder and by diagnostics).
+// the decoder, by diagnostics, and by snapshot serialization).
 func (e *Encoder) Entries() []dict.Entry { return e.entries }
+
+// structuralOptions reduces opt to the fields that shape the dictionary
+// structure — everything Reassemble needs, nothing symbol selection used.
+func structuralOptions(opt Options) Options {
+	return Options{
+		DoubleCharAlphabet:    opt.DoubleCharAlphabet,
+		ForceBinarySearchDict: opt.ForceBinarySearchDict,
+	}
+}
+
+// StructuralOptions returns the build options that shape the dictionary
+// structure (DoubleCharAlphabet, ForceBinarySearchDict): persist these
+// alongside Entries and hand both to Reassemble to reconstruct an
+// encode-identical encoder without re-running the build phase.
+func (e *Encoder) StructuralOptions() Options { return e.structOpt }
 
 // Dictionary exposes the underlying lookup structure (read-only).
 func (e *Encoder) Dictionary() dict.Dictionary { return e.dict }

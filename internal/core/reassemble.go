@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dict"
+)
+
+// Reassemble reconstructs an Encoder from a previously built dictionary's
+// interval entries — the restore path of a persisted index. Build's two
+// expensive phases (symbol selection over the sample, optimal code
+// assignment) are skipped entirely: the entries already carry their
+// boundaries, symbol lengths, and codes, so only the scheme's lookup
+// structure is rebuilt over them (the DictBuild phase, linear in the
+// dictionary size). opt must carry the same structural options the
+// original Build used (DoubleCharAlphabet, ForceBinarySearchDict);
+// everything else in Options only shapes symbol selection and is ignored.
+//
+// A reassembled encoder is encode-identical to the original: identical
+// entries produce identical kernels, so every key maps to the same bits —
+// which is what lets a snapshot's encoded runs be loaded back verbatim.
+// The entries slice is retained; callers hand over ownership.
+func Reassemble(scheme Scheme, opt Options, entries []dict.Entry) (*Encoder, error) {
+	opt.fill()
+	e := &Encoder{scheme: scheme, entries: entries, structOpt: structuralOptions(opt)}
+	switch scheme {
+	case SingleChar:
+		e.lookAhead = 1
+	case DoubleChar:
+		e.lookAhead = 2
+	case ThreeGrams:
+		e.lookAhead = 3
+	case FourGrams:
+		e.lookAhead = 4
+	case ALM, ALMImproved:
+		// Arbitrary-length symbols: no look-ahead, no batch kernel.
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %d", int(scheme))
+	}
+	e.maxBoundary = 1
+	for _, en := range entries {
+		if len(en.Boundary) > e.maxBoundary {
+			e.maxBoundary = len(en.Boundary)
+		}
+	}
+	var err error
+	e.dict, err = buildDictionary(scheme, opt, entries)
+	if err != nil {
+		return nil, err
+	}
+	e.kern, _ = e.dict.(dict.Kernel)
+	e.batch, _ = e.dict.(dict.BatchKernel)
+	e.stats.Entries = len(entries)
+	return e, nil
+}

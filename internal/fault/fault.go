@@ -10,6 +10,26 @@
 // seed over the same sequence of checkpoints fires the same faults in the
 // same order — a chaos soak that fails replays exactly from its seed. The
 // event log (Events) records every fired fault for post-hoc assertions.
+//
+// # Point namespaces
+//
+// Injection-point names are namespaced by an optional "op:" prefix — the
+// part of the name before the first ':' — so one Plan can target a whole
+// subsystem without enumerating (or colliding with) another subsystem's
+// points. Two namespaces exist today:
+//
+//   - "" (no prefix): the adaptive rebuild/migration checkpoints — "build",
+//     "batch", "mid-batch", "flip", "cutover", ...
+//   - "snap": the snapshot VFS checkpoints — "snap:create", "snap:write",
+//     "snap:sync", "snap:close", "snap:rename", "snap:remove",
+//     "snap:open", "snap:read", "snap:dirsync".
+//
+// Rule.Point matches a full name exactly; Rule.Op restricts a rule to one
+// namespace. A rule with Op "snap" and Point "" fires at every filesystem
+// checkpoint and never at a rebuild checkpoint. Op "" (the zero value)
+// leaves the namespace unconstrained — existing rebuild-point rules keep
+// their meaning, and exact Point names are unambiguous across namespaces
+// anyway.
 package fault
 
 import (
@@ -91,6 +111,11 @@ func (e *Injected) Error() string {
 type Rule struct {
 	// Point is the injection-point name; "" matches every point.
 	Point string
+	// Op restricts the rule to one checkpoint namespace — the part of the
+	// point name before the first ':' ("snap" for the snapshot VFS
+	// checkpoints, "" for the un-prefixed rebuild checkpoints). The zero
+	// value leaves the namespace unconstrained. See the package comment.
+	Op string
 	// Shard restricts the rule to one shard; any negative value matches
 	// all shards.
 	Shard int
@@ -113,6 +138,9 @@ func (r Rule) matches(point string, shard int) bool {
 	if r.Kind == None {
 		return false
 	}
+	if r.Op != "" && Namespace(point) != r.Op {
+		return false
+	}
 	if r.Point != "" && r.Point != point {
 		return false
 	}
@@ -120,6 +148,17 @@ func (r Rule) matches(point string, shard int) bool {
 		return false
 	}
 	return true
+}
+
+// Namespace returns the point name's namespace: the part before the first
+// ':' ("snap" for "snap:write"), or "" for an un-prefixed point.
+func Namespace(point string) string {
+	for i := 0; i < len(point); i++ {
+		if point[i] == ':' {
+			return point[:i]
+		}
+	}
+	return ""
 }
 
 // Event is one fired fault, in firing order.

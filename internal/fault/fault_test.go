@@ -80,6 +80,48 @@ func TestRuleMatching(t *testing.T) {
 	}
 }
 
+func TestOpNamespaceMatching(t *testing.T) {
+	if got := Namespace("snap:write"); got != "snap" {
+		t.Fatalf("Namespace(snap:write) = %q, want snap", got)
+	}
+	if got := Namespace("batch"); got != "" {
+		t.Fatalf("Namespace(batch) = %q, want \"\"", got)
+	}
+
+	// An Op-scoped wildcard fires at every point of its namespace and at
+	// none of another namespace's — one plan can soak the snapshot VFS
+	// without ever perturbing a concurrent rebuild.
+	p := NewPlan(1, Rule{Op: "snap", Shard: -1, Kind: Error})
+	if err := p.Fire("batch", 0); err != nil {
+		t.Fatalf("snap-scoped rule fired at a rebuild checkpoint: %v", err)
+	}
+	if err := p.Fire("cutover", -1); err != nil {
+		t.Fatalf("snap-scoped rule fired at a rebuild checkpoint: %v", err)
+	}
+	for _, pt := range []string{"snap:create", "snap:write", "snap:sync", "snap:rename"} {
+		err := p.Fire(pt, -1)
+		var inj *Injected
+		if !errors.As(err, &inj) || inj.Point != pt {
+			t.Fatalf("snap-scoped rule at %s: %v", pt, err)
+		}
+	}
+
+	// Op composes with Point: both must match.
+	p = NewPlan(1, Rule{Op: "snap", Point: "snap:sync", Shard: -1, Kind: Error})
+	if err := p.Fire("snap:write", -1); err != nil {
+		t.Fatalf("Op+Point rule fired at wrong point: %v", err)
+	}
+	if err := p.Fire("snap:sync", -1); err == nil {
+		t.Fatal("Op+Point rule did not fire at its point")
+	}
+
+	// Zero Op leaves the namespace unconstrained (compatibility).
+	p = NewPlan(1, Rule{Shard: -1, Kind: Error})
+	if err := p.Fire("snap:write", -1); err == nil {
+		t.Fatal("unconstrained wildcard must match namespaced points")
+	}
+}
+
 func TestNthAndOnce(t *testing.T) {
 	p := NewPlan(1,
 		Rule{Point: "batch", Shard: -1, Kind: Error, Nth: 3},

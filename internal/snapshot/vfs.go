@@ -1,0 +1,212 @@
+package snapshot
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/fault"
+)
+
+// File is one open snapshot file: sequential reads or writes plus the
+// durability barrier. The writer side of the commit protocol needs
+// exactly Write/Sync/Close; the reader side Read/Close.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	Close() error
+}
+
+// VFS is the filesystem seam every snapshot I/O goes through. Production
+// uses OS(); the crash suites wrap it with Faulty so a fault.Plan can
+// fire an error, stall, or panic at any filesystem checkpoint — which is
+// how "the process died between write and fsync" is simulated
+// deterministically.
+type VFS interface {
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// ReadDir lists the file names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself, making a completed rename
+	// durable.
+	SyncDir(dir string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+}
+
+// OS returns the real-filesystem VFS.
+func OS() VFS { return osVFS{} }
+
+type osVFS struct{}
+
+func (osVFS) Create(name string) (File, error) { return os.Create(name) }
+func (osVFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osVFS) Rename(o, n string) error         { return os.Rename(o, n) }
+func (osVFS) Remove(name string) error         { return os.Remove(name) }
+func (osVFS) MkdirAll(dir string) error        { return os.MkdirAll(dir, 0o755) }
+
+func (osVFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osVFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	// Directory fsync is advisory on some filesystems; a sync error there
+	// still fails the commit (the caller falls back to the previous
+	// generation), never silently passes.
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// Checkpoint names the Faulty VFS fires, all in the "snap" namespace (see
+// the fault package comment) with shard -1 — filesystem operations are
+// not shard-scoped. A fired Error aborts the operation; snap:write
+// additionally leaves a genuinely torn file behind (half the buffer is
+// written before the error returns), so an injected crash produces the
+// same on-disk shapes a real one would.
+const (
+	PointCreate  = "snap:create"
+	PointOpen    = "snap:open"
+	PointWrite   = "snap:write"
+	PointRead    = "snap:read"
+	PointSync    = "snap:sync"
+	PointClose   = "snap:close"
+	PointRename  = "snap:rename"
+	PointRemove  = "snap:remove"
+	PointDirSync = "snap:dirsync"
+)
+
+// Points lists every Faulty checkpoint — the kill matrix the crash suite
+// iterates.
+var Points = []string{
+	PointCreate, PointOpen, PointWrite, PointRead, PointSync,
+	PointClose, PointRename, PointRemove, PointDirSync,
+}
+
+// Faulty wraps fs so inj fires before every filesystem operation. A nil
+// injector returns fs unchanged.
+func Faulty(fs VFS, inj fault.Injector) VFS {
+	if inj == nil {
+		return fs
+	}
+	return &faultyVFS{fs: fs, inj: inj}
+}
+
+type faultyVFS struct {
+	fs  VFS
+	inj fault.Injector
+}
+
+func (f *faultyVFS) Create(name string) (File, error) {
+	if err := f.inj.Fire(PointCreate, -1); err != nil {
+		return nil, err
+	}
+	file, err := f.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: file, inj: f.inj}, nil
+}
+
+func (f *faultyVFS) Open(name string) (File, error) {
+	if err := f.inj.Fire(PointOpen, -1); err != nil {
+		return nil, err
+	}
+	file, err := f.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: file, inj: f.inj}, nil
+}
+
+func (f *faultyVFS) Rename(o, n string) error {
+	if err := f.inj.Fire(PointRename, -1); err != nil {
+		return err
+	}
+	return f.fs.Rename(o, n)
+}
+
+func (f *faultyVFS) Remove(name string) error {
+	if err := f.inj.Fire(PointRemove, -1); err != nil {
+		return err
+	}
+	return f.fs.Remove(name)
+}
+
+func (f *faultyVFS) ReadDir(dir string) ([]string, error) { return f.fs.ReadDir(dir) }
+
+func (f *faultyVFS) SyncDir(dir string) error {
+	if err := f.inj.Fire(PointDirSync, -1); err != nil {
+		return err
+	}
+	return f.fs.SyncDir(dir)
+}
+
+func (f *faultyVFS) MkdirAll(dir string) error { return f.fs.MkdirAll(dir) }
+
+type faultyFile struct {
+	f   File
+	inj fault.Injector
+}
+
+func (f *faultyFile) Write(p []byte) (int, error) {
+	if err := f.inj.Fire(PointWrite, -1); err != nil {
+		// A crash mid-write tears the file: commit half the buffer so the
+		// restore path faces a genuinely truncated frame, not a clean
+		// before-the-write state.
+		n, werr := f.f.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *faultyFile) Read(p []byte) (int, error) {
+	if err := f.inj.Fire(PointRead, -1); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+func (f *faultyFile) Sync() error {
+	if err := f.inj.Fire(PointSync, -1); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *faultyFile) Close() error {
+	if err := f.inj.Fire(PointClose, -1); err != nil {
+		f.f.Close() // release the descriptor either way
+		return err
+	}
+	return f.f.Close()
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/snapshot"
 )
 
 // openConfig accumulates Open's functional options before dispatch.
@@ -16,6 +17,10 @@ type openConfig struct {
 	rangePart bool
 	corpus    [][]byte
 	adaptive  *AdaptiveOptions
+
+	snapDir  string
+	snapKeep int
+	snapFS   snapshot.VFS
 }
 
 // Option configures Open. Options compose: WithEncoder names the
@@ -62,6 +67,34 @@ func WithAdaptive(opts AdaptiveOptions) Option {
 	return func(c *openConfig) { c.adaptive = &opts }
 }
 
+// WithSnapshotDir enables crash-safe persistence: Open returns a
+// *Persistent (behind the Store interface) that snapshots into dir and —
+// when dir already holds a valid snapshot — restores the newest good
+// generation instead of starting empty. Restore is structural: the
+// snapshot's store kind, shard count, partition layout, and dictionary
+// override the caller's shape options, which only apply on a first boot
+// into an empty directory (lifecycle tuning from WithAdaptive still
+// applies either way). If every generation on disk is torn or corrupt,
+// Open fails with the typed error rather than serving a partial index.
+func WithSnapshotDir(dir string) Option {
+	return func(c *openConfig) { c.snapDir = dir }
+}
+
+// WithSnapshotRetain sets how many committed snapshot generations are
+// kept on disk (default DefaultSnapshotRetain; minimum 1 — the newest
+// generation is never pruned).
+func WithSnapshotRetain(n int) Option {
+	return func(c *openConfig) { c.snapKeep = n }
+}
+
+// WithSnapshotFS substitutes the filesystem every snapshot I/O goes
+// through — the crash suites wrap the real one with snapshot.Faulty so a
+// fault plan can kill a commit at any write/fsync/rename checkpoint. Nil
+// (the default) uses the real filesystem.
+func WithSnapshotFS(fs snapshot.VFS) Option {
+	return func(c *openConfig) { c.snapFS = fs }
+}
+
 // Open constructs a Store over the named backend, selecting the
 // implementation from the options:
 //
@@ -84,6 +117,14 @@ func Open(backend Backend, opts ...Option) (Store, error) {
 	for _, o := range opts {
 		o(&c)
 	}
+	if c.snapDir != "" {
+		return openPersistent(backend, &c)
+	}
+	return buildStore(backend, &c)
+}
+
+// buildStore is Open's option dispatch for a fresh (non-restored) store.
+func buildStore(backend Backend, c *openConfig) (Store, error) {
 	if c.adaptive != nil {
 		ao := *c.adaptive
 		if c.encSet {

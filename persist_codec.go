@@ -1,0 +1,329 @@
+package hope
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/dict"
+	"repro/internal/hutucker"
+)
+
+// Section kinds of the hope-level snapshot format, layered on the framing
+// internal/snapshot provides (which owns magic, CRCs, and the commit
+// protocol; this file owns only the payload bytes inside each section).
+//
+//	secMeta  — exactly one, first: store shape (kind, backend, scheme,
+//	           structural encoder options, partition, shards, splits).
+//	secDict  — at most one: the serialized dictionary entries; present
+//	           exactly when the meta scheme is >= 0 (compressed).
+//	secRun   — Index/ShardedIndex: one per tree shard, the shard's stored
+//	           (encoded) keys and values in encoded sort order.
+//	secARun  — AdaptiveIndex: one per stripe, the stripe's live records in
+//	           original-key order — original bytes, the stored encoding
+//	           (when compressed), and the value. Storing both forms is what
+//	           makes restore re-encode-free: the dictionary is reassembled
+//	           from secDict and the stored forms load back verbatim.
+const (
+	secMeta uint8 = 1
+	secDict uint8 = 2
+	secRun  uint8 = 3
+	secARun uint8 = 4
+)
+
+// Store kinds recorded in the meta section.
+const (
+	kindIndex    uint8 = 0
+	kindSharded  uint8 = 1
+	kindAdaptive uint8 = 2
+)
+
+// snapMeta is the decoded meta section: everything structural a restore
+// needs before it touches a run payload. Structural truth lives in the
+// snapshot, not in the caller's options — a restored store always has the
+// dumped shape.
+type snapMeta struct {
+	storeKind uint8
+	backend   Backend
+	scheme    int32 // core.Scheme, or -1 when uncompressed
+	alphabet  uint32
+	forceBS   bool
+	partition uint8 // 0 = hash, 1 = range
+	shards    uint32
+	maxKeyLen uint64
+	keyCount  uint64
+	splits    [][]byte // original-key-space split points (range partitions)
+}
+
+// --- little-endian append helpers -----------------------------------------
+
+func appendU8(b []byte, v uint8) []byte   { return append(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func appendBytes(b []byte, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// payloadReader cursors over one section payload, latching the first
+// error. Framing integrity is already CRC-proven by internal/snapshot, so
+// a short or trailing payload here means a format mismatch — reported as
+// ErrSnapshotCorrupt, never a partial result.
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *payloadReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated section payload at offset %d", ErrSnapshotCorrupt, r.off)
+	}
+}
+
+func (r *payloadReader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *payloadReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *payloadReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// bytes returns the next length-prefixed byte string, aliasing the
+// payload buffer; callers that retain it must copy (see ownedCopies).
+func (r *payloadReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || r.off+n > len(r.b) || n < 0 {
+		r.fail()
+		return nil
+	}
+	v := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *payloadReader) bool() bool { return r.u8() != 0 }
+
+// done reports the latched error, or flags trailing garbage — a payload
+// must be consumed exactly.
+func (r *payloadReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes in section payload", ErrSnapshotCorrupt, len(r.b)-r.off)
+	}
+	return nil
+}
+
+// --- meta section ----------------------------------------------------------
+
+func encodeMeta(m snapMeta) []byte {
+	b := make([]byte, 0, 64)
+	b = appendU8(b, m.storeKind)
+	b = appendBytes(b, []byte(m.backend))
+	b = appendU32(b, uint32(m.scheme))
+	b = appendU32(b, m.alphabet)
+	b = appendBool(b, m.forceBS)
+	b = appendU8(b, m.partition)
+	b = appendU32(b, m.shards)
+	b = appendU64(b, m.maxKeyLen)
+	b = appendU64(b, m.keyCount)
+	b = appendU32(b, uint32(len(m.splits)))
+	for _, s := range m.splits {
+		b = appendBytes(b, s)
+	}
+	return b
+}
+
+func decodeMeta(payload []byte) (snapMeta, error) {
+	r := &payloadReader{b: payload}
+	var m snapMeta
+	m.storeKind = r.u8()
+	m.backend = Backend(append([]byte(nil), r.bytes()...))
+	m.scheme = int32(r.u32())
+	m.alphabet = r.u32()
+	m.forceBS = r.bool()
+	m.partition = r.u8()
+	m.shards = r.u32()
+	m.maxKeyLen = r.u64()
+	m.keyCount = r.u64()
+	nSplits := int(r.u32())
+	if r.err == nil && nSplits > 0 {
+		m.splits = make([][]byte, 0, nSplits)
+		for i := 0; i < nSplits; i++ {
+			m.splits = append(m.splits, append([]byte(nil), r.bytes()...))
+		}
+	}
+	if err := r.done(); err != nil {
+		return snapMeta{}, err
+	}
+	if m.storeKind > kindAdaptive {
+		return snapMeta{}, fmt.Errorf("%w: unknown store kind %d", ErrSnapshotCorrupt, m.storeKind)
+	}
+	return m, nil
+}
+
+// --- dictionary section ----------------------------------------------------
+
+func encodeDict(entries []dict.Entry) []byte {
+	n := 0
+	for _, e := range entries {
+		n += 4 + len(e.Boundary) + 1 + 1 + 8
+	}
+	b := make([]byte, 0, 4+n)
+	b = appendU32(b, uint32(len(entries)))
+	for _, e := range entries {
+		b = appendBytes(b, e.Boundary)
+		b = appendU8(b, e.SymbolLen)
+		b = appendU8(b, e.Code.Len)
+		b = appendU64(b, e.Code.Bits)
+	}
+	return b
+}
+
+func decodeDict(payload []byte) ([]dict.Entry, error) {
+	r := &payloadReader{b: payload}
+	count := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	entries := make([]dict.Entry, 0, count)
+	for i := 0; i < count; i++ {
+		boundary := append([]byte(nil), r.bytes()...)
+		symLen := r.u8()
+		codeLen := r.u8()
+		bits := r.u64()
+		entries = append(entries, dict.Entry{
+			Boundary:  boundary,
+			SymbolLen: symLen,
+			Code:      hutucker.Code{Bits: bits, Len: codeLen},
+		})
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// --- run sections ----------------------------------------------------------
+
+// encodeRun serializes one tree shard's stored keys and values (secRun):
+// u64 count, then per entry a length-prefixed stored key and a u64 value.
+func encodeRun(keys [][]byte, vals []uint64) []byte {
+	n := 8
+	for _, k := range keys {
+		n += 4 + len(k) + 8
+	}
+	b := make([]byte, 0, n)
+	b = appendU64(b, uint64(len(keys)))
+	for i, k := range keys {
+		b = appendBytes(b, k)
+		b = appendU64(b, vals[i])
+	}
+	return b
+}
+
+// decodeRun parses a secRun payload. Returned key slices alias payload.
+func decodeRun(payload []byte) (keys [][]byte, vals []uint64, err error) {
+	r := &payloadReader{b: payload}
+	count := int(r.u64())
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	keys = make([][]byte, 0, count)
+	vals = make([]uint64, 0, count)
+	for i := 0; i < count; i++ {
+		keys = append(keys, r.bytes())
+		vals = append(vals, r.u64())
+	}
+	if err := r.done(); err != nil {
+		return nil, nil, err
+	}
+	return keys, vals, nil
+}
+
+// encodeARun serializes one adaptive stripe (secARun): u64 count, then per
+// live record the original key, the stored encoding (compressed snapshots
+// only), and the value, in original-key order.
+func encodeARun(origs, encs [][]byte, vals []uint64) []byte {
+	n := 8
+	for i, k := range origs {
+		n += 4 + len(k) + 8
+		if encs != nil {
+			n += 4 + len(encs[i])
+		}
+	}
+	b := make([]byte, 0, n)
+	b = appendU64(b, uint64(len(origs)))
+	for i, k := range origs {
+		b = appendBytes(b, k)
+		if encs != nil {
+			b = appendBytes(b, encs[i])
+		}
+		b = appendU64(b, vals[i])
+	}
+	return b
+}
+
+// decodeARun parses a secARun payload; compressed selects whether stored
+// encodings are present. Returned slices alias payload.
+func decodeARun(payload []byte, compressed bool) (origs, encs [][]byte, vals []uint64, err error) {
+	r := &payloadReader{b: payload}
+	count := int(r.u64())
+	if r.err != nil {
+		return nil, nil, nil, r.err
+	}
+	origs = make([][]byte, 0, count)
+	vals = make([]uint64, 0, count)
+	if compressed {
+		encs = make([][]byte, 0, count)
+	}
+	for i := 0; i < count; i++ {
+		origs = append(origs, r.bytes())
+		if compressed {
+			encs = append(encs, r.bytes())
+		}
+		vals = append(vals, r.u64())
+	}
+	if err := r.done(); err != nil {
+		return nil, nil, nil, err
+	}
+	return origs, encs, vals, nil
+}
+
+// ownedCopies deep-copies key slices (typically aliasing a snapshot file
+// buffer) into slices of one fresh backing array, the form backends may
+// retain (they keep bulk-loaded keys by reference).
+func ownedCopies(keys [][]byte) [][]byte {
+	return copyAll(keys)
+}

@@ -1,0 +1,245 @@
+package hope
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/snapshot"
+)
+
+// This file is the restore half of the persistence layer: it rebuilds a
+// live Store from a validated snapshot.Snapshot. The defining property is
+// that no key is re-encoded: the dictionary is reassembled from its
+// serialized entries (core.Reassemble skips symbol selection and code
+// assignment entirely), and the stored encodings in the run sections load
+// back verbatim through each backend's bulk path, shard-parallel.
+
+// restoreStore rebuilds the store a snapshot serialized. backend is the
+// caller's requested backend and must match the dumped one — a snapshot
+// is not a migration tool. The caller's shape options (shards, partition)
+// are ignored in favor of the snapshot's structural truth; for an
+// adaptive store c.adaptive still supplies the lifecycle tuning
+// (thresholds, timeouts, Manual) the snapshot deliberately does not carry.
+func restoreStore(backend Backend, snap *snapshot.Snapshot, c *openConfig) (Store, error) {
+	if len(snap.Sections) == 0 || snap.Sections[0].Kind != secMeta {
+		return nil, fmt.Errorf("%w: first section is not meta", ErrSnapshotCorrupt)
+	}
+	meta, err := decodeMeta(snap.Sections[0].Payload)
+	if err != nil {
+		return nil, err
+	}
+	if meta.backend != backend {
+		return nil, fmt.Errorf("hope: snapshot holds a %s store, Open requested %s", meta.backend, backend)
+	}
+	if meta.shards < 1 {
+		return nil, fmt.Errorf("%w: shard count %d", ErrSnapshotCorrupt, meta.shards)
+	}
+	if meta.partition == 1 && len(meta.splits) > 0 && len(meta.splits) != int(meta.shards)-1 {
+		return nil, fmt.Errorf("%w: %d split points for %d shards", ErrSnapshotCorrupt, len(meta.splits), meta.shards)
+	}
+	if meta.storeKind == kindAdaptive && ceilPow2(int(meta.shards)) != int(meta.shards) {
+		return nil, fmt.Errorf("%w: adaptive shard count %d is not a power of two", ErrSnapshotCorrupt, meta.shards)
+	}
+
+	var enc *core.Encoder
+	rest := snap.Sections[1:]
+	if meta.scheme >= 0 {
+		if len(rest) == 0 || rest[0].Kind != secDict {
+			return nil, fmt.Errorf("%w: compressed snapshot has no dictionary section", ErrSnapshotCorrupt)
+		}
+		entries, err := decodeDict(rest[0].Payload)
+		if err != nil {
+			return nil, err
+		}
+		enc, err = core.Reassemble(core.Scheme(meta.scheme), core.Options{
+			DoubleCharAlphabet:    int(meta.alphabet),
+			ForceBinarySearchDict: meta.forceBS,
+		}, entries)
+		if err != nil {
+			return nil, fmt.Errorf("hope: reassemble dictionary: %w", err)
+		}
+		rest = rest[1:]
+	}
+
+	switch meta.storeKind {
+	case kindIndex:
+		return restoreIndex(backend, meta, enc, rest)
+	case kindSharded:
+		return restoreSharded(backend, meta, enc, rest)
+	case kindAdaptive:
+		return restoreAdaptive(backend, meta, enc, rest, c)
+	}
+	return nil, fmt.Errorf("%w: unknown store kind %d", ErrSnapshotCorrupt, meta.storeKind)
+}
+
+// runSections validates that sections holds exactly the expected run
+// sections of the given kind, indexed by shard.
+func runSections(sections []snapshot.Section, kind uint8, shards int) ([][]byte, error) {
+	payloads := make([][]byte, shards)
+	seen := 0
+	for _, s := range sections {
+		if s.Kind != kind {
+			return nil, fmt.Errorf("%w: unexpected section kind %d", ErrSnapshotCorrupt, s.Kind)
+		}
+		if s.Shard < 0 || s.Shard >= shards || payloads[s.Shard] != nil {
+			return nil, fmt.Errorf("%w: bad or duplicate run shard %d", ErrSnapshotCorrupt, s.Shard)
+		}
+		payloads[s.Shard] = s.Payload
+		seen++
+	}
+	if seen != shards {
+		return nil, fmt.Errorf("%w: %d run sections for %d shards", ErrSnapshotCorrupt, seen, shards)
+	}
+	return payloads, nil
+}
+
+func restoreIndex(backend Backend, meta snapMeta, enc *core.Encoder, sections []snapshot.Section) (*Index, error) {
+	payloads, err := runSections(sections, secRun, 1)
+	if err != nil {
+		return nil, err
+	}
+	x, err := NewIndex(backend, enc)
+	if err != nil {
+		return nil, err
+	}
+	x.maxKeyLen = int(meta.maxKeyLen)
+	keys, vals, err := decodeRun(payloads[0])
+	if err != nil {
+		return nil, err
+	}
+	if err := x.be.bulk(ownedCopies(keys), vals); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// restorePartitioner rebuilds the dumped partition layout.
+func restorePartitioner(meta snapMeta) Partitioner {
+	if meta.partition != 1 {
+		return NewHashPartitioner(int(meta.shards))
+	}
+	if len(meta.splits) == 0 {
+		return NewUnseededRangePartitioner(int(meta.shards))
+	}
+	return NewRangePartitioner(meta.splits)
+}
+
+func restoreSharded(backend Backend, meta snapMeta, enc *core.Encoder, sections []snapshot.Section) (*ShardedIndex, error) {
+	payloads, err := runSections(sections, secRun, int(meta.shards))
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewShardedIndexWithPartitioner(backend, enc, restorePartitioner(meta))
+	if err != nil {
+		return nil, err
+	}
+	s.maxKeyLen.Store(int64(meta.maxKeyLen))
+	// Shard loads are independent: decode, copy, and bulk-insert each
+	// shard's run in parallel, the restore-side mirror of Bulk's layout.
+	var wg sync.WaitGroup
+	errs := make([]error, len(payloads))
+	for i := range payloads {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			keys, vals, err := decodeRun(payloads[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = s.shards[i].be.bulk(ownedCopies(keys), vals)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func restoreAdaptive(backend Backend, meta snapMeta, enc *core.Encoder, sections []snapshot.Section, c *openConfig) (*AdaptiveIndex, error) {
+	payloads, err := runSections(sections, secARun, int(meta.shards))
+	if err != nil {
+		return nil, err
+	}
+	var opts AdaptiveOptions
+	if c != nil && c.adaptive != nil {
+		opts = *c.adaptive
+	}
+	// Structural truth comes from the snapshot: shard count, partition
+	// mode, split points, and the serving dictionary override whatever the
+	// caller's options say. With a compressed snapshot the index restores
+	// straight into the Steady state (opts.Encoder semantics); the
+	// lifecycle reservoir starts empty and refills from live traffic.
+	opts.Shards = int(meta.shards)
+	opts.Partition = HashPartitioned
+	if meta.partition == 1 {
+		opts.Partition = RangePartitioned
+	}
+	opts.Encoder = enc
+	if enc != nil {
+		opts.Scheme = enc.Scheme()
+	}
+	a, err := newAdaptiveIndexWithSplits(backend, opts, meta.splits)
+	if err != nil {
+		return nil, err
+	}
+	a.maxKeyLen.Store(int64(meta.maxKeyLen))
+	gen := a.cur
+	gen.idx.maxKeyLen.Store(int64(meta.maxKeyLen))
+
+	// Decode every stripe, rebuild its record store in file order (slot i
+	// of stripe s is record id s<<32|i), and group the stored encodings by
+	// the tree shard the generation's partitioner routes each key to. For
+	// hash partitions the tree shard IS the stripe and the grouped run is
+	// already in encoded order; range partitions interleave stripes per
+	// tree shard, which the bulk path tolerates (backends do not require
+	// sorted input).
+	nShards := int(meta.shards)
+	treeKeys := make([][][]byte, nShards)
+	treeIDs := make([][]uint64, nShards)
+	for stripe := range payloads {
+		origs, encs, vals, err := decodeARun(payloads[stripe], enc != nil)
+		if err != nil {
+			return nil, err
+		}
+		recs := make([]record, 0, len(origs))
+		owned := ownedCopies(origs)
+		var stored [][]byte
+		if enc != nil {
+			stored = ownedCopies(encs)
+		} else {
+			stored = owned
+		}
+		for slot := range owned {
+			recs = append(recs, record{key: owned[slot], val: vals[slot]})
+			w := routeRecord(gen, stripe, owned[slot])
+			treeKeys[w] = append(treeKeys[w], stored[slot])
+			treeIDs[w] = append(treeIDs[w], recordID(stripe, slot))
+		}
+		gen.recs[stripe] = generationShardRecords{recs: recs, live: len(recs)}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, nShards)
+	for w := 0; w < nShards; w++ {
+		if len(treeKeys[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = gen.idx.shards[w].be.bulk(treeKeys[w], treeIDs[w])
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,118 @@
+#!/bin/sh
+# restore_smoke.sh — end-to-end crash-recovery smoke with the real
+# binaries: serve a preloaded compressed store with periodic snapshots
+# into a fresh directory, wait for a committed generation, SIGKILL the
+# server (no drain, no final snapshot), restart it against the same
+# directory with NO preload and NO scheme flags — the snapshot alone must
+# reconstruct the dictionary, partitioning and keys — then require the
+# restored key count to equal the pre-kill count and the /metrics restore
+# series to be live. Finishes with a SIGTERM drain that must commit a
+# further generation and exit 0. Used by `make restore-smoke` and the CI
+# restore-smoke leg.
+set -eu
+
+ADDR=${ADDR:-127.0.0.1:7970}
+DEBUG_ADDR=${DEBUG_ADDR:-127.0.0.1:7990}
+KEYS=${KEYS:-20000}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+snapdir="$tmpdir/snap"
+
+go build -o "$tmpdir/hopeserve" ./cmd/hopeserve
+go build -o "$tmpdir/hopeload" ./cmd/hopeload
+
+# probe <addr> — read-only readiness check (no sets: the keyspace must
+# stay exactly the preload so pre-kill and post-restore counts compare).
+probe() {
+    "$tmpdir/hopeload" -addr "$1" -conns 1 -qps 100 -duration 100ms \
+        -warmup 0s -keys 100 -dataset email -seed 42 -set 0 -range 0 \
+        >/dev/null 2>&1
+}
+
+wait_ready() {
+    i=0
+    while ! probe "$1"; do
+        i=$((i+1))
+        if [ "$i" -ge 50 ]; then
+            echo "restore_smoke: server on $1 never became ready" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+}
+
+# scrape <name> — one series value from the current /metrics.
+scrape() {
+    awk -v s="$1" '$1 == s { print $2 }' "$tmpdir/metrics.txt"
+}
+
+"$tmpdir/hopeserve" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" \
+    -store sharded -scheme Double-Char \
+    -preload "$KEYS" -dataset email -seed 42 \
+    -snapshot-dir "$snapdir" -snapshot-every 300ms &
+SERVE_PID=$!
+wait_ready "$ADDR" || { kill "$SERVE_PID" 2>/dev/null || true; exit 1; }
+
+# Wait for the first periodic snapshot to commit (a committed generation
+# is a rename-published snap-*.hope; the temp file never counts).
+i=0
+while ! ls "$snapdir"/snap-*.hope >/dev/null 2>&1; do
+    i=$((i+1))
+    if [ "$i" -ge 100 ]; then
+        echo "restore_smoke: no snapshot committed within 10s" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$tmpdir/hopeload" -metrics "http://$DEBUG_ADDR/metrics" -dump-metrics \
+    > "$tmpdir/metrics.txt"
+len_before=$(scrape hope_index_len)
+if [ -z "$len_before" ] || [ "$len_before" = "0" ]; then
+    echo "restore_smoke: bad pre-kill key count '$len_before'" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+
+# The crash: SIGKILL, no drain, no final snapshot. Recovery must come
+# from the last committed generation alone.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+
+"$tmpdir/hopeserve" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" \
+    -store sharded -snapshot-dir "$snapdir" &
+SERVE_PID=$!
+wait_ready "$ADDR" || { kill "$SERVE_PID" 2>/dev/null || true; exit 1; }
+
+"$tmpdir/hopeload" -metrics "http://$DEBUG_ADDR/metrics" -dump-metrics \
+    > "$tmpdir/metrics.txt"
+len_after=$(scrape hope_index_len)
+restored=$(scrape hope_snapshot_restored)
+gen=$(scrape hope_snapshot_generation)
+restores=$(scrape hope_restore_total)
+
+fail=""
+[ "$len_after" = "$len_before" ] || fail="key count $len_after != pre-kill $len_before"
+[ "$restored" = "1" ] || fail="${fail:+$fail; }hope_snapshot_restored=$restored, want 1"
+case "${gen:-0}" in 0|0.0|'') fail="${fail:+$fail; }hope_snapshot_generation missing or zero";; esac
+case "${restores:-0}" in 0|0.0|'') fail="${fail:+$fail; }hope_restore_total missing or zero";; esac
+if [ -n "$fail" ]; then
+    echo "restore_smoke: $fail" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+
+# Graceful drain commits a further generation and exits 0.
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+    echo "restore_smoke: restored server did not drain cleanly" >&2
+    exit 1
+fi
+gens=$(ls "$snapdir"/snap-*.hope | wc -l)
+if [ "$gens" -lt 1 ]; then
+    echo "restore_smoke: drain left no committed snapshot" >&2
+    exit 1
+fi
+echo "restore_smoke: OK (SIGKILL at gen $gen, restored $len_after/$len_before keys, live restore metrics, clean drain)"

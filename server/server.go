@@ -39,6 +39,13 @@ type Config struct {
 	// implements hope.Instrumented — the store's own metrics. Nil creates
 	// a private registry, retrievable with Server.Registry().
 	Registry *telemetry.Registry
+	// OnDrain, when non-nil, runs during Shutdown after the store is
+	// quiesced and before it is closed — the point where every
+	// acknowledged write has landed and no background migration is in
+	// flight. cmd/hopeserve installs the final snapshot here
+	// (snapshot-on-drain); its error is reported by Shutdown but never
+	// prevents the close. Must not block indefinitely.
+	OnDrain func() error
 }
 
 // DefaultMaxConns is the connection cap when Config.MaxConns is zero.
@@ -301,6 +308,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// instead of being torn down.
 	if q, ok := s.store.(hope.Quiescer); ok {
 		q.Quiesce()
+	}
+	// Post-quiesce, pre-close: the drain hook sees a settled store that
+	// can still serve the reads a snapshot dump needs.
+	if s.cfg.OnDrain != nil {
+		if derr := s.cfg.OnDrain(); derr != nil {
+			s.cfg.Logf("drain hook: %v", derr)
+			if err == nil {
+				err = derr
+			}
+		}
 	}
 	if cerr := s.store.Close(); err == nil {
 		err = cerr

@@ -480,3 +480,91 @@ func TestRunUntilSignal(t *testing.T) {
 		t.Fatal("write lost across signal drain")
 	}
 }
+
+// TestServerSnapshotOnDrain wires the persistence layer through the drain
+// hook exactly as cmd/hopeserve does: writes arrive over the wire, the
+// drain quiesces the store and then snapshots it, and a fresh Open over
+// the snapshot directory serves the same keys.
+func TestServerSnapshotOnDrain(t *testing.T) {
+	dir := t.TempDir()
+	store := newStore(t, hope.WithShards(4), hope.WithSnapshotDir(dir))
+	p := store.(*hope.Persistent)
+
+	srv := New(store, Config{
+		OnDrain: func() error { return p.Snapshot() },
+	})
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := c.Set([]byte(fmt.Sprintf("drain-key-%02d", i)), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; err != ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	if p.Generation() != 1 {
+		t.Fatalf("drain snapshot generation = %d, want 1", p.Generation())
+	}
+
+	r, err := hope.Open(hope.BTree, hope.WithSnapshotDir(dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	rp := r.(*hope.Persistent)
+	if !rp.Restored() || rp.Len() != 50 {
+		t.Fatalf("restored=%v len=%d, want true/50", rp.Restored(), rp.Len())
+	}
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("drain-key-%02d", i))
+		if v, ok := r.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("restored get %q = (%d,%v), want (%d,true)", k, v, ok, i)
+		}
+	}
+}
+
+// TestServerDrainHookErrorSurfaces: a failing drain hook is reported by
+// Shutdown but never prevents the store close.
+func TestServerDrainHookErrorSurfaces(t *testing.T) {
+	store := newStore(t)
+	hookErr := fmt.Errorf("hook failed")
+	closed := false
+	srv := New(store, Config{
+		OnDrain: func() error { closed = store.Len() >= 0; return hookErr },
+	})
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != hookErr {
+		t.Fatalf("Shutdown = %v, want the drain hook's error", err)
+	}
+	<-errc
+	if !closed {
+		t.Fatal("drain hook never ran")
+	}
+	// The store was still closed despite the hook error.
+	if err := store.Put([]byte("x"), 1); err != hope.ErrClosed {
+		t.Fatalf("put after shutdown = %v, want ErrClosed", err)
+	}
+}

@@ -71,6 +71,12 @@ type ShardedIndex struct {
 
 	scratch sync.Pool // *pointScratch; Get's zero-alloc encode buffers
 
+	// closed is set by Close; the public mutation entry points (Put,
+	// Delete, Bulk) refuse with ErrClosed afterwards. Internal
+	// shard-routed hooks stay unchecked — AdaptiveIndex drives those and
+	// gates its own lifecycle.
+	closed atomic.Bool
+
 	// met instruments the public ops (always-on, sampled latencies; see
 	// observe.go). Internal shard-routed entry points (getShard and
 	// friends) are not counted — AdaptiveIndex drives those and keeps its
@@ -277,6 +283,9 @@ func (s *ShardedIndex) trackLen(n int) {
 // lock, so concurrent writers to different shards never share bit-buffer
 // state.
 func (s *ShardedIndex) Put(key []byte, val uint64) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	shard := s.shardIdx(key)
 	t := s.met.put.Begin(uint64(shard))
 	_, err := s.putShard(shard, key, val)
@@ -340,6 +349,9 @@ func (s *ShardedIndex) getShard(shard int, key []byte) (uint64, bool) {
 // buffers — see TestPointOpScratchNotRetained), but holds the shard's
 // write lock for the tree mutation.
 func (s *ShardedIndex) Delete(key []byte) (bool, error) {
+	if s.closed.Load() {
+		return false, ErrClosed
+	}
 	shard := s.shardIdx(key)
 	t := s.met.del.Begin(uint64(shard))
 	ok, err := s.deleteShard(shard, key)
@@ -447,6 +459,9 @@ func (s *ShardedIndex) encodeBatch(keys [][]byte) [][]byte {
 // requires the empty index — Bulk into a populated unseeded index loads
 // everything into shard 0 rather than silently re-routing stored keys.
 func (s *ShardedIndex) Bulk(keys [][]byte, vals []uint64) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	if vals != nil && len(vals) != len(keys) {
 		return fmt.Errorf("hope: %d keys but %d values", len(keys), len(vals))
 	}

@@ -19,10 +19,12 @@ package hope
 //     them) — and is only valid for the duration of the callback.
 //   - Bulk with nil vals assigns each key its position. On the bulk-only
 //     SuRF backend it is the only way to load keys.
-//   - Close releases background machinery and is idempotent. A closed
-//     Store keeps serving reads, writes, and scans — for the adaptive
-//     implementation only the dictionary lifecycle is frozen (see
-//     AdaptiveIndex.Close); for the others Close is a documented no-op.
+//   - Close makes the store final: it releases background machinery,
+//     after which every mutation (Put, Delete, Bulk) is refused with
+//     ErrClosed while Get, Scan, ScanPrefix, and Len keep serving the
+//     final contents. Close is idempotent — a second call is a no-op
+//     returning nil. Finality is what lets a snapshot-on-drain serialize
+//     a store that can no longer change underneath it (see Persistent).
 //
 // Concurrency is the one axis the contract leaves to the implementation:
 // Index is single-goroutine, ShardedIndex and AdaptiveIndex are safe for
@@ -42,7 +44,8 @@ type Store interface {
 	ScanPrefix(prefix []byte, fn func(key []byte, val uint64) bool) int
 	// Len returns the number of live keys.
 	Len() int
-	// Close releases background machinery (idempotent; serving continues).
+	// Close makes the store final: mutations return ErrClosed, reads and
+	// scans keep serving. Idempotent.
 	Close() error
 }
 
@@ -63,12 +66,20 @@ var (
 	_ Quiescer = (*AdaptiveIndex)(nil)
 )
 
-// Close implements Store. The plain Index has no background machinery, so
-// Close is a no-op kept for interface symmetry: the index remains fully
-// usable afterwards. Always returns nil.
-func (x *Index) Close() error { return nil }
+// Close implements Store. The plain Index has no background machinery to
+// release; Close marks the index final, so subsequent mutations return
+// ErrClosed while reads and scans keep serving. Idempotent; always
+// returns nil.
+func (x *Index) Close() error {
+	x.closed = true
+	return nil
+}
 
 // Close implements Store. ShardedIndex runs no background goroutines —
-// shards are plain lock stripes — so Close is a no-op and the index
-// remains fully usable afterwards. Always returns nil.
-func (s *ShardedIndex) Close() error { return nil }
+// shards are plain lock stripes — so Close only marks the index final:
+// subsequent Put/Delete/Bulk return ErrClosed while reads and scans keep
+// serving. Idempotent; always returns nil.
+func (s *ShardedIndex) Close() error {
+	s.closed.Store(true)
+	return nil
+}
